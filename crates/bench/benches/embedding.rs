@@ -1,0 +1,65 @@
+//! Embedding-substrate ablation: inference cost, word-table memoization,
+//! cache hit vs miss, and quantized storage effects — the knobs behind
+//! Figure 4's prefetch rung.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cx_embed::{EmbeddingCache, EmbeddingModel, HashNGramModel, QuantizedVector};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+
+    // Cold inference (fresh model each batch so the word table is empty).
+    group.bench_function("embed_cold_100_words", |b| {
+        let words: Vec<String> = (0..100).map(|i| format!("benchword{i}")).collect();
+        b.iter(|| {
+            let model = HashNGramModel::new(1);
+            let mut out = vec![0.0f32; model.dim()];
+            for w in &words {
+                model.embed_into(w, &mut out);
+            }
+            black_box(out[0])
+        })
+    });
+
+    // Warm inference: word table memoized.
+    group.bench_function("embed_warm_100_words", |b| {
+        let model = HashNGramModel::new(1);
+        let words: Vec<String> = (0..100).map(|i| format!("benchword{i}")).collect();
+        model.prefetch(words.iter());
+        let mut out = vec![0.0f32; model.dim()];
+        b.iter(|| {
+            for w in &words {
+                model.embed_into(w, &mut out);
+            }
+            black_box(out[0])
+        })
+    });
+
+    // Cache hit vs miss.
+    group.bench_function("cache_hit", |b| {
+        let cache = EmbeddingCache::new(Arc::new(HashNGramModel::new(1)) as Arc<dyn EmbeddingModel>);
+        cache.prefetch(["hot word"]);
+        b.iter(|| black_box(cache.get("hot word").len()))
+    });
+
+    // Quantization round-trips (storage/compute trade of Section VI).
+    group.bench_function("quantize_f16_dim100", |b| {
+        let v: Vec<f32> = (0..100).map(|i| (i as f32 * 0.17).sin()).collect();
+        b.iter(|| black_box(QuantizedVector::to_f16(&v).storage_bytes()))
+    });
+    group.bench_function("quantize_int8_dim100", |b| {
+        let v: Vec<f32> = (0..100).map(|i| (i as f32 * 0.17).sin()).collect();
+        b.iter(|| black_box(QuantizedVector::to_int8(&v).storage_bytes()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Index recall/pruning ablation: candidates examined per probe and recall
+//! against brute force at fixed parameters — the quality side of the
+//! speed/recall trade the approximate strategies make.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cx_embed::rng::SplitMix64;
+use cx_vector::ivf::IvfParams;
+use cx_vector::lsh::LshParams;
+use cx_vector::{BruteForceIndex, IvfIndex, LshIndex, VectorIndex, VectorStore};
+use std::time::Duration;
+
+fn store(n: usize, dim: usize, seed: u64) -> VectorStore {
+    let mut rng = SplitMix64::new(seed);
+    let n_clusters = (n / 25).max(2);
+    let centroids: Vec<Vec<f32>> = (0..n_clusters).map(|_| rng.unit_vector(dim)).collect();
+    let mut s = VectorStore::new(dim);
+    for i in 0..n {
+        let c = &centroids[i % n_clusters];
+        let noise = rng.unit_vector(dim);
+        let v: Vec<f32> = c.iter().zip(&noise).map(|(a, b)| a + 0.3 * b).collect();
+        s.push(&v);
+    }
+    s
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_topk");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+
+    let data = store(5_000, 100, 23);
+    let brute = BruteForceIndex::build(&data);
+    let lsh = LshIndex::build(&data, LshParams { bits: 14, tables: 6, seed: 9 });
+    let ivf = IvfIndex::build(
+        &data,
+        IvfParams { nlist: 100, nprobe: 8, iterations: 6, seed: 9 },
+    );
+    let q = data.row(17).to_vec();
+
+    group.bench_function("brute_top10", |b| b.iter(|| black_box(brute.search_topk(&q, 10))));
+    group.bench_function("lsh_top10", |b| b.iter(|| black_box(lsh.search_topk(&q, 10))));
+    group.bench_function("ivf_top10", |b| b.iter(|| black_box(ivf.search_topk(&q, 10))));
+    group.finish();
+
+    // Report recall/pruning once (stdout; criterion keeps timing separate).
+    let mut lsh_hits = 0usize;
+    let mut ivf_hits = 0usize;
+    let mut truth_total = 0usize;
+    for probe in 0..50 {
+        let q = data.row(probe).to_vec();
+        let truth: std::collections::HashSet<usize> =
+            brute.search_topk(&q, 10).iter().map(|r| r.id).collect();
+        truth_total += truth.len();
+        lsh_hits += lsh.search_topk(&q, 10).iter().filter(|r| truth.contains(&r.id)).count();
+        ivf_hits += ivf.search_topk(&q, 10).iter().filter(|r| truth.contains(&r.id)).count();
+    }
+    println!(
+        "top-10 recall over 50 probes: lsh={:.3} ivf={:.3}; mean candidates: lsh={:.0} ivf={:.0} (of {})",
+        lsh_hits as f64 / truth_total as f64,
+        ivf_hits as f64 / truth_total as f64,
+        lsh.stats().mean_candidates(),
+        ivf.stats().mean_candidates(),
+        data.len()
+    );
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

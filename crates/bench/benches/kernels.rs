@@ -1,0 +1,52 @@
+//! Kernel-ladder ablation: the per-pair cost of each cosine variant across
+//! dimensions (the micro view of Figure 4's L2/L3 gap, plus Section VI's
+//! half-precision/int8 opportunity).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cx_embed::rng::SplitMix64;
+use cx_embed::QuantizedVector;
+use cx_vector::kernels::{cosine, cosine_prenormalized, cosine_with_norms, dot_unrolled, norm};
+use std::time::Duration;
+
+fn vectors(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = SplitMix64::new(seed);
+    (rng.unit_vector(dim), rng.unit_vector(dim))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_kernels");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(20);
+
+    for dim in [32usize, 100, 300] {
+        let (a, b) = vectors(dim, 7);
+        let (na, nb) = (norm(&a), norm(&b));
+        let qa_f16 = QuantizedVector::to_f16(&a);
+        let qa_i8 = QuantizedVector::to_int8(&a);
+
+        group.bench_with_input(BenchmarkId::new("naive_renorm", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(cosine(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cached_norms", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(cosine_with_norms(&a, &b, na, nb)))
+        });
+        group.bench_with_input(BenchmarkId::new("prenorm_unrolled", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(cosine_prenormalized(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_unrolled", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(dot_unrolled(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("f16_dot", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(qa_f16.dot(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("int8_dot", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(qa_i8.dot(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Relational operator throughput and the pushdown effect at operator
+//! level: filter-then-join vs join-then-filter over identical data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cx_exec::logical::{AggFunc, AggSpec, JoinType};
+use cx_exec::{collect_table, FilterExec, HashAggregateExec, HashJoinExec, TableScanExec};
+use cx_expr::{col, lit};
+use cx_storage::{Column, DataType, Field, Schema, Table};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn orders(n: usize) -> Arc<TableScanExec> {
+    let table = Table::from_columns(
+        Schema::new(vec![
+            Field::new("order_id", DataType::Int64),
+            Field::new("item", DataType::Utf8),
+            Field::new("amount", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_strings((0..n).map(|i| format!("item{}", i % 100))),
+            Column::from_f64((0..n).map(|i| (i % 500) as f64).collect()),
+        ],
+    )
+    .unwrap()
+    .rechunk(4096)
+    .unwrap();
+    Arc::new(TableScanExec::new(Arc::new(table)))
+}
+
+fn items() -> Arc<TableScanExec> {
+    let table = Table::from_columns(
+        Schema::new(vec![
+            Field::new("name", DataType::Utf8),
+            Field::new("kind", DataType::Utf8),
+        ]),
+        vec![
+            Column::from_strings((0..100).map(|i| format!("item{i}"))),
+            Column::from_strings((0..100).map(|i| format!("kind{}", i % 5))),
+        ],
+    )
+    .unwrap();
+    Arc::new(TableScanExec::new(Arc::new(table)))
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_operators");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+
+    let scan = orders(100_000);
+
+    group.bench_function("filter_100k", |b| {
+        let f = FilterExec::new(scan.clone(), &col("amount").gt(lit(400.0))).unwrap();
+        b.iter(|| black_box(collect_table(&f).unwrap().num_rows()))
+    });
+
+    group.bench_function("aggregate_100k", |b| {
+        let agg = HashAggregateExec::new(
+            scan.clone(),
+            &["item".to_string()],
+            &[
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, "amount", "total"),
+            ],
+        )
+        .unwrap();
+        b.iter(|| black_box(collect_table(&agg).unwrap().num_rows()))
+    });
+
+    // Pushdown effect: filter before join vs after.
+    group.bench_function("join_then_filter_100k", |b| {
+        let join = Arc::new(
+            HashJoinExec::new(
+                items(),
+                scan.clone(),
+                &[("name".to_string(), "item".to_string())],
+                JoinType::Inner,
+            )
+            .unwrap(),
+        );
+        let post = FilterExec::new(join, &col("amount").gt(lit(495.0))).unwrap();
+        b.iter(|| black_box(collect_table(&post).unwrap().num_rows()))
+    });
+
+    group.bench_function("filter_then_join_100k", |b| {
+        let filtered = Arc::new(FilterExec::new(scan.clone(), &col("amount").gt(lit(495.0))).unwrap());
+        let join = HashJoinExec::new(
+            items(),
+            filtered,
+            &[("name".to_string(), "item".to_string())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        b.iter(|| black_box(collect_table(&join).unwrap().num_rows()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Optimizer ablation: planning latency on the motivating-query shape and
+//! the cost-model's view of each rewrite (plan quality, not just speed).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cx_embed::ModelRegistry;
+use cx_exec::logical::{LogicalPlan, SemanticJoinSpec};
+use cx_expr::{col, lit};
+use cx_optimizer::{estimate_cost, Optimizer, OptimizerConfig, OptimizerContext};
+use cx_storage::{DataType, Field, Schema};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn motivating_plan() -> LogicalPlan {
+    let products = LogicalPlan::Scan {
+        source: "products".into(),
+        schema: Arc::new(Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ])),
+    };
+    let kb = LogicalPlan::Scan {
+        source: "kb".into(),
+        schema: Arc::new(Schema::new(vec![
+            Field::new("label", DataType::Utf8),
+            Field::new("category", DataType::Utf8),
+        ])),
+    };
+    let detections = LogicalPlan::Scan {
+        source: "detections".into(),
+        schema: Arc::new(Schema::new(vec![
+            Field::new("image_id", DataType::Int64),
+            Field::new("obj", DataType::Utf8),
+            Field::new("date_taken", DataType::Timestamp),
+            Field::new("object_count", DataType::Int64),
+        ])),
+    };
+    let j1 = LogicalPlan::SemanticJoin {
+        left: Box::new(products),
+        right: Box::new(kb),
+        spec: SemanticJoinSpec {
+            left_column: "name".into(),
+            right_column: "label".into(),
+            model: "m".into(),
+            threshold: 0.9,
+            score_column: "kb_sim".into(),
+        },
+    };
+    let j2 = LogicalPlan::SemanticJoin {
+        left: Box::new(j1),
+        right: Box::new(detections),
+        spec: SemanticJoinSpec {
+            left_column: "name".into(),
+            right_column: "obj".into(),
+            model: "m".into(),
+            threshold: 0.8,
+            score_column: "img_sim".into(),
+        },
+    };
+    LogicalPlan::Filter {
+        predicate: col("price")
+            .gt(lit(20.0))
+            .and(col("category").eq(lit("clothes")))
+            .and(col("object_count").gt(lit(2i64))),
+        input: Box::new(j2),
+    }
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20);
+
+    let ctx = OptimizerContext::new(Arc::new(ModelRegistry::new()), OptimizerConfig::all());
+    let plan = motivating_plan();
+
+    group.bench_function("optimize_motivating_query", |b| {
+        let optimizer = Optimizer::new(&ctx);
+        b.iter(|| black_box(optimizer.optimize(&plan, &ctx).0.node_count()))
+    });
+
+    group.bench_function("cost_estimate_motivating_query", |b| {
+        b.iter(|| black_box(estimate_cost(&plan, &ctx)))
+    });
+
+    group.finish();
+
+    // Plan-quality note (stdout, once): cost before vs after optimization.
+    let optimizer = Optimizer::new(&ctx);
+    let (optimized, trace) = optimizer.optimize(&plan, &ctx);
+    println!(
+        "cost model: naive={:.0} optimized={:.0} ({:.1}x cheaper; rules: {})",
+        estimate_cost(&plan, &ctx),
+        estimate_cost(&optimized, &ctx),
+        estimate_cost(&plan, &ctx) / estimate_cost(&optimized, &ctx),
+        trace.join(",")
+    );
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Semantic-join strategy crossover: exact scan vs LSH vs IVF across
+//! cardinalities — the physical decision the optimizer's cost model makes
+//! (Section V: index access paths must be costed like relational indexes).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cx_embed::rng::SplitMix64;
+use cx_vector::ivf::IvfParams;
+use cx_vector::lsh::LshParams;
+use cx_vector::{BruteForceIndex, IvfIndex, LshIndex, VectorIndex, VectorStore};
+use std::time::Duration;
+
+/// Clustered vectors: realistic for synonym-heavy text embeddings.
+fn store(n: usize, dim: usize, seed: u64) -> VectorStore {
+    let mut rng = SplitMix64::new(seed);
+    let n_clusters = (n / 20).max(2);
+    let centroids: Vec<Vec<f32>> = (0..n_clusters).map(|_| rng.unit_vector(dim)).collect();
+    let mut s = VectorStore::new(dim);
+    for i in 0..n {
+        let c = &centroids[i % n_clusters];
+        let noise = rng.unit_vector(dim);
+        let v: Vec<f32> = c.iter().zip(&noise).map(|(a, b)| a + 0.3 * b).collect();
+        s.push(&v);
+    }
+    s
+}
+
+fn bench_threshold_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_join_probe");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+
+    for n in [1_000usize, 4_000] {
+        let data = store(n, 100, 11);
+        let queries = store(64, 100, 13);
+        let brute = BruteForceIndex::build(&data);
+        let lsh = LshIndex::build(&data, LshParams::default());
+        let ivf = IvfIndex::build(
+            &data,
+            IvfParams { nlist: (n / 50).max(4), nprobe: 6, iterations: 6, seed: 5 },
+        );
+
+        let run = |index: &dyn VectorIndex| {
+            let mut total = 0usize;
+            for (_, q) in queries.iter() {
+                total += index.search_threshold(q, 0.9).len();
+            }
+            total
+        };
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| black_box(run(&brute)))
+        });
+        group.bench_with_input(BenchmarkId::new("lsh", n), &n, |b, _| {
+            b.iter(|| black_box(run(&lsh)))
+        });
+        group.bench_with_input(BenchmarkId::new("ivf", n), &n, |b, _| {
+            b.iter(|| black_box(run(&ivf)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_index_build");
+    group
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    let data = store(4_000, 100, 17);
+    group.bench_function("brute_4k", |b| {
+        b.iter(|| black_box(BruteForceIndex::build(&data).len()))
+    });
+    group.bench_function("lsh_4k", |b| {
+        b.iter(|| black_box(LshIndex::build(&data, LshParams::default()).len()))
+    });
+    group.bench_function("ivf_4k", |b| {
+        b.iter(|| {
+            black_box(
+                IvfIndex::build(
+                    &data,
+                    IvfParams { nlist: 64, nprobe: 6, iterations: 6, seed: 5 },
+                )
+                .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_search, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! The polystore catalog: tables, knowledge bases, image stores, models.
+
+use cx_embed::{EmbeddingModel, ModelRegistry};
+use cx_kb::KnowledgeBase;
+use cx_storage::{Result, Table, TableStats};
+use cx_vision::{ImageStore, ObjectDetector};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cap on sampled values kept per string column for semantic selectivity
+/// estimation.
+const SAMPLE_CAP: usize = 256;
+
+/// The engine's source registry.
+///
+/// Knowledge bases and image stores register alongside plain tables: their
+/// relational exports become scannable sources (`<name>` for the KB's
+/// label/category relation, `<name>.meta` / `<name>.detections` for image
+/// stores), which is how the engine realizes the paper's polystore view —
+/// one declarative surface over heterogeneous sources.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    stats: RwLock<HashMap<String, TableStats>>,
+    samples: RwLock<HashMap<(String, String), Vec<String>>>,
+    kbs: RwLock<HashMap<String, Arc<KnowledgeBase>>>,
+    image_stores: RwLock<HashMap<String, Arc<ImageStore>>>,
+    models: Arc<ModelRegistry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relational table, computing statistics and string
+    /// samples for the optimizer.
+    pub fn register_table(&self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        let stats = TableStats::compute(&table)?;
+        let mut samples = Vec::new();
+        for field in table.schema().fields() {
+            if field.data_type == cx_storage::DataType::Utf8 {
+                let col = table.column_by_name(&field.name)?;
+                let values = col.utf8_values()?;
+                let stride = ((values.len() / SAMPLE_CAP).max(1)) | 1;
+                let sample: Vec<String> =
+                    values.iter().step_by(stride).take(SAMPLE_CAP).cloned().collect();
+                samples.push(((name.clone(), field.name.clone()), sample));
+            }
+        }
+        self.stats.write().insert(name.clone(), stats);
+        let mut sample_map = self.samples.write();
+        for (key, sample) in samples {
+            sample_map.insert(key, sample);
+        }
+        self.tables.write().insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Registers a knowledge base; its `(label, category)` export becomes
+    /// the scannable relation `<name>`.
+    pub fn register_kb(&self, name: impl Into<String>, kb: KnowledgeBase) -> Result<()> {
+        let name = name.into();
+        let export = kb.label_category_table()?;
+        self.kbs.write().insert(name.clone(), Arc::new(kb));
+        self.register_table(name, export)
+    }
+
+    /// Registers an image store: `<name>.meta` (metadata only, no model
+    /// cost) and `<name>.detections` (runs `detector` over every image —
+    /// the expensive path whose placement the optimizer is meant to avoid
+    /// when a date filter exists; see the Figure 2 experiment).
+    pub fn register_images(
+        &self,
+        name: impl Into<String>,
+        store: ImageStore,
+        detector: &ObjectDetector,
+    ) -> Result<()> {
+        let name = name.into();
+        let meta = store.metadata_table()?;
+        let detections = detector.detections_table(store.images())?;
+        self.image_stores.write().insert(name.clone(), Arc::new(store));
+        self.register_table(format!("{name}.meta"), meta)?;
+        self.register_table(format!("{name}.detections"), detections)
+    }
+
+    /// Registers a representation model.
+    pub fn register_model(&self, model: Arc<dyn EmbeddingModel>) {
+        self.models.register(model);
+    }
+
+    /// Resolves a table.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(name).cloned()
+    }
+
+    /// Resolves a knowledge base.
+    pub fn kb(&self, name: &str) -> Option<Arc<KnowledgeBase>> {
+        self.kbs.read().get(name).cloned()
+    }
+
+    /// Resolves an image store.
+    pub fn images(&self, name: &str) -> Option<Arc<ImageStore>> {
+        self.image_stores.read().get(name).cloned()
+    }
+
+    /// The model registry.
+    pub fn models(&self) -> &Arc<ModelRegistry> {
+        &self.models
+    }
+
+    /// Statistics snapshot for the optimizer.
+    pub fn stats_snapshot(&self) -> HashMap<String, TableStats> {
+        self.stats.read().clone()
+    }
+
+    /// Sample snapshot for the optimizer.
+    pub fn samples_snapshot(&self) -> HashMap<(String, String), Vec<String>> {
+        self.samples.read().clone()
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of all tables (for the physical planner).
+    pub fn tables_snapshot(&self) -> HashMap<String, Arc<Table>> {
+        self.tables.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_storage::{Column, DataType, Field, Schema};
+    use cx_vision::{DetectorNoise, SyntheticImage};
+
+    fn table() -> Table {
+        Table::from_columns(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2]),
+                Column::from_strings(["a", "b"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_table_collects_stats_and_samples() {
+        let c = Catalog::new();
+        c.register_table("t", table()).unwrap();
+        assert!(c.table("t").is_some());
+        let stats = c.stats_snapshot();
+        assert_eq!(stats["t"].row_count, 2);
+        let samples = c.samples_snapshot();
+        assert_eq!(samples[&("t".to_string(), "name".to_string())].len(), 2);
+        assert!(!samples.contains_key(&("t".to_string(), "id".to_string())));
+    }
+
+    #[test]
+    fn register_kb_exposes_relation() {
+        let c = Catalog::new();
+        let mut kb = KnowledgeBase::new();
+        kb.assert_is_a("boots", "shoes");
+        c.register_kb("kb", kb).unwrap();
+        assert!(c.kb("kb").is_some());
+        let t = c.table("kb").unwrap();
+        assert_eq!(t.schema().names(), vec!["label", "category"]);
+    }
+
+    #[test]
+    fn register_images_exposes_meta_and_detections() {
+        let c = Catalog::new();
+        let mut store = ImageStore::new();
+        store.add(SyntheticImage {
+            id: 1,
+            date_taken: 1000,
+            source: "review".into(),
+            latent_objects: vec!["boots".into()],
+        });
+        let det = ObjectDetector::with_noise("d", 1, DetectorNoise { miss_rate: 0.0, spurious_rate: 0.0 });
+        c.register_images("imgs", store, &det).unwrap();
+        assert!(c.table("imgs.meta").is_some());
+        let d = c.table("imgs.detections").unwrap();
+        assert_eq!(d.num_rows(), 1);
+        assert_eq!(det.invocations(), 1);
+        assert_eq!(
+            c.table_names(),
+            vec!["imgs.detections".to_string(), "imgs.meta".to_string()]
+        );
+    }
+}

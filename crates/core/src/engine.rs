@@ -1,0 +1,386 @@
+//! The engine: statistics → optimization → physical planning → execution.
+
+use crate::catalog::Catalog;
+use crate::query::Query;
+use cx_embed::{EmbeddingCache, EmbeddingModel};
+use cx_exec::physical::display_physical;
+use cx_exec::{collect_table, PhysicalOperator};
+use cx_kb::KnowledgeBase;
+use cx_optimizer::{
+    create_physical_plan, estimate_cost, estimate_rows, Optimizer, OptimizerConfig,
+    OptimizerContext, PhysicalPlannerEnv,
+};
+use cx_storage::{Result, Schema, Table};
+use cx_vision::{ImageStore, ObjectDetector};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Optimizer feature switches (Figure 4's ladder toggles live here).
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { optimizer: OptimizerConfig::all() }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with every optimization disabled (the "first tool at
+    /// their disposal" baseline of Section V).
+    pub fn unoptimized() -> Self {
+        EngineConfig { optimizer: OptimizerConfig::none() }
+    }
+}
+
+/// The outcome of executing a query.
+pub struct QueryResult {
+    /// Materialized result rows.
+    pub table: Table,
+    /// Wall time of optimize + plan + execute.
+    pub elapsed: std::time::Duration,
+    /// Names of optimizer rules that fired.
+    pub rules_fired: Vec<String>,
+    /// Optimizer's row estimate for the result (plan-quality signal).
+    pub estimated_rows: f64,
+    /// Optimizer's cost estimate for the executed plan (abstract ns).
+    pub estimated_cost: f64,
+}
+
+/// The context-rich analytical engine.
+pub struct Engine {
+    catalog: Catalog,
+    config: EngineConfig,
+    /// Embedding caches shared across queries (model name → cache), so the
+    /// "prefetch/warm" state persists like a buffer pool would.
+    caches: RwLock<HashMap<String, Arc<EmbeddingCache>>>,
+}
+
+impl Engine {
+    /// An engine with `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            config,
+            caches: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Replaces the optimizer configuration (between experiment runs).
+    pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
+        self.config.optimizer = config;
+    }
+
+    /// Registers a relational table.
+    pub fn register_table(&self, name: impl Into<String>, table: Table) -> Result<()> {
+        self.catalog.register_table(name, table)
+    }
+
+    /// Registers a knowledge base (exported as relation `<name>`).
+    pub fn register_kb(&self, name: impl Into<String>, kb: KnowledgeBase) -> Result<()> {
+        self.catalog.register_kb(name, kb)
+    }
+
+    /// Registers an image store (`<name>.meta`, `<name>.detections`).
+    pub fn register_images(
+        &self,
+        name: impl Into<String>,
+        store: ImageStore,
+        detector: &ObjectDetector,
+    ) -> Result<()> {
+        self.catalog.register_images(name, store, detector)
+    }
+
+    /// Registers a representation model.
+    pub fn register_model(&self, model: Arc<dyn EmbeddingModel>) {
+        self.catalog.register_model(model);
+    }
+
+    /// Starts a query over table `name`.
+    pub fn table(&self, name: &str) -> Result<Query> {
+        let table = self
+            .catalog
+            .table(name)
+            .ok_or_else(|| cx_storage::Error::ColumnNotFound(format!("table {name}")))?;
+        let schema = Schema::new(table.schema().fields().to_vec());
+        Ok(Query::scan(name, schema))
+    }
+
+    /// The shared embedding cache for `model` (useful for prefetch
+    /// experiments and hit-rate inspection).
+    pub fn embedding_cache(&self, model: &str) -> Option<Arc<EmbeddingCache>> {
+        if let Some(c) = self.caches.read().get(model) {
+            return Some(c.clone());
+        }
+        let m = self.catalog.models().get(model)?;
+        let cache = Arc::new(EmbeddingCache::new(m));
+        self.caches.write().insert(model.to_string(), cache.clone());
+        Some(cache)
+    }
+
+    fn optimizer_context(&self) -> OptimizerContext {
+        let mut ctx = OptimizerContext::new(self.catalog.models().clone(), self.config.optimizer);
+        ctx.stats = self.catalog.stats_snapshot();
+        ctx.samples = self.catalog.samples_snapshot();
+        // Pre-seed shared caches so execution reuses optimizer sampling
+        // work and prior queries' embeddings.
+        for name in self.catalog.models().names() {
+            if let Some(cache) = self.embedding_cache(&name) {
+                ctx.caches.insert(name, cache);
+            }
+        }
+        ctx
+    }
+
+    fn planner_env(&self) -> PhysicalPlannerEnv {
+        let mut env = PhysicalPlannerEnv::new();
+        for (name, table) in self.catalog.tables_snapshot() {
+            env.register_table(name, table);
+        }
+        env
+    }
+
+    /// Optimizes and builds the physical plan without executing (returns
+    /// the operator tree plus the rule trace).
+    pub fn plan(&self, query: &Query) -> Result<(Arc<dyn PhysicalOperator>, Vec<String>)> {
+        let mut ctx = self.optimizer_context();
+        let optimizer = Optimizer::new(&ctx);
+        let (optimized, trace) = optimizer.optimize(query.plan(), &ctx);
+        let env = self.planner_env();
+        let physical = create_physical_plan(&optimized, &mut ctx, &env)?;
+        Ok((physical, trace))
+    }
+
+    /// Executes `query` end to end.
+    pub fn execute(&self, query: &Query) -> Result<QueryResult> {
+        let start = Instant::now();
+        let mut ctx = self.optimizer_context();
+        let optimizer = Optimizer::new(&ctx);
+        let (optimized, rules_fired) = optimizer.optimize(query.plan(), &ctx);
+        let estimated_rows = estimate_rows(&optimized, &ctx);
+        let estimated_cost = estimate_cost(&optimized, &ctx);
+        let env = self.planner_env();
+        let physical = create_physical_plan(&optimized, &mut ctx, &env)?;
+        let table = collect_table(physical.as_ref())?;
+        Ok(QueryResult {
+            table,
+            elapsed: start.elapsed(),
+            rules_fired,
+            estimated_rows,
+            estimated_cost,
+        })
+    }
+
+    /// EXPLAIN: the logical plan, the optimized plan with the rule trace,
+    /// estimates, and the physical operator tree.
+    pub fn explain(&self, query: &Query) -> Result<String> {
+        let mut ctx = self.optimizer_context();
+        let optimizer = Optimizer::new(&ctx);
+        let (optimized, trace) = optimizer.optimize(query.plan(), &ctx);
+        let rows = estimate_rows(&optimized, &ctx);
+        let cost = estimate_cost(&optimized, &ctx);
+        let env = self.planner_env();
+        let physical = create_physical_plan(&optimized, &mut ctx, &env)?;
+        let mut out = String::new();
+        out.push_str("== logical plan ==\n");
+        out.push_str(&query.plan().display_indent());
+        out.push_str("== optimized plan ==\n");
+        out.push_str(&optimized.display_indent());
+        out.push_str(&format!("rules fired: {}\n", trace.join(", ")));
+        out.push_str(&format!("estimated rows: {rows:.0}\n"));
+        out.push_str(&format!("estimated cost: {cost:.0}\n"));
+        out.push_str("== physical plan ==\n");
+        out.push_str(&display_physical(physical.as_ref()));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_embed::{ClusteredTextModel, HashNGramModel};
+    use cx_exec::logical::{AggFunc, AggSpec, JoinType};
+    use cx_expr::{col, lit};
+    use cx_storage::{Column, DataType, Field, Scalar};
+
+    fn engine_with_data() -> Engine {
+        let engine = Engine::new(EngineConfig::default());
+        let specs = cx_datagen::table1_clusters();
+        let space = Arc::new(cx_datagen::build_space(&specs, 64, 42));
+        engine.register_model(Arc::new(ClusteredTextModel::new("m", space, 7)));
+        engine.register_model(Arc::new(HashNGramModel::new(42)));
+        let products = Table::from_columns(
+            Schema::new(vec![
+                Field::new("product_id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4, 5]),
+                Column::from_strings(["boots", "parka", "kitten", "sneakers", "coat"]),
+                Column::from_f64(vec![30.0, 80.0, 10.0, 55.0, 25.0]),
+            ],
+        )
+        .unwrap();
+        engine.register_table("products", products).unwrap();
+
+        let mut kb = KnowledgeBase::new();
+        for item in ["boots", "sneakers", "oxfords"] {
+            kb.assert_is_a(item, "shoes");
+        }
+        for item in ["parka", "coat", "windbreaker"] {
+            kb.assert_is_a(item, "jacket");
+        }
+        kb.assert_is_a("shoes", "clothes");
+        kb.assert_is_a("jacket", "clothes");
+        kb.assert_is_a("kitten", "cat");
+        engine.register_kb("kb", kb).unwrap();
+        engine
+    }
+
+    #[test]
+    fn relational_query_roundtrip() {
+        let engine = engine_with_data();
+        let q = engine
+            .table("products")
+            .unwrap()
+            .filter(col("price").gt(lit(20.0)))
+            .sort(&[("price", false)])
+            .limit(2);
+        let result = engine.execute(&q).unwrap();
+        assert_eq!(result.table.num_rows(), 2);
+        assert_eq!(result.table.row(0).unwrap()[1], Scalar::from("parka"));
+    }
+
+    #[test]
+    fn semantic_filter_via_engine() {
+        let engine = engine_with_data();
+        let q = engine
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.75);
+        let result = engine.execute(&q).unwrap();
+        // kitten is not clothing.
+        assert_eq!(result.table.num_rows(), 4);
+    }
+
+    #[test]
+    fn motivating_semantic_join_with_pushdown() {
+        let engine = engine_with_data();
+        let kb = engine
+            .table("kb")
+            .unwrap()
+            .filter(col("category").eq(lit("clothes")));
+        let q = engine
+            .table("products")
+            .unwrap()
+            .semantic_join(kb, "name", "label", "m", 0.9)
+            .filter(col("price").gt(lit(20.0)));
+        let result = engine.execute(&q).unwrap();
+        assert!(result.rules_fired.iter().any(|r| r.contains("push_filter")));
+        // Matching rows all satisfy the predicate and are clothing items.
+        assert!(result.table.num_rows() >= 4);
+        let prices = result.table.column_by_name("price").unwrap();
+        for p in prices.f64_values().unwrap() {
+            assert!(*p > 20.0);
+        }
+    }
+
+    #[test]
+    fn explain_includes_all_sections() {
+        let engine = engine_with_data();
+        let q = engine
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.8)
+            .filter(col("price").gt(lit(20.0)));
+        let s = engine.explain(&q).unwrap();
+        assert!(s.contains("== logical plan =="));
+        assert!(s.contains("== optimized plan =="));
+        assert!(s.contains("== physical plan =="));
+        assert!(s.contains("rules fired:"));
+        // Pushdown moved the relational filter below the semantic one.
+        let opt_section = s.split("== optimized plan ==").nth(1).unwrap();
+        let filter_pos = opt_section.find("Filter: (price > 20)").unwrap();
+        let sem_pos = opt_section.find("SemanticFilter").unwrap();
+        assert!(sem_pos < filter_pos, "semantic filter should be above:\n{s}");
+    }
+
+    #[test]
+    fn aggregates_and_joins() {
+        let engine = engine_with_data();
+        let kb = engine.table("kb").unwrap();
+        let q = engine
+            .table("products")
+            .unwrap()
+            .join(kb, &[("name", "label")], JoinType::Inner)
+            .aggregate(
+                &["category"],
+                vec![
+                    AggSpec::count_star("n"),
+                    AggSpec::new(AggFunc::Avg, "price", "avg_price"),
+                ],
+            )
+            .sort(&[("category", true)]);
+        let result = engine.execute(&q).unwrap();
+        assert!(result.table.num_rows() >= 2);
+        assert_eq!(result.table.schema().names(), vec!["category", "n", "avg_price"]);
+    }
+
+    #[test]
+    fn unoptimized_config_still_correct() {
+        let mut engine = engine_with_data();
+        let build = |engine: &Engine| {
+            let kb = engine
+                .table("kb")
+                .unwrap()
+                .filter(col("category").eq(lit("clothes")));
+            engine
+                .table("products")
+                .unwrap()
+                .semantic_join(kb, "name", "label", "m", 0.9)
+                .filter(col("price").gt(lit(20.0)))
+        };
+        let optimized = engine.execute(&build(&engine)).unwrap();
+        engine.set_optimizer_config(OptimizerConfig::none());
+        let naive = engine.execute(&build(&engine)).unwrap();
+        assert!(naive.rules_fired.is_empty());
+        assert_eq!(optimized.table.num_rows(), naive.table.num_rows());
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let engine = Engine::new(EngineConfig::default());
+        assert!(engine.table("missing").is_err());
+    }
+
+    #[test]
+    fn cache_shared_across_queries() {
+        let engine = engine_with_data();
+        let q = engine
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.8);
+        engine.execute(&q).unwrap();
+        let cache = engine.embedding_cache("m").unwrap();
+        let after_first = cache.model().stats().invocations();
+        engine.execute(&q).unwrap();
+        // Second run reuses every embedding.
+        assert_eq!(cache.model().stats().invocations(), after_first);
+    }
+}

@@ -1,0 +1,183 @@
+//! Bridges optimized logical plans onto simulated hardware topologies.
+//!
+//! Section VI asks how to "provision these resources correctly, how to
+//! place, split, and schedule the execution". This module linearizes an
+//! optimized plan into operator resource profiles (flops/bytes derived
+//! from the cardinality and cost models) and runs the placement optimizer
+//! plus the execution simulator over a device topology — producing the
+//! estimated-vs-simulated comparison the Figure 5 experiment reports.
+
+use cx_exec::logical::LogicalPlan;
+use cx_hardware::placement::place_single_device;
+use cx_hardware::{place_pipeline, simulate_plan, OperatorClass, OperatorProfile, PlacementPlan, SimulationResult, Topology};
+use cx_optimizer::{estimate_rows, OptimizerContext};
+
+/// Estimated bytes per row (schema width proxy).
+fn row_bytes(plan: &LogicalPlan) -> u64 {
+    plan.schema().map(|s| s.len() as u64 * 16).unwrap_or(64)
+}
+
+/// Maps a plan node to its operator class and per-row flop weight.
+fn classify(plan: &LogicalPlan) -> (OperatorClass, f64) {
+    match plan {
+        LogicalPlan::Scan { .. } => (OperatorClass::Scan, 4.0),
+        LogicalPlan::Filter { .. } => (OperatorClass::Filter, 8.0),
+        LogicalPlan::Project { .. } => (OperatorClass::Filter, 4.0),
+        LogicalPlan::Join { .. } => (OperatorClass::HashJoin, 80.0),
+        LogicalPlan::CrossJoin { .. } => (OperatorClass::HashJoin, 200.0),
+        // Semantic operators: inference-dominated, flops per row covers the
+        // embedding (dim 100 MACs × subword fan-in) plus kernel work.
+        LogicalPlan::SemanticFilter { .. } => (OperatorClass::ModelInference, 60_000.0),
+        LogicalPlan::SemanticJoin { .. } => (OperatorClass::SimilaritySearch, 120_000.0),
+        LogicalPlan::SemanticGroupBy { .. } => (OperatorClass::SimilaritySearch, 90_000.0),
+        LogicalPlan::Aggregate { .. } => (OperatorClass::Aggregate, 40.0),
+        LogicalPlan::Sort { .. } => (OperatorClass::Sort, 60.0),
+        LogicalPlan::Limit { .. } | LogicalPlan::Distinct { .. } | LogicalPlan::Union { .. } => {
+            (OperatorClass::Scan, 2.0)
+        }
+    }
+}
+
+/// Linearizes `plan` into a bottom-up pipeline of operator profiles.
+///
+/// Bushy plans are flattened in post-order — a simplification (the
+/// simulator models a single execution lane), adequate for studying
+/// placement trade-offs.
+pub fn profile_pipeline(plan: &LogicalPlan, ctx: &OptimizerContext) -> Vec<OperatorProfile> {
+    let mut out = Vec::new();
+    walk(plan, ctx, &mut out);
+    out
+}
+
+fn walk(plan: &LogicalPlan, ctx: &OptimizerContext, out: &mut Vec<OperatorProfile>) {
+    for child in plan.children() {
+        walk(child, ctx, out);
+    }
+    let rows_out = estimate_rows(plan, ctx).max(1.0);
+    let rows_in: f64 = plan
+        .children()
+        .iter()
+        .map(|c| estimate_rows(c, ctx))
+        .sum::<f64>()
+        .max(1.0);
+    let (class, flops_per_row) = classify(plan);
+    out.push(OperatorProfile::new(
+        class,
+        rows_in * flops_per_row,
+        (rows_in as u64).saturating_mul(row_bytes(plan)),
+        (rows_out as u64).saturating_mul(row_bytes(plan)),
+    ));
+}
+
+/// The outcome of planning a query on a topology.
+#[derive(Debug, Clone)]
+pub struct HardwareReport {
+    /// Optimal heterogeneous placement.
+    pub placement: PlacementPlan,
+    /// Best single-device baseline.
+    pub single_device: Option<PlacementPlan>,
+    /// Simulated execution of the optimal placement.
+    pub simulated: SimulationResult,
+}
+
+impl HardwareReport {
+    /// Speedup of heterogeneous placement over the single-device baseline.
+    pub fn speedup_vs_single(&self) -> Option<f64> {
+        self.single_device
+            .as_ref()
+            .map(|s| s.total_ns / self.placement.total_ns)
+    }
+}
+
+/// Places the (optimized) `plan` onto `topology`; `None` when the pipeline
+/// cannot run there at all.
+pub fn plan_on_topology(
+    plan: &LogicalPlan,
+    ctx: &OptimizerContext,
+    topology: &Topology,
+    seed: u64,
+) -> Option<HardwareReport> {
+    let pipeline = profile_pipeline(plan, ctx);
+    let placement = place_pipeline(&pipeline, topology)?;
+    let single_device = place_single_device(&pipeline, topology);
+    let simulated = simulate_plan(&placement, topology, seed);
+    Some(HardwareReport { placement, single_device, simulated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_embed::ModelRegistry;
+    use cx_exec::logical::SemanticJoinSpec;
+    use cx_expr::{col, lit};
+    use cx_optimizer::OptimizerConfig;
+    use cx_storage::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn ctx() -> OptimizerContext {
+        OptimizerContext::new(Arc::new(ModelRegistry::new()), OptimizerConfig::all())
+    }
+
+    fn semantic_plan() -> LogicalPlan {
+        let products = LogicalPlan::Scan {
+            source: "p".into(),
+            schema: Arc::new(Schema::new(vec![
+                Field::new("name", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ])),
+        };
+        let kb = LogicalPlan::Scan {
+            source: "kb".into(),
+            schema: Arc::new(Schema::new(vec![Field::new("label", DataType::Utf8)])),
+        };
+        LogicalPlan::Filter {
+            predicate: col("price").gt(lit(20.0)),
+            input: Box::new(LogicalPlan::SemanticJoin {
+                left: Box::new(products),
+                right: Box::new(kb),
+                spec: SemanticJoinSpec {
+                    left_column: "name".into(),
+                    right_column: "label".into(),
+                    model: "m".into(),
+                    threshold: 0.9,
+                    score_column: "sim".into(),
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn pipeline_profile_covers_all_nodes() {
+        let c = ctx();
+        let plan = semantic_plan();
+        let pipeline = profile_pipeline(&plan, &c);
+        assert_eq!(pipeline.len(), plan.node_count());
+        // The semantic join stage dominates flops.
+        let max = pipeline
+            .iter()
+            .max_by(|a, b| a.flops.partial_cmp(&b.flops).unwrap())
+            .unwrap();
+        assert_eq!(max.class, OperatorClass::SimilaritySearch);
+    }
+
+    #[test]
+    fn heterogeneous_beats_cpu_only_for_semantic_plans() {
+        let c = ctx();
+        let plan = semantic_plan();
+        let cpu = plan_on_topology(&plan, &c, &Topology::cpu_only(), 1).unwrap();
+        let het = plan_on_topology(&plan, &c, &Topology::cpu_gpu_tpu(), 1).unwrap();
+        assert!(het.placement.total_ns <= cpu.placement.total_ns);
+        // Simulation stays near the estimate.
+        let rel = (het.simulated.total_ns - het.placement.total_ns).abs() / het.placement.total_ns;
+        assert!(rel < 0.15, "rel {rel}");
+    }
+
+    #[test]
+    fn speedup_reported() {
+        let c = ctx();
+        let plan = semantic_plan();
+        let het = plan_on_topology(&plan, &c, &Topology::cpu_gpu_tpu(), 1).unwrap();
+        let speedup = het.speedup_vs_single().unwrap();
+        assert!(speedup >= 1.0, "speedup {speedup}");
+    }
+}

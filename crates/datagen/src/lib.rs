@@ -1,0 +1,23 @@
+//! Deterministic workload generators for every experiment in the paper.
+//!
+//! * [`vocab`] — synonym-cluster vocabularies: the exact Table I clusters
+//!   plus scalable synthetic clusters of pronounceable words, and the
+//!   ground-truth membership maps experiments validate against,
+//! * [`corpus`] — Zipfian text corpora standing in for "10k strings taken
+//!   randomly from the Wikipedia dataset" (Figure 4),
+//! * [`shop`] — the online-shopping polystore of Figure 2: products,
+//!   users, transactions, a knowledge base, and a product-image store,
+//! * [`dirty`] — dirty-duplicate generation (synonyms, case variants,
+//!   typos) with ground truth for the consolidation experiment (Figure 3).
+//!
+//! Every generator is seeded and bit-for-bit reproducible.
+
+pub mod corpus;
+pub mod dirty;
+pub mod shop;
+pub mod vocab;
+
+pub use corpus::{generate_corpus, CorpusConfig};
+pub use dirty::{generate_dirty, DirtyConfig, DirtyDataset};
+pub use shop::{ShopConfig, ShopDataset};
+pub use vocab::{build_space, synthetic_clusters, table1_clusters, ClusterTruth};

@@ -1,0 +1,160 @@
+//! Memoizing embedding cache with prefetch.
+//!
+//! Semantic operators repeatedly embed the same strings (join keys repeat,
+//! group-by values repeat). The cache turns repeated inference into a hash
+//! lookup and exposes hit/miss counters so experiments can attribute
+//! speedups. Prefetching the working set before a join is exactly the
+//! "optimize the amount of data access by prefetching" rung of Figure 4.
+
+use crate::model::EmbeddingModel;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe memoization layer over an [`EmbeddingModel`].
+pub struct EmbeddingCache {
+    model: Arc<dyn EmbeddingModel>,
+    entries: RwLock<HashMap<String, Arc<Vec<f32>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EmbeddingCache {
+    /// Wraps `model` with an empty cache.
+    pub fn new(model: Arc<dyn EmbeddingModel>) -> Self {
+        EmbeddingCache {
+            model,
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<dyn EmbeddingModel> {
+        &self.model
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The embedding for `text`, computing and caching on first use.
+    pub fn get(&self, text: &str) -> Arc<Vec<f32>> {
+        if let Some(v) = self.entries.read().get(text) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(self.model.embed(text));
+        self.entries
+            .write()
+            .entry(text.to_string())
+            .or_insert_with(|| v.clone())
+            .clone()
+    }
+
+    /// Warms the cache for every distinct string in `texts`.
+    pub fn prefetch<S: AsRef<str>>(&self, texts: impl IntoIterator<Item = S>) {
+        for t in texts {
+            let t = t.as_ref();
+            if !self.entries.read().contains_key(t) {
+                let v = Arc::new(self.model.embed(t));
+                self.entries.write().entry(t.to_string()).or_insert(v);
+            }
+        }
+    }
+
+    /// Embeds a batch into a flat row-major matrix through the cache.
+    pub fn get_batch(&self, texts: &[&str]) -> Vec<f32> {
+        let dim = self.dim();
+        let mut out = vec![0.0f32; texts.len() * dim];
+        for (row, text) in out.chunks_exact_mut(dim).zip(texts) {
+            row.copy_from_slice(&self.get(text));
+        }
+        out
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops all entries and resets counters.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_ngram::HashNGramModel;
+
+    fn cache() -> EmbeddingCache {
+        EmbeddingCache::new(Arc::new(HashNGramModel::new(1)))
+    }
+
+    #[test]
+    fn caches_and_counts() {
+        let c = cache();
+        let a = c.get("dog");
+        let b = c.get("dog");
+        assert_eq!(a, b);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+        // The model was only invoked once.
+        assert_eq!(c.model().stats().invocations(), 1);
+    }
+
+    #[test]
+    fn prefetch_avoids_miss_counting() {
+        let c = cache();
+        c.prefetch(["a", "b", "a"]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.misses(), 0);
+        c.get("a");
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn batch_through_cache() {
+        let c = cache();
+        let out = c.get_batch(&["x", "y", "x"]);
+        assert_eq!(out.len(), 3 * c.dim());
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 1);
+        // Rows 0 and 2 are identical.
+        let dim = c.dim();
+        assert_eq!(out[0..dim], out[2 * dim..3 * dim]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let c = cache();
+        c.get("x");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Vector quantization: IEEE-754 half precision and symmetric int8.
+//!
+//! Section VI of the paper calls out "inference using hardware-enabled
+//! half-precision (or lower) floating point formats" as an optimization the
+//! engine must consider. This module provides the two standard reduced
+//! formats and their dot-product kernels; the kernel ladder bench measures
+//! their speed/recall trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Converts an `f32` to IEEE-754 binary16 bits (round-to-nearest-even),
+/// handling subnormals, infinities and NaN.
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let nan_bit = if frac != 0 { 0x200 } else { 0 };
+        return sign | 0x7C00 | nan_bit | ((frac >> 13) as u16 & 0x3FF);
+    }
+
+    // Re-bias: f32 bias 127 -> f16 bias 15.
+    let unbiased = exp - 127;
+    let new_exp = unbiased + 15;
+
+    if new_exp >= 0x1F {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if new_exp <= 0 {
+        // Subnormal or zero.
+        if new_exp < -10 {
+            return sign; // Rounds to zero.
+        }
+        let mantissa = frac | 0x80_0000; // implicit leading 1
+        let shift = 14 - new_exp;
+        let half = 1u32 << (shift - 1);
+        let rounded = (mantissa + half) >> shift;
+        return sign | rounded as u16;
+    }
+
+    // Normal case with round-to-nearest-even on the dropped 13 bits.
+    let mut out = ((new_exp as u32) << 10) | (frac >> 13);
+    let round_bits = frac & 0x1FFF;
+    if round_bits > 0x1000 || (round_bits == 0x1000 && (out & 1) == 1) {
+        out += 1; // may carry into exponent, which is correct behaviour
+    }
+    sign | out as u16
+}
+
+/// Converts IEEE-754 binary16 bits to `f32`.
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let frac = (bits & 0x3FF) as u32;
+
+    let out = if exp == 0 {
+        if frac == 0 {
+            sign // +-0
+        } else {
+            // Subnormal: normalize.
+            let mut e = 0i32;
+            let mut f = frac;
+            while f & 0x400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            let f = f & 0x3FF;
+            sign | (((e + 113) as u32) << 23) | (f << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (frac << 13) // Inf / NaN
+    } else {
+        sign | ((exp + 112) << 23) | (frac << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// A vector quantized to one of the reduced formats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantizedVector {
+    /// IEEE binary16 payloads.
+    F16(Vec<u16>),
+    /// Symmetric int8: `value ≈ data[i] * scale`.
+    Int8 { data: Vec<i8>, scale: f32 },
+}
+
+impl QuantizedVector {
+    /// Quantizes to f16.
+    pub fn to_f16(v: &[f32]) -> Self {
+        QuantizedVector::F16(v.iter().map(|&x| f32_to_f16(x)).collect())
+    }
+
+    /// Quantizes to symmetric int8 (scale = max|x| / 127).
+    pub fn to_int8(v: &[f32]) -> Self {
+        let max_abs = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let data = v
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedVector::Int8 { data, scale }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        match self {
+            QuantizedVector::F16(d) => d.len(),
+            QuantizedVector::Int8 { data, .. } => data.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of storage per vector (the compression the paper's data
+    /// movement discussion cares about).
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            QuantizedVector::F16(d) => d.len() * 2,
+            QuantizedVector::Int8 { data, .. } => data.len() + 4,
+        }
+    }
+
+    /// Dequantizes back to f32.
+    pub fn dequantize(&self) -> Vec<f32> {
+        match self {
+            QuantizedVector::F16(d) => d.iter().map(|&b| f16_to_f32(b)).collect(),
+            QuantizedVector::Int8 { data, scale } => {
+                data.iter().map(|&x| x as f32 * scale).collect()
+            }
+        }
+    }
+
+    /// Approximate dot product with an f32 query.
+    pub fn dot(&self, query: &[f32]) -> f32 {
+        match self {
+            QuantizedVector::F16(d) => d
+                .iter()
+                .zip(query)
+                .map(|(&b, &q)| f16_to_f32(b) * q)
+                .sum(),
+            QuantizedVector::Int8 { data, scale } => {
+                let s: f32 = data.iter().zip(query).map(|(&x, &q)| x as f32 * q).sum();
+                s * scale
+            }
+        }
+    }
+}
+
+/// Dot product between two int8 vectors with scales (integer accumulate,
+/// the kernel shape TPU-class hardware runs natively).
+pub fn dot_int8(a: &[i8], a_scale: f32, b: &[i8], b_scale: f32) -> f32 {
+    let acc: i32 = a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum();
+    acc as f32 * a_scale * b_scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_relative_error() {
+        let mut x = 1e-3f32;
+        while x < 1e3 {
+            let rt = f16_to_f32(f32_to_f16(x));
+            let rel = ((rt - x) / x).abs();
+            assert!(rel < 1e-3, "x={x} rt={rt} rel={rel}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn f16_specials() {
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Overflow saturates to infinity.
+        assert_eq!(f16_to_f32(f32_to_f16(1e6)), f32::INFINITY);
+        // Tiny values flush toward zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e-10)), 0.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let smallest_normal = 6.104e-5f32;
+        let sub = 3.1e-5f32;
+        let rt = f16_to_f32(f32_to_f16(sub));
+        assert!((rt - sub).abs() / sub < 0.01, "sub {sub} -> {rt}");
+        let rt = f16_to_f32(f32_to_f16(smallest_normal));
+        assert!((rt - smallest_normal).abs() / smallest_normal < 1e-3);
+    }
+
+    #[test]
+    fn int8_quantization_error_bounded() {
+        let v: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.37).sin() * 0.2).collect();
+        let q = QuantizedVector::to_int8(&v);
+        let back = q.dequantize();
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() <= 0.2 / 127.0 + 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(q.storage_bytes(), 104);
+    }
+
+    #[test]
+    fn quantized_dot_close_to_exact() {
+        let a: Vec<f32> = (0..100).map(|i| ((i * 7 % 13) as f32 - 6.0) / 20.0).collect();
+        let b: Vec<f32> = (0..100).map(|i| ((i * 5 % 11) as f32 - 5.0) / 20.0).collect();
+        let exact: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let f16 = QuantizedVector::to_f16(&a).dot(&b);
+        let i8v = QuantizedVector::to_int8(&a).dot(&b);
+        assert!((exact - f16).abs() < 0.01, "f16 {f16} vs {exact}");
+        assert!((exact - i8v).abs() < 0.02, "int8 {i8v} vs {exact}");
+    }
+
+    #[test]
+    fn int8_pair_dot() {
+        let a: Vec<f32> = vec![0.1, -0.2, 0.3];
+        let b: Vec<f32> = vec![0.3, 0.2, -0.1];
+        let (qa, qb) = (QuantizedVector::to_int8(&a), QuantizedVector::to_int8(&b));
+        let (QuantizedVector::Int8 { data: da, scale: sa }, QuantizedVector::Int8 { data: db, scale: sb }) =
+            (&qa, &qb)
+        else {
+            panic!("expected int8");
+        };
+        let exact: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let approx = dot_int8(da, *sa, db, *sb);
+        assert!((exact - approx).abs() < 0.01, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn zero_vector_int8() {
+        let q = QuantizedVector::to_int8(&[0.0, 0.0]);
+        assert_eq!(q.dequantize(), vec![0.0, 0.0]);
+        assert_eq!(q.dot(&[1.0, 1.0]), 0.0);
+    }
+}

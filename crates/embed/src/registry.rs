@@ -1,0 +1,77 @@
+//! Model registry: name → model resolution for the engine catalog.
+
+use crate::model::EmbeddingModel;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of named embedding models.
+///
+/// Queries reference models by name (`semantic_filter("name", "clothes",
+/// "fasttext-like", 0.9)`); the engine resolves them here at planning time.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<dyn EmbeddingModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `model` under its own name; replaces any previous model
+    /// with that name and returns it.
+    pub fn register(&self, model: Arc<dyn EmbeddingModel>) -> Option<Arc<dyn EmbeddingModel>> {
+        self.models.write().insert(model.name().to_string(), model)
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn EmbeddingModel>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_ngram::HashNGramModel;
+
+    #[test]
+    fn register_and_resolve() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let m = Arc::new(HashNGramModel::with_params("m1", 16, 1, 3, 4, 1024));
+        assert!(reg.register(m).is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("m1").is_some());
+        assert!(reg.get("m2").is_none());
+        assert_eq!(reg.names(), vec!["m1"]);
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let reg = ModelRegistry::new();
+        reg.register(Arc::new(HashNGramModel::with_params("m", 8, 1, 3, 3, 64)));
+        let prev = reg.register(Arc::new(HashNGramModel::with_params("m", 8, 2, 3, 3, 64)));
+        assert!(prev.is_some());
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Relational substrate: logical plans and vectorized physical execution.
+//!
+//! The paper's position is that context-rich (model-assisted) operators must
+//! live *inside* a conventional analytical engine so they benefit from the
+//! same logical/physical optimizations. This crate is that engine:
+//!
+//! * [`logical`] — the logical plan algebra. It contains both classic
+//!   relational nodes (scan/filter/project/join/aggregate/…) and the
+//!   paper's three semantic operator nodes (semantic select / join /
+//!   group-by, Section IV), so one optimizer rewrites both families,
+//! * [`physical`] — the operator trait and chunk-at-a-time executor,
+//! * [`operators`] — relational physical operators (scan, filter, project,
+//!   hash join, nested-loop join, hash aggregate, sort, limit, distinct,
+//!   union),
+//! * [`parallel`] — morsel-style parallel chunk processing on crossbeam
+//!   scoped threads (the "scale-up" rung of Figure 4),
+//! * [`metrics`] — per-operator row/time counters for EXPLAIN ANALYZE-style
+//!   reporting.
+
+pub mod logical;
+pub mod metrics;
+pub mod operators;
+pub mod parallel;
+pub mod physical;
+
+pub use logical::{AggFunc, AggSpec, JoinType, LogicalPlan, SemanticJoinSpec};
+pub use metrics::{ExecMetrics, OperatorMetrics};
+pub use operators::{
+    scalar_cmp, Accumulator,
+    DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec,
+    ProjectExec, SortExec, TableScanExec, UnionExec,
+};
+pub use parallel::parallel_map_chunks;
+pub use physical::{collect, collect_table, ChunkStream, PhysicalOperator};

@@ -1,0 +1,612 @@
+//! The logical plan algebra: relational and semantic operators in one tree.
+//!
+//! Keeping the paper's semantic operators (Section IV) as first-class plan
+//! nodes — rather than opaque UDFs — is what lets the optimizer push
+//! filters through them, reorder joins around them, and cost them like any
+//! relational operator.
+
+use cx_expr::Expr;
+use cx_storage::{DataType, Error, Field, Result, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Join variants supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinType {
+    Inner,
+    /// Left outer: unmatched left rows padded with NULLs.
+    Left,
+    /// Left semi: left rows with at least one match, emitted once.
+    LeftSemi,
+    /// Left anti: left rows with no match.
+    LeftAnti,
+}
+
+impl fmt::Display for JoinType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinType::Inner => "INNER",
+            JoinType::Left => "LEFT",
+            JoinType::LeftSemi => "SEMI",
+            JoinType::LeftAnti => "ANTI",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate in an [`LogicalPlan::Aggregate`] or semantic group-by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Input column (`None` only for `CountStar`).
+    pub column: Option<String>,
+    /// Output field name.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `COUNT(*) AS alias`.
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        AggSpec { func: AggFunc::CountStar, column: None, alias: alias.into() }
+    }
+
+    /// `func(column) AS alias`.
+    pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggSpec { func, column: Some(column.into()), alias: alias.into() }
+    }
+
+    /// The output field this aggregate produces given the input schema.
+    pub fn output_field(&self, input: &Schema) -> Result<Field> {
+        let data_type = match (self.func, &self.column) {
+            (AggFunc::CountStar, _) | (AggFunc::Count, _) => DataType::Int64,
+            (AggFunc::Avg, Some(_)) => DataType::Float64,
+            (AggFunc::Sum, Some(col)) => {
+                let t = input.field(col)?.data_type;
+                if t == DataType::Int64 {
+                    DataType::Int64
+                } else {
+                    DataType::Float64
+                }
+            }
+            (AggFunc::Min | AggFunc::Max, Some(col)) => input.field(col)?.data_type,
+            (_, None) => {
+                return Err(Error::InvalidArgument(format!(
+                    "{} requires an input column",
+                    self.func
+                )))
+            }
+        };
+        Ok(Field::new(self.alias.clone(), data_type))
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.func, &self.column) {
+            (AggFunc::CountStar, _) => write!(f, "COUNT(*) AS {}", self.alias),
+            (func, Some(col)) => write!(f, "{func}({col}) AS {}", self.alias),
+            (func, None) => write!(f, "{func}(?) AS {}", self.alias),
+        }
+    }
+}
+
+/// Parameters of a semantic join: match rows whose key embeddings are
+/// within `threshold` cosine similarity under `model`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemanticJoinSpec {
+    pub left_column: String,
+    pub right_column: String,
+    /// Model name resolved through the engine's model registry.
+    pub model: String,
+    pub threshold: f32,
+    /// Name of the appended similarity score column.
+    pub score_column: String,
+}
+
+/// A sort key: column plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortKey {
+    pub column: String,
+    pub ascending: bool,
+}
+
+/// The logical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base relation scan. The schema is captured at plan-build time from
+    /// the catalog.
+    Scan { source: String, schema: Arc<Schema> },
+    /// Row filter.
+    Filter { predicate: Expr, input: Box<LogicalPlan> },
+    /// Projection / computed columns.
+    Project {
+        exprs: Vec<(Expr, String)>,
+        input: Box<LogicalPlan>,
+    },
+    /// Equi-join on column name pairs.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        on: Vec<(String, String)>,
+        join_type: JoinType,
+    },
+    /// Cartesian product (theta joins = CrossJoin + Filter).
+    CrossJoin {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Semantic select (Section IV): keep rows whose `column` embedding is
+    /// within `threshold` cosine of `target`'s embedding under `model`.
+    SemanticFilter {
+        input: Box<LogicalPlan>,
+        column: String,
+        target: String,
+        model: String,
+        threshold: f32,
+    },
+    /// Semantic join (Section IV): embedding-space threshold join.
+    SemanticJoin {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        spec: SemanticJoinSpec,
+    },
+    /// Semantic group-by (Section IV): on-the-fly clustering of `column`
+    /// by model similarity, with aggregates per cluster.
+    SemanticGroupBy {
+        input: Box<LogicalPlan>,
+        column: String,
+        model: String,
+        threshold: f32,
+        aggs: Vec<AggSpec>,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Total sort.
+    Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
+    /// First `n` rows.
+    Limit { input: Box<LogicalPlan>, n: usize },
+    /// Duplicate elimination over all columns.
+    Distinct { input: Box<LogicalPlan> },
+    /// Concatenation of same-schema inputs.
+    Union { inputs: Vec<LogicalPlan> },
+}
+
+impl LogicalPlan {
+    /// The output schema of this plan node.
+    pub fn schema(&self) -> Result<Schema> {
+        match self {
+            LogicalPlan::Scan { schema, .. } => Ok((**schema).clone()),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Distinct { input } => input.schema(),
+            LogicalPlan::Project { exprs, input } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (expr, name) in exprs {
+                    let bound = expr.bind(&in_schema)?;
+                    let data_type = bound.data_type().unwrap_or(DataType::Bool);
+                    fields.push(Field::new(name.clone(), data_type));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Join { left, right, join_type, .. } => {
+                let l = left.schema()?;
+                match join_type {
+                    JoinType::LeftSemi | JoinType::LeftAnti => Ok(l),
+                    JoinType::Inner => Ok(l.join(&right.schema()?)),
+                    JoinType::Left => {
+                        // Right-side fields become nullable.
+                        let r = right.schema()?;
+                        let nullable = Schema::new(
+                            r.fields()
+                                .iter()
+                                .map(|f| Field::new(f.name.clone(), f.data_type))
+                                .collect(),
+                        );
+                        Ok(l.join(&nullable))
+                    }
+                }
+            }
+            LogicalPlan::CrossJoin { left, right } => Ok(left.schema()?.join(&right.schema()?)),
+            LogicalPlan::SemanticFilter { input, .. } => input.schema(),
+            LogicalPlan::SemanticJoin { left, right, spec } => {
+                let mut joined = left.schema()?.join(&right.schema()?);
+                joined = joined.with_field(Field::new(spec.score_column.clone(), DataType::Float64));
+                Ok(joined)
+            }
+            LogicalPlan::SemanticGroupBy { input, column, aggs, .. } => {
+                let in_schema = input.schema()?;
+                let key_type = in_schema.field(column)?.data_type;
+                let mut fields = vec![
+                    Field::new(column.clone(), key_type),
+                    Field::new("cluster_id", DataType::Int64),
+                ];
+                for agg in aggs {
+                    fields.push(agg.output_field(&in_schema)?);
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+                for name in group_by {
+                    fields.push(in_schema.field(name)?.clone());
+                }
+                for agg in aggs {
+                    fields.push(agg.output_field(&in_schema)?);
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Union { inputs } => inputs
+                .first()
+                .ok_or_else(|| Error::InvalidArgument("UNION of zero inputs".into()))?
+                .schema(),
+        }
+    }
+
+    /// Immediate child plans.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::SemanticFilter { input, .. }
+            | LogicalPlan::SemanticGroupBy { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => vec![input],
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::CrossJoin { left, right }
+            | LogicalPlan::SemanticJoin { left, right, .. } => vec![left, right],
+            LogicalPlan::Union { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    /// Rebuilds this node with new children (same arity required).
+    pub fn with_children(&self, mut children: Vec<LogicalPlan>) -> Result<LogicalPlan> {
+        let expected = self.children().len();
+        if children.len() != expected {
+            return Err(Error::InvalidArgument(format!(
+                "with_children: expected {expected} children, got {}",
+                children.len()
+            )));
+        }
+        let mut next = || Box::new(children.remove(0));
+        Ok(match self {
+            LogicalPlan::Scan { .. } => self.clone(),
+            LogicalPlan::Filter { predicate, .. } => LogicalPlan::Filter {
+                predicate: predicate.clone(),
+                input: next(),
+            },
+            LogicalPlan::Project { exprs, .. } => LogicalPlan::Project {
+                exprs: exprs.clone(),
+                input: next(),
+            },
+            LogicalPlan::Join { on, join_type, .. } => LogicalPlan::Join {
+                left: next(),
+                right: next(),
+                on: on.clone(),
+                join_type: *join_type,
+            },
+            LogicalPlan::CrossJoin { .. } => LogicalPlan::CrossJoin { left: next(), right: next() },
+            LogicalPlan::SemanticFilter { column, target, model, threshold, .. } => {
+                LogicalPlan::SemanticFilter {
+                    input: next(),
+                    column: column.clone(),
+                    target: target.clone(),
+                    model: model.clone(),
+                    threshold: *threshold,
+                }
+            }
+            LogicalPlan::SemanticJoin { spec, .. } => LogicalPlan::SemanticJoin {
+                left: next(),
+                right: next(),
+                spec: spec.clone(),
+            },
+            LogicalPlan::SemanticGroupBy { column, model, threshold, aggs, .. } => {
+                LogicalPlan::SemanticGroupBy {
+                    input: next(),
+                    column: column.clone(),
+                    model: model.clone(),
+                    threshold: *threshold,
+                    aggs: aggs.clone(),
+                }
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => LogicalPlan::Aggregate {
+                input: next(),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort { input: next(), keys: keys.clone() },
+            LogicalPlan::Limit { n, .. } => LogicalPlan::Limit { input: next(), n: *n },
+            LogicalPlan::Distinct { .. } => LogicalPlan::Distinct { input: next() },
+            LogicalPlan::Union { .. } => LogicalPlan::Union {
+                inputs: std::mem::take(&mut children),
+            },
+        })
+    }
+
+    /// One-line description of this node (children excluded).
+    pub fn describe(&self) -> String {
+        match self {
+            LogicalPlan::Scan { source, schema } => {
+                format!("Scan: {source} [{} cols]", schema.len())
+            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            LogicalPlan::Project { exprs, .. } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, n)| {
+                        let es = e.to_string();
+                        if &es == n {
+                            es
+                        } else {
+                            format!("{es} AS {n}")
+                        }
+                    })
+                    .collect();
+                format!("Project: {}", cols.join(", "))
+            }
+            LogicalPlan::Join { on, join_type, .. } => {
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                format!("{join_type} Join: {}", keys.join(" AND "))
+            }
+            LogicalPlan::CrossJoin { .. } => "CrossJoin".to_string(),
+            LogicalPlan::SemanticFilter { column, target, model, threshold, .. } => format!(
+                "SemanticFilter: {column} ~ '{target}' (model={model}, cos>={threshold})"
+            ),
+            LogicalPlan::SemanticJoin { spec, .. } => format!(
+                "SemanticJoin: {} ~ {} (model={}, cos>={})",
+                spec.left_column, spec.right_column, spec.model, spec.threshold
+            ),
+            LogicalPlan::SemanticGroupBy { column, model, threshold, aggs, .. } => {
+                let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                format!(
+                    "SemanticGroupBy: {column} (model={model}, cos>={threshold}) [{}]",
+                    aggs.join(", ")
+                )
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                format!("Aggregate: group by [{}] [{}]", group_by.join(", "), aggs.join(", "))
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.column, if k.ascending { "" } else { " DESC" }))
+                    .collect();
+                format!("Sort: {}", keys.join(", "))
+            }
+            LogicalPlan::Limit { n, .. } => format!("Limit: {n}"),
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::Union { inputs } => format!("Union: {} inputs", inputs.len()),
+        }
+    }
+
+    /// Multi-line indented plan rendering (EXPLAIN).
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.describe());
+        out.push('\n');
+        for child in self.children() {
+            child.fmt_indent(out, depth + 1);
+        }
+    }
+
+    /// Number of nodes in the plan tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_indent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_expr::{col, lit};
+
+    fn scan(name: &str, fields: Vec<Field>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            source: name.to_string(),
+            schema: Arc::new(Schema::new(fields)),
+        }
+    }
+
+    fn products() -> LogicalPlan {
+        scan(
+            "products",
+            vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ],
+        )
+    }
+
+    fn labels() -> LogicalPlan {
+        scan(
+            "labels",
+            vec![
+                Field::new("label", DataType::Utf8),
+                Field::new("category", DataType::Utf8),
+            ],
+        )
+    }
+
+    #[test]
+    fn filter_preserves_schema() {
+        let plan = LogicalPlan::Filter {
+            predicate: col("price").gt(lit(20.0)),
+            input: Box::new(products()),
+        };
+        assert_eq!(plan.schema().unwrap().names(), vec!["id", "name", "price"]);
+    }
+
+    #[test]
+    fn project_infers_types() {
+        let plan = LogicalPlan::Project {
+            exprs: vec![
+                (col("price").mul(lit(2.0)), "double_price".to_string()),
+                (col("name"), "name".to_string()),
+            ],
+            input: Box::new(products()),
+        };
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.field("double_price").unwrap().data_type, DataType::Float64);
+        assert_eq!(schema.field("name").unwrap().data_type, DataType::Utf8);
+    }
+
+    #[test]
+    fn join_schema_variants() {
+        let join = |jt| LogicalPlan::Join {
+            left: Box::new(products()),
+            right: Box::new(labels()),
+            on: vec![("name".into(), "label".into())],
+            join_type: jt,
+        };
+        assert_eq!(join(JoinType::Inner).schema().unwrap().len(), 5);
+        assert_eq!(join(JoinType::Left).schema().unwrap().len(), 5);
+        assert_eq!(join(JoinType::LeftSemi).schema().unwrap().len(), 3);
+        assert_eq!(join(JoinType::LeftAnti).schema().unwrap().names(), vec!["id", "name", "price"]);
+    }
+
+    #[test]
+    fn semantic_join_appends_score() {
+        let plan = LogicalPlan::SemanticJoin {
+            left: Box::new(products()),
+            right: Box::new(labels()),
+            spec: SemanticJoinSpec {
+                left_column: "name".into(),
+                right_column: "label".into(),
+                model: "m".into(),
+                threshold: 0.9,
+                score_column: "sim".into(),
+            },
+        };
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.len(), 6);
+        assert_eq!(schema.field("sim").unwrap().data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(products()),
+            group_by: vec!["name".into()],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, "price", "total"),
+                AggSpec::new(AggFunc::Avg, "price", "avg_price"),
+                AggSpec::new(AggFunc::Max, "id", "max_id"),
+            ],
+        };
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.names(), vec!["name", "n", "total", "avg_price", "max_id"]);
+        assert_eq!(schema.field("n").unwrap().data_type, DataType::Int64);
+        assert_eq!(schema.field("total").unwrap().data_type, DataType::Float64);
+        assert_eq!(schema.field("max_id").unwrap().data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn semantic_group_by_schema() {
+        let plan = LogicalPlan::SemanticGroupBy {
+            input: Box::new(products()),
+            column: "name".into(),
+            model: "m".into(),
+            threshold: 0.85,
+            aggs: vec![AggSpec::count_star("members")],
+        };
+        assert_eq!(
+            plan.schema().unwrap().names(),
+            vec!["name", "cluster_id", "members"]
+        );
+    }
+
+    #[test]
+    fn with_children_roundtrip() {
+        let plan = LogicalPlan::Filter {
+            predicate: col("price").gt(lit(1.0)),
+            input: Box::new(products()),
+        };
+        let rebuilt = plan.with_children(vec![products()]).unwrap();
+        assert_eq!(rebuilt, plan);
+        assert!(plan.with_children(vec![]).is_err());
+    }
+
+    #[test]
+    fn display_tree() {
+        let plan = LogicalPlan::Limit {
+            n: 10,
+            input: Box::new(LogicalPlan::Filter {
+                predicate: col("price").gt(lit(20.0)),
+                input: Box::new(products()),
+            }),
+        };
+        let s = plan.display_indent();
+        assert!(s.contains("Limit: 10"));
+        assert!(s.contains("  Filter: (price > 20)"));
+        assert!(s.contains("    Scan: products"));
+        assert_eq!(plan.node_count(), 3);
+    }
+
+    #[test]
+    fn agg_spec_validation() {
+        let bad = AggSpec { func: AggFunc::Sum, column: None, alias: "x".into() };
+        assert!(bad.output_field(&products().schema().unwrap()).is_err());
+        let missing = AggSpec::new(AggFunc::Sum, "nope", "x");
+        assert!(missing.output_field(&products().schema().unwrap()).is_err());
+    }
+
+    #[test]
+    fn union_schema() {
+        let u = LogicalPlan::Union { inputs: vec![products(), products()] };
+        assert_eq!(u.schema().unwrap().len(), 3);
+        let empty = LogicalPlan::Union { inputs: vec![] };
+        assert!(empty.schema().is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-operator execution metrics (EXPLAIN ANALYZE-style reporting).
+
+use crate::physical::{ChunkStream, PhysicalOperator};
+use cx_storage::{Result, Schema};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters for one operator.
+#[derive(Debug, Default)]
+pub struct OperatorMetrics {
+    rows_out: AtomicU64,
+    chunks_out: AtomicU64,
+    elapsed_ns: AtomicU64,
+    executions: AtomicU64,
+}
+
+impl OperatorMetrics {
+    /// Rows emitted.
+    pub fn rows_out(&self) -> u64 {
+        self.rows_out.load(Ordering::Relaxed)
+    }
+
+    /// Chunks emitted.
+    pub fn chunks_out(&self) -> u64 {
+        self.chunks_out.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent producing output, in nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of `execute()` calls.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of operator metrics keyed by operator label.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    operators: RwLock<BTreeMap<String, Arc<OperatorMetrics>>>,
+}
+
+impl ExecMetrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics handle for `label`, created on first use.
+    pub fn handle(&self, label: &str) -> Arc<OperatorMetrics> {
+        if let Some(m) = self.operators.read().get(label) {
+            return m.clone();
+        }
+        self.operators
+            .write()
+            .entry(label.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Snapshot of `(label, rows_out, elapsed_ns)` sorted by label.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        self.operators
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.rows_out(), v.elapsed_ns()))
+            .collect()
+    }
+
+    /// Human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("operator | rows_out | time_ms\n");
+        for (label, rows, ns) in self.snapshot() {
+            out.push_str(&format!("{label} | {rows} | {:.3}\n", ns as f64 / 1e6));
+        }
+        out
+    }
+}
+
+/// Wraps an operator, recording produced rows and wall time into a shared
+/// [`OperatorMetrics`].
+pub struct InstrumentedExec {
+    inner: Arc<dyn PhysicalOperator>,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl InstrumentedExec {
+    /// Instruments `inner`, registering under its `name()` in `registry`.
+    pub fn new(inner: Arc<dyn PhysicalOperator>, registry: &ExecMetrics) -> Self {
+        let metrics = registry.handle(&inner.name());
+        InstrumentedExec { inner, metrics }
+    }
+}
+
+impl PhysicalOperator for InstrumentedExec {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
+        self.inner.children()
+    }
+
+    fn execute(&self) -> Result<ChunkStream> {
+        self.metrics.executions.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let stream = self.inner.execute()?;
+        // Setup cost (eager operators do all work here) is charged upfront.
+        self.metrics
+            .elapsed_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let metrics = self.metrics.clone();
+        Ok(Box::new(stream.map(move |chunk| {
+            let t = Instant::now();
+            let chunk = chunk?;
+            metrics.rows_out.fetch_add(chunk.num_rows() as u64, Ordering::Relaxed);
+            metrics.chunks_out.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .elapsed_ns
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            Ok(chunk)
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::TableScanExec;
+    use crate::physical::collect_table;
+    use cx_storage::{Column, Field, Table};
+
+    fn scan() -> Arc<dyn PhysicalOperator> {
+        let table = Table::from_columns(
+            Schema::new(vec![Field::new("x", cx_storage::DataType::Int64)]),
+            vec![Column::from_i64((0..100).collect())],
+        )
+        .unwrap();
+        Arc::new(TableScanExec::new(Arc::new(table)))
+    }
+
+    #[test]
+    fn instrumented_counts_rows() {
+        let registry = ExecMetrics::new();
+        let op = InstrumentedExec::new(scan(), &registry);
+        collect_table(&op).unwrap();
+        let m = registry.handle(&op.name());
+        assert_eq!(m.rows_out(), 100);
+        assert_eq!(m.chunks_out(), 1);
+        assert_eq!(m.executions(), 1);
+        // Second execution accumulates.
+        collect_table(&op).unwrap();
+        assert_eq!(m.rows_out(), 200);
+        assert_eq!(m.executions(), 2);
+    }
+
+    #[test]
+    fn report_contains_labels() {
+        let registry = ExecMetrics::new();
+        let op = InstrumentedExec::new(scan(), &registry);
+        collect_table(&op).unwrap();
+        let report = registry.report();
+        assert!(report.contains("TableScan"));
+        assert!(report.contains("100"));
+    }
+
+    #[test]
+    fn handle_is_shared() {
+        let registry = ExecMetrics::new();
+        let a = registry.handle("op");
+        let b = registry.handle("op");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.snapshot().len(), 1);
+    }
+}

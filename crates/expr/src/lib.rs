@@ -1,0 +1,31 @@
+//! Scalar expressions for the context-rich analytical engine.
+//!
+//! Expressions are written against column *names* ([`Expr`]), bound against a
+//! concrete [`cx_storage::Schema`] into index-resolved [`BoundExpr`]s, and
+//! evaluated vectorized over [`cx_storage::Chunk`]s.
+//!
+//! ```
+//! use cx_expr::{col, lit};
+//! use cx_storage::{Chunk, Column, Field, Schema, DataType};
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(Schema::new(vec![Field::new("price", DataType::Float64)]));
+//! let chunk = Chunk::new(schema.clone(), vec![Column::from_f64(vec![5.0, 25.0])]).unwrap();
+//!
+//! let pred = col("price").gt(lit(20.0));
+//! let bound = pred.bind(&schema).unwrap();
+//! let mask = cx_expr::eval_predicate(&bound, &chunk).unwrap();
+//! assert_eq!(mask.set_indices(), vec![1]);
+//! ```
+
+pub mod bind;
+pub mod eval;
+pub mod expr;
+pub mod fold;
+pub mod selectivity;
+
+pub use bind::BoundExpr;
+pub use eval::{eval, eval_predicate};
+pub use expr::{col, lit, BinOp, Expr};
+pub use fold::fold_constants;
+pub use selectivity::estimate_selectivity;

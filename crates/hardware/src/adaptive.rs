@@ -1,0 +1,158 @@
+//! Adaptive operator-variant selection (JIT-style specialization).
+//!
+//! "Just-in-time code generation allows this to be specified as late as
+//! query runtime" (Section VI). Full LLVM-style codegen is out of scope;
+//! what the engine *needs* from JIT is the decision: among semantically
+//! equivalent operator variants (scalar vs unrolled kernel, f32 vs
+//! quantized, serial vs parallel), pick the fastest for the data actually
+//! flowing — at runtime, by measuring a sample morsel, then sticking with
+//! the winner.
+
+use std::time::Instant;
+
+/// Picks among named variants by timing them on sample input.
+pub struct AdaptivePicker<I: ?Sized> {
+    names: Vec<String>,
+    #[allow(clippy::type_complexity)]
+    variants: Vec<Box<dyn Fn(&I) + Send + Sync>>,
+    chosen: Option<usize>,
+    timings_ns: Vec<f64>,
+}
+
+impl<I: ?Sized> AdaptivePicker<I> {
+    /// An empty picker.
+    pub fn new() -> Self {
+        AdaptivePicker {
+            names: Vec::new(),
+            variants: Vec::new(),
+            chosen: None,
+            timings_ns: Vec::new(),
+        }
+    }
+
+    /// Registers a variant.
+    pub fn variant(mut self, name: impl Into<String>, f: impl Fn(&I) + Send + Sync + 'static) -> Self {
+        self.names.push(name.into());
+        self.variants.push(Box::new(f));
+        self
+    }
+
+    /// Number of registered variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether no variants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Calibrates on `sample`: runs every variant `trials` times
+    /// (plus one warm-up), recording the best observed time each, and
+    /// remembers the winner. Returns the winner's index.
+    pub fn calibrate(&mut self, sample: &I, trials: usize) -> usize {
+        assert!(!self.variants.is_empty(), "no variants registered");
+        let trials = trials.max(1);
+        self.timings_ns.clear();
+        for f in &self.variants {
+            f(sample); // warm-up (caches, lazy init)
+            let mut best = f64::INFINITY;
+            for _ in 0..trials {
+                let t = Instant::now();
+                f(sample);
+                best = best.min(t.elapsed().as_nanos() as f64);
+            }
+            self.timings_ns.push(best);
+        }
+        let winner = self
+            .timings_ns
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("at least one variant");
+        self.chosen = Some(winner);
+        winner
+    }
+
+    /// The calibrated winner, if any.
+    pub fn chosen(&self) -> Option<(&str, usize)> {
+        self.chosen.map(|i| (self.names[i].as_str(), i))
+    }
+
+    /// Best observed ns per variant (calibration order).
+    pub fn timings_ns(&self) -> &[f64] {
+        &self.timings_ns
+    }
+
+    /// Runs the chosen variant (calibrating on the input first if needed).
+    pub fn run(&mut self, input: &I) {
+        let idx = match self.chosen {
+            Some(i) => i,
+            None => self.calibrate(input, 1),
+        };
+        (self.variants[idx])(input);
+    }
+}
+
+impl<I: ?Sized> Default for AdaptivePicker<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn picks_the_faster_variant() {
+        let mut picker: AdaptivePicker<Vec<u64>> = AdaptivePicker::new()
+            .variant("slow", |v: &Vec<u64>| {
+                // Quadratic work.
+                let mut acc = 0u64;
+                for a in v {
+                    for b in v {
+                        acc = acc.wrapping_add(a ^ b);
+                    }
+                }
+                std::hint::black_box(acc);
+            })
+            .variant("fast", |v: &Vec<u64>| {
+                let mut acc = 0u64;
+                for a in v {
+                    acc = acc.wrapping_add(*a);
+                }
+                std::hint::black_box(acc);
+            });
+        let sample: Vec<u64> = (0..2000).collect();
+        let winner = picker.calibrate(&sample, 3);
+        assert_eq!(picker.chosen().unwrap().0, "fast");
+        assert_eq!(winner, 1);
+        assert_eq!(picker.timings_ns().len(), 2);
+        assert!(picker.timings_ns()[1] < picker.timings_ns()[0]);
+    }
+
+    #[test]
+    fn run_calibrates_lazily_and_reuses_choice() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c1 = counter.clone();
+        let mut picker: AdaptivePicker<u32> = AdaptivePicker::new().variant("only", move |_| {
+            c1.fetch_add(1, Ordering::Relaxed);
+        });
+        picker.run(&5);
+        let after_first = counter.load(Ordering::Relaxed);
+        assert!(after_first >= 2); // warm-up + trial + actual run
+        picker.run(&5);
+        assert_eq!(counter.load(Ordering::Relaxed), after_first + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no variants")]
+    fn empty_picker_panics_on_calibrate() {
+        let mut p: AdaptivePicker<u32> = AdaptivePicker::new();
+        p.calibrate(&1, 1);
+    }
+}

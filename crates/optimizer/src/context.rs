@@ -1,0 +1,167 @@
+//! Optimizer context: statistics, samples, models, and configuration.
+
+use cx_embed::{EmbeddingCache, ModelRegistry};
+use cx_storage::TableStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Feature switches for the optimizer.
+///
+/// Each flag maps to one of the optimizations the paper's Figure 4 ablates
+/// additively; experiments toggle them to reproduce the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Constant folding in predicates and projections.
+    pub constant_folding: bool,
+    /// Filter pushdown through projections, joins and semantic operators.
+    pub filter_pushdown: bool,
+    /// Split conjunctions into cascades ordered by estimated selectivity.
+    pub predicate_cascade: bool,
+    /// Column pruning (insert projections above scans).
+    pub projection_pruning: bool,
+    /// Rewrite CrossJoin+Filter into equi-joins.
+    pub equijoin_extraction: bool,
+    /// Transitive (data-induced) predicates across equi-joins.
+    pub data_induced_predicates: bool,
+    /// Angular-relaxed semantic filters across semantic joins.
+    pub semantic_dip: bool,
+    /// Cost-based semantic join strategy selection (index vs scan).
+    pub semantic_index_selection: bool,
+    /// Probe-side parallelism for semantic joins (1 = serial).
+    pub parallelism: usize,
+}
+
+impl OptimizerConfig {
+    /// Everything on (default parallelism = available cores).
+    pub fn all() -> Self {
+        OptimizerConfig {
+            constant_folding: true,
+            filter_pushdown: true,
+            predicate_cascade: true,
+            projection_pruning: true,
+            equijoin_extraction: true,
+            data_induced_predicates: true,
+            semantic_dip: true,
+            semantic_index_selection: true,
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Everything off (the naive pipeline of Figure 4's left-most bar).
+    pub fn none() -> Self {
+        OptimizerConfig {
+            constant_folding: false,
+            filter_pushdown: false,
+            predicate_cascade: false,
+            projection_pruning: false,
+            equijoin_extraction: false,
+            data_induced_predicates: false,
+            semantic_dip: false,
+            semantic_index_selection: false,
+            parallelism: 1,
+        }
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Everything the optimizer may consult while rewriting and costing.
+pub struct OptimizerContext {
+    /// Per-source table statistics.
+    pub stats: HashMap<String, TableStats>,
+    /// `(source, column)` → sampled string values, for semantic
+    /// selectivity estimation.
+    pub samples: HashMap<(String, String), Vec<String>>,
+    /// Named embedding models.
+    pub models: Arc<ModelRegistry>,
+    /// Shared per-model embedding caches (also used at execution time, so
+    /// optimizer sampling warms execution).
+    pub caches: HashMap<String, Arc<EmbeddingCache>>,
+    /// Feature switches.
+    pub config: OptimizerConfig,
+    /// Memo for sampling-based selectivity probes: cardinality and cost
+    /// estimation revisit the same semantic operators many times per
+    /// optimization pass, and each probe embeds/compares a sample — memoize
+    /// by a caller-provided key so each distinct probe runs once.
+    selectivity_memo: Mutex<HashMap<u64, f64>>,
+}
+
+impl OptimizerContext {
+    /// A context with no statistics and the given config.
+    pub fn new(models: Arc<ModelRegistry>, config: OptimizerConfig) -> Self {
+        OptimizerContext {
+            stats: HashMap::new(),
+            samples: HashMap::new(),
+            models,
+            caches: HashMap::new(),
+            config,
+            selectivity_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing it once via
+    /// `compute` on first use.
+    pub fn memoized_selectivity(&self, key: u64, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(v) = self.selectivity_memo.lock().get(&key) {
+            return *v;
+        }
+        let v = compute();
+        self.selectivity_memo.lock().insert(key, v);
+        v
+    }
+
+    /// Stats for `source`, if collected.
+    pub fn table_stats(&self, source: &str) -> Option<&TableStats> {
+        self.stats.get(source)
+    }
+
+    /// Sampled values of `(source, column)`.
+    pub fn sample(&self, source: &str, column: &str) -> Option<&[String]> {
+        self.samples
+            .get(&(source.to_string(), column.to_string()))
+            .map(|v| v.as_slice())
+    }
+
+    /// The shared cache for `model`, creating it on first use.
+    pub fn cache_for(&mut self, model: &str) -> Option<Arc<EmbeddingCache>> {
+        if let Some(c) = self.caches.get(model) {
+            return Some(c.clone());
+        }
+        let m = self.models.get(model)?;
+        let cache = Arc::new(EmbeddingCache::new(m));
+        self.caches.insert(model.to_string(), cache.clone());
+        Some(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_embed::HashNGramModel;
+
+    #[test]
+    fn config_presets() {
+        let all = OptimizerConfig::all();
+        assert!(all.filter_pushdown && all.semantic_dip);
+        assert!(all.parallelism >= 1);
+        let none = OptimizerConfig::none();
+        assert!(!none.filter_pushdown && !none.constant_folding);
+        assert_eq!(none.parallelism, 1);
+    }
+
+    #[test]
+    fn cache_for_resolves_and_memoizes() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(Arc::new(HashNGramModel::with_params("m", 8, 1, 3, 3, 64)));
+        let mut ctx = OptimizerContext::new(registry, OptimizerConfig::all());
+        let a = ctx.cache_for("m").unwrap();
+        let b = ctx.cache_for("m").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(ctx.cache_for("missing").is_none());
+    }
+}

@@ -1,0 +1,253 @@
+//! The physical planner: logical plan → executable operator tree.
+//!
+//! Implementation selection happens here: hash vs nested-loop joins,
+//! semantic-join strategy by estimated distinct-value cardinalities
+//! (Section V's "index-based access for similarity search should be
+//! accounted for in the cost-based optimization process").
+
+use crate::cardinality::estimate_rows;
+use crate::context::OptimizerContext;
+use cx_exec::logical::LogicalPlan;
+use cx_exec::operators::{
+    DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec,
+    ProjectExec, SortExec, TableScanExec, UnionExec,
+};
+use cx_exec::PhysicalOperator;
+use cx_semantic::{SemanticFilterExec, SemanticGroupByExec, SemanticJoinExec, SemanticJoinStrategy};
+use cx_storage::{Error, Result, Table};
+use cx_vector::lsh::LshParams;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pair-count above which an approximate index pays for its build cost.
+const INDEX_PAIR_THRESHOLD: f64 = 4e6;
+/// Right-side distinct count below which index build is never worthwhile.
+const INDEX_MIN_BUILD: f64 = 2000.0;
+
+/// Tables the planner can scan.
+#[derive(Default)]
+pub struct PhysicalPlannerEnv {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl PhysicalPlannerEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `table` under `name`.
+    pub fn register_table(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(name).cloned()
+    }
+}
+
+/// Lowers `plan` into a physical operator tree.
+pub fn create_physical_plan(
+    plan: &LogicalPlan,
+    ctx: &mut OptimizerContext,
+    env: &PhysicalPlannerEnv,
+) -> Result<Arc<dyn PhysicalOperator>> {
+    Ok(match plan {
+        LogicalPlan::Scan { source, .. } => {
+            let table = env
+                .table(source)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown table: {source}")))?;
+            Arc::new(TableScanExec::new(table))
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            Arc::new(FilterExec::new(child, predicate)?)
+        }
+        LogicalPlan::Project { exprs, input } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            Arc::new(ProjectExec::new(child, exprs)?)
+        }
+        LogicalPlan::Join { left, right, on, join_type } => {
+            let l = create_physical_plan(left, ctx, env)?;
+            let r = create_physical_plan(right, ctx, env)?;
+            if on.is_empty() {
+                Arc::new(NestedLoopJoinExec::new(l, r, None)?)
+            } else {
+                Arc::new(HashJoinExec::new(l, r, on, *join_type)?)
+            }
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let l = create_physical_plan(left, ctx, env)?;
+            let r = create_physical_plan(right, ctx, env)?;
+            Arc::new(NestedLoopJoinExec::new(l, r, None)?)
+        }
+        LogicalPlan::SemanticFilter { input, column, target, model, threshold } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            let cache = ctx
+                .cache_for(model)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown model: {model}")))?;
+            Arc::new(SemanticFilterExec::new(child, column, target.clone(), *threshold, cache)?)
+        }
+        LogicalPlan::SemanticJoin { left, right, spec } => {
+            // Strategy selection by estimated distinct-value pair count.
+            let dl = (estimate_rows(left, ctx) * 0.5).max(1.0);
+            let dr = (estimate_rows(right, ctx) * 0.5).max(1.0);
+            let strategy = if ctx.config.semantic_index_selection
+                && dl * dr > INDEX_PAIR_THRESHOLD
+                && dr > INDEX_MIN_BUILD
+            {
+                SemanticJoinStrategy::Lsh(LshParams::default())
+            } else {
+                SemanticJoinStrategy::PreNormalized
+            };
+            let l = create_physical_plan(left, ctx, env)?;
+            let r = create_physical_plan(right, ctx, env)?;
+            let cache = ctx
+                .cache_for(&spec.model)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown model: {}", spec.model)))?;
+            Arc::new(SemanticJoinExec::new(
+                l,
+                r,
+                &spec.left_column,
+                &spec.right_column,
+                spec.threshold,
+                &spec.score_column,
+                strategy,
+                cache,
+                ctx.config.parallelism,
+            )?)
+        }
+        LogicalPlan::SemanticGroupBy { input, column, model, threshold, aggs } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            let cache = ctx
+                .cache_for(model)
+                .ok_or_else(|| Error::InvalidArgument(format!("unknown model: {model}")))?;
+            Arc::new(SemanticGroupByExec::new(child, column, *threshold, aggs, cache)?)
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            Arc::new(HashAggregateExec::new(child, group_by, aggs)?)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            let keys: Vec<(String, bool)> = keys
+                .iter()
+                .map(|k| (k.column.clone(), k.ascending))
+                .collect();
+            Arc::new(SortExec::new(child, &keys)?)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            Arc::new(LimitExec::new(child, *n))
+        }
+        LogicalPlan::Distinct { input } => {
+            let child = create_physical_plan(input, ctx, env)?;
+            Arc::new(DistinctExec::new(child))
+        }
+        LogicalPlan::Union { inputs } => {
+            let children = inputs
+                .iter()
+                .map(|i| create_physical_plan(i, ctx, env))
+                .collect::<Result<Vec<_>>>()?;
+            Arc::new(UnionExec::new(children)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OptimizerConfig;
+    use cx_embed::{HashNGramModel, ModelRegistry};
+    use cx_exec::collect_table;
+    use cx_exec::logical::SemanticJoinSpec;
+    use cx_expr::{col, lit};
+    use cx_storage::{Column, DataType, Field, Schema, TableStats};
+
+    fn env_and_ctx() -> (PhysicalPlannerEnv, OptimizerContext) {
+        let table = Table::from_columns(
+            Schema::new(vec![
+                Field::new("k", DataType::Utf8),
+                Field::new("v", DataType::Int64),
+            ]),
+            vec![
+                Column::from_strings(["boots", "parka", "mug", "boots"]),
+                Column::from_i64(vec![1, 2, 3, 4]),
+            ],
+        )
+        .unwrap();
+        let mut env = PhysicalPlannerEnv::new();
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(Arc::new(HashNGramModel::with_params("m", 16, 1, 3, 4, 1024)));
+        let mut ctx = OptimizerContext::new(registry, OptimizerConfig::all());
+        ctx.stats
+            .insert("t".to_string(), TableStats::compute(&table).unwrap());
+        env.register_table("t", Arc::new(table));
+        (env, ctx)
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            source: "t".into(),
+            schema: Arc::new(Schema::new(vec![
+                Field::new("k", DataType::Utf8),
+                Field::new("v", DataType::Int64),
+            ])),
+        }
+    }
+
+    #[test]
+    fn lowers_relational_pipeline() {
+        let (env, mut ctx) = env_and_ctx();
+        let plan = LogicalPlan::Limit {
+            n: 2,
+            input: Box::new(LogicalPlan::Filter {
+                predicate: col("v").gt(lit(1i64)),
+                input: Box::new(scan()),
+            }),
+        };
+        let op = create_physical_plan(&plan, &mut ctx, &env).unwrap();
+        let out = collect_table(op.as_ref()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn semantic_join_small_input_uses_prenormalized() {
+        let (env, mut ctx) = env_and_ctx();
+        let plan = LogicalPlan::SemanticJoin {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            spec: SemanticJoinSpec {
+                left_column: "k".into(),
+                right_column: "k".into(),
+                model: "m".into(),
+                threshold: 0.95,
+                score_column: "sim".into(),
+            },
+        };
+        let op = create_physical_plan(&plan, &mut ctx, &env).unwrap();
+        assert!(op.name().contains("pre-normalized"), "{}", op.name());
+        // Executes and matches at least the identical strings.
+        let out = collect_table(op.as_ref()).unwrap();
+        assert!(out.num_rows() >= 4, "got {}", out.num_rows());
+    }
+
+    #[test]
+    fn unknown_table_and_model_error() {
+        let (env, mut ctx) = env_and_ctx();
+        let bad = LogicalPlan::Scan {
+            source: "missing".into(),
+            schema: Arc::new(Schema::new(vec![Field::new("k", DataType::Utf8)])),
+        };
+        assert!(create_physical_plan(&bad, &mut ctx, &env).is_err());
+        let bad_model = LogicalPlan::SemanticFilter {
+            input: Box::new(scan()),
+            column: "k".into(),
+            target: "x".into(),
+            model: "missing".into(),
+            threshold: 0.9,
+        };
+        assert!(create_physical_plan(&bad_model, &mut ctx, &env).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Semantic Select: context-based filtering.
+//!
+//! `word = "Clothes" using model "M" with cosine threshold >= 0.9`
+//! (the paper's own syntax sketch, Section IV).
+
+use cx_embed::EmbeddingCache;
+use cx_exec::{ChunkStream, PhysicalOperator};
+use cx_storage::{Bitmap, DataType, Error, Result, Schema};
+use cx_vector::kernels::{cosine_with_norms, norm};
+use std::sync::Arc;
+
+/// Filters rows whose `column` value embeds within `threshold` cosine
+/// similarity of the target string's embedding.
+pub struct SemanticFilterExec {
+    input: Arc<dyn PhysicalOperator>,
+    column_index: usize,
+    target: String,
+    threshold: f32,
+    cache: Arc<EmbeddingCache>,
+}
+
+impl SemanticFilterExec {
+    /// Creates the filter. `column` must be a UTF8 column of the input.
+    pub fn new(
+        input: Arc<dyn PhysicalOperator>,
+        column: &str,
+        target: impl Into<String>,
+        threshold: f32,
+        cache: Arc<EmbeddingCache>,
+    ) -> Result<Self> {
+        let schema = input.schema();
+        let column_index = schema.index_of(column)?;
+        let field = schema.field_at(column_index)?;
+        if field.data_type != DataType::Utf8 {
+            return Err(Error::TypeMismatch {
+                expected: "UTF8 column for semantic filter".into(),
+                actual: field.data_type.to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(Error::InvalidArgument(format!(
+                "semantic threshold must be in [0,1], got {threshold}"
+            )));
+        }
+        Ok(SemanticFilterExec {
+            input,
+            column_index,
+            target: target.into(),
+            threshold,
+            cache,
+        })
+    }
+
+    /// The embedding cache backing this operator (for hit/miss inspection).
+    pub fn cache(&self) -> &Arc<EmbeddingCache> {
+        &self.cache
+    }
+}
+
+impl PhysicalOperator for SemanticFilterExec {
+    fn name(&self) -> String {
+        format!(
+            "SemanticFilter [~ '{}', cos>={}, model={}]",
+            self.target,
+            self.threshold,
+            self.cache.model().name()
+        )
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
+        vec![self.input.clone()]
+    }
+
+    fn execute(&self) -> Result<ChunkStream> {
+        let target_vec = self.cache.get(&self.target);
+        let target_norm = norm(&target_vec);
+        let stream = self.input.execute()?;
+        let cache = self.cache.clone();
+        let column_index = self.column_index;
+        let threshold = self.threshold;
+        Ok(Box::new(stream.map(move |chunk| {
+            let chunk = chunk?;
+            let col = chunk.column(column_index)?;
+            let values = col.utf8_values()?;
+            let mask = Bitmap::from_bools(values.iter().enumerate().map(|(i, v)| {
+                if !col.is_valid(i) {
+                    return false; // NULL never matches.
+                }
+                let emb = cache.get(v);
+                cosine_with_norms(&target_vec, &emb, target_norm, norm(&emb)) >= threshold
+            }));
+            chunk.filter(&mask)
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_embed::{ClusterGeometry, ClusterSpec, ClusteredTextModel, SemanticSpace};
+    use cx_exec::{collect_table, TableScanExec};
+    use cx_storage::{Column, Field, Table};
+
+    fn model_cache() -> Arc<EmbeddingCache> {
+        let space = SemanticSpace::build(
+            &[
+                ClusterSpec::new("clothes", &["boots", "parka", "windbreaker", "coat"]),
+                ClusterSpec::new("animal", &["dog", "cat"]),
+            ],
+            64,
+            42,
+            ClusterGeometry::default(),
+        );
+        let model = ClusteredTextModel::new("m", Arc::new(space), 7);
+        Arc::new(EmbeddingCache::new(Arc::new(model)))
+    }
+
+    fn items_scan() -> Arc<dyn PhysicalOperator> {
+        let table = Table::from_columns(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4, 5]),
+                Column::from_strings(["boots", "dog", "parka", "cat", "coat"]),
+            ],
+        )
+        .unwrap();
+        Arc::new(TableScanExec::new(Arc::new(table)))
+    }
+
+    #[test]
+    fn selects_semantic_matches_only() {
+        let filter =
+            SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, model_cache()).unwrap();
+        let out = collect_table(&filter).unwrap();
+        let names = out.column_by_name("name").unwrap();
+        let got: Vec<String> = names.utf8_values().unwrap().to_vec();
+        assert_eq!(got, vec!["boots", "parka", "coat"]);
+    }
+
+    #[test]
+    fn threshold_one_keeps_exact_target_only() {
+        let filter =
+            SemanticFilterExec::new(items_scan(), "name", "boots", 0.999, model_cache()).unwrap();
+        let out = collect_table(&filter).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn validates_column_type_and_threshold() {
+        assert!(SemanticFilterExec::new(items_scan(), "id", "x", 0.9, model_cache()).is_err());
+        assert!(SemanticFilterExec::new(items_scan(), "nope", "x", 0.9, model_cache()).is_err());
+        assert!(SemanticFilterExec::new(items_scan(), "name", "x", 1.5, model_cache()).is_err());
+    }
+
+    #[test]
+    fn null_values_never_match() {
+        let table = Table::from_columns(
+            Schema::new(vec![Field::new("name", DataType::Utf8)]),
+            vec![Column::Utf8 {
+                values: vec!["boots".into(), String::new()],
+                validity: Some(Bitmap::from_bools([true, false])),
+            }],
+        )
+        .unwrap();
+        let scan = Arc::new(TableScanExec::new(Arc::new(table)));
+        let filter = SemanticFilterExec::new(scan, "name", "clothes", 0.5, model_cache()).unwrap();
+        let out = collect_table(&filter).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn cache_reused_across_chunks() {
+        let table = Table::from_rows(
+            Schema::new(vec![Field::new("name", DataType::Utf8)]),
+            (0..100)
+                .map(|i| vec![cx_storage::Scalar::Utf8(if i % 2 == 0 { "boots" } else { "dog" }.into())])
+                .collect(),
+        )
+        .unwrap()
+        .rechunk(10)
+        .unwrap();
+        let scan = Arc::new(TableScanExec::new(Arc::new(table)));
+        let cache = model_cache();
+        let filter = SemanticFilterExec::new(scan, "name", "clothes", 0.85, cache.clone()).unwrap();
+        let out = collect_table(&filter).unwrap();
+        assert_eq!(out.num_rows(), 50);
+        // Only 3 distinct strings embedded: target + 2 values.
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.model().stats().invocations(), 3);
+    }
+}

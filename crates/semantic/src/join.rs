@@ -1,0 +1,576 @@
+//! Semantic Join: embedding-space threshold join.
+//!
+//! Joins two relations on the *context* of their key columns: a pair
+//! matches when the keys' embeddings are within a cosine threshold under
+//! the chosen representation model (Section IV, the "small robot" operator
+//! of Figure 2).
+//!
+//! The physical strategy is selectable — exactly the physical optimization
+//! space the paper says the optimizer must navigate:
+//!
+//! * [`SemanticJoinStrategy::NestedLoop`] — per-pair cosine with cached
+//!   norms over distinct values (the honest quadratic baseline),
+//! * [`SemanticJoinStrategy::PreNormalized`] — normalize once, then the
+//!   inner loop is a bare unrolled dot product,
+//! * [`SemanticJoinStrategy::Lsh`] / [`SemanticJoinStrategy::Ivf`] — probe
+//!   an approximate index built on the right side, trading recall for
+//!   candidate pruning.
+//!
+//! Distinct join-key values are deduplicated before embedding, so model
+//! inference cost scales with distinct values, not rows.
+
+use cx_embed::EmbeddingCache;
+use cx_exec::{parallel::partition_ranges, ChunkStream, PhysicalOperator};
+use cx_storage::{Chunk, Column, DataType, Error, Field, Result, Schema};
+use cx_vector::lsh::LshParams;
+use cx_vector::ivf::IvfParams;
+use cx_vector::{
+    kernels::{cosine_with_norms, dot_unrolled},
+    IvfIndex, LshIndex, VectorIndex, VectorStore,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Physical strategies for the semantic join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SemanticJoinStrategy {
+    /// Exact: cosine (with cached norms) for every distinct-value pair.
+    NestedLoop,
+    /// Exact: pre-normalize both sides, inner loop is a dot product.
+    PreNormalized,
+    /// Approximate: random-hyperplane LSH index on the right side.
+    Lsh(LshParams),
+    /// Approximate: IVF-Flat index on the right side.
+    Ivf(IvfParams),
+}
+
+impl SemanticJoinStrategy {
+    /// Short name for EXPLAIN output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SemanticJoinStrategy::NestedLoop => "nested-loop",
+            SemanticJoinStrategy::PreNormalized => "pre-normalized",
+            SemanticJoinStrategy::Lsh(_) => "lsh",
+            SemanticJoinStrategy::Ivf(_) => "ivf",
+        }
+    }
+}
+
+/// The semantic join physical operator.
+pub struct SemanticJoinExec {
+    left: Arc<dyn PhysicalOperator>,
+    right: Arc<dyn PhysicalOperator>,
+    left_key: usize,
+    right_key: usize,
+    threshold: f32,
+    strategy: SemanticJoinStrategy,
+    cache: Arc<EmbeddingCache>,
+    /// Worker threads for the probe phase (1 = serial).
+    parallelism: usize,
+    schema: Arc<Schema>,
+    pairs_evaluated: AtomicU64,
+    matches_found: AtomicU64,
+}
+
+impl SemanticJoinExec {
+    /// Creates the join; both key columns must be UTF8.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: Arc<dyn PhysicalOperator>,
+        right: Arc<dyn PhysicalOperator>,
+        left_column: &str,
+        right_column: &str,
+        threshold: f32,
+        score_column: &str,
+        strategy: SemanticJoinStrategy,
+        cache: Arc<EmbeddingCache>,
+        parallelism: usize,
+    ) -> Result<Self> {
+        let (ls, rs) = (left.schema(), right.schema());
+        let left_key = ls.index_of(left_column)?;
+        let right_key = rs.index_of(right_column)?;
+        for (schema, idx, side) in [(&ls, left_key, "left"), (&rs, right_key, "right")] {
+            let t = schema.field_at(idx)?.data_type;
+            if t != DataType::Utf8 {
+                return Err(Error::TypeMismatch {
+                    expected: format!("UTF8 {side} join key"),
+                    actual: t.to_string(),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(Error::InvalidArgument(format!(
+                "semantic threshold must be in [0,1], got {threshold}"
+            )));
+        }
+        let joined = ls.join(&rs);
+        if joined.contains(score_column) {
+            return Err(Error::InvalidArgument(format!(
+                "score column '{score_column}' collides with join output"
+            )));
+        }
+        let schema = Arc::new(joined.with_field(Field::new(score_column, DataType::Float64)));
+        Ok(SemanticJoinExec {
+            left,
+            right,
+            left_key,
+            right_key,
+            threshold,
+            strategy,
+            cache,
+            parallelism: parallelism.max(1),
+            schema,
+            pairs_evaluated: AtomicU64::new(0),
+            matches_found: AtomicU64::new(0),
+        })
+    }
+
+    /// Exact similarity evaluations performed so far (across executions).
+    pub fn pairs_evaluated(&self) -> u64 {
+        self.pairs_evaluated.load(Ordering::Relaxed)
+    }
+
+    /// Matches produced so far (distinct-value level).
+    pub fn matches_found(&self) -> u64 {
+        self.matches_found.load(Ordering::Relaxed)
+    }
+
+    /// The strategy this operator runs.
+    pub fn strategy(&self) -> SemanticJoinStrategy {
+        self.strategy
+    }
+}
+
+/// Distinct values of a UTF8 column with row back-pointers; NULL rows are
+/// dropped (SQL join semantics).
+fn distinct_values(chunk: &Chunk, key: usize) -> Result<(Vec<String>, Vec<Vec<u32>>)> {
+    let col = chunk.column(key)?;
+    let values = col.utf8_values()?;
+    let mut order: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for (i, v) in values.iter().enumerate() {
+        if !col.is_valid(i) {
+            continue;
+        }
+        match seen.get(v.as_str()) {
+            Some(&id) => rows[id].push(i as u32),
+            None => {
+                seen.insert(v.as_str(), order.len());
+                order.push(v.clone());
+                rows.push(vec![i as u32]);
+            }
+        }
+    }
+    Ok((order, rows))
+}
+
+impl PhysicalOperator for SemanticJoinExec {
+    fn name(&self) -> String {
+        format!(
+            "SemanticJoin [cos>={}, strategy={}, model={}]",
+            self.threshold,
+            self.strategy.label(),
+            self.cache.model().name()
+        )
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
+        vec![self.left.clone(), self.right.clone()]
+    }
+
+    fn execute(&self) -> Result<ChunkStream> {
+        // Materialize both sides.
+        let left_chunks = self.left.execute()?.collect::<Result<Vec<_>>>()?;
+        let right_chunks = self.right.execute()?.collect::<Result<Vec<_>>>()?;
+        let left = if left_chunks.is_empty() {
+            Chunk::empty(self.left.schema())
+        } else {
+            Chunk::concat(&left_chunks)?
+        };
+        let right = if right_chunks.is_empty() {
+            Chunk::empty(self.right.schema())
+        } else {
+            Chunk::concat(&right_chunks)?
+        };
+
+        let (left_vals, left_rows) = distinct_values(&left, self.left_key)?;
+        let (right_vals, right_rows) = distinct_values(&right, self.right_key)?;
+
+        // Embed distinct values through the cache into contiguous stores.
+        let dim = self.cache.dim();
+        let mut right_store = VectorStore::new(dim);
+        for v in &right_vals {
+            right_store.push(&self.cache.get(v));
+        }
+        let mut left_store = VectorStore::new(dim);
+        for v in &left_vals {
+            left_store.push(&self.cache.get(v));
+        }
+
+        // Value-level matching under the chosen strategy.
+        let matches = self.match_values(&left_store, &right_store)?;
+        self.matches_found
+            .fetch_add(matches.len() as u64, Ordering::Relaxed);
+
+        // Expand value matches to row pairs.
+        let mut left_idx: Vec<usize> = Vec::new();
+        let mut right_idx: Vec<usize> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+        for &(lv, rv, score) in &matches {
+            for &lr in &left_rows[lv] {
+                for &rr in &right_rows[rv] {
+                    left_idx.push(lr as usize);
+                    right_idx.push(rr as usize);
+                    scores.push(score as f64);
+                }
+            }
+        }
+
+        if left_idx.is_empty() {
+            return Ok(Box::new(std::iter::once(Ok(Chunk::empty(
+                self.schema.clone(),
+            )))));
+        }
+
+        let l = left.take(&left_idx)?;
+        let r = right.take(&right_idx)?;
+        let zipped = l.zip(&r)?;
+        let mut columns = zipped.columns().to_vec();
+        columns.push(Column::from_f64(scores));
+        let out = Chunk::new(self.schema.clone(), columns)?;
+        Ok(Box::new(std::iter::once(Ok(out))))
+    }
+}
+
+impl SemanticJoinExec {
+    /// Value-level matching: `(left value id, right value id, score)`.
+    fn match_values(
+        &self,
+        left_store: &VectorStore,
+        right_store: &VectorStore,
+    ) -> Result<Vec<(usize, usize, f32)>> {
+        if left_store.is_empty() || right_store.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threshold = self.threshold;
+
+        // The index (or scan table) is built over the right side once.
+        enum Probe<'a> {
+            Scan { store: &'a VectorStore, prenorm: Option<VectorStore> },
+            Index(Box<dyn VectorIndex>),
+        }
+        let probe = match self.strategy {
+            SemanticJoinStrategy::NestedLoop => Probe::Scan { store: right_store, prenorm: None },
+            SemanticJoinStrategy::PreNormalized => Probe::Scan {
+                store: right_store,
+                prenorm: Some(right_store.normalized()),
+            },
+            SemanticJoinStrategy::Lsh(params) => {
+                Probe::Index(Box::new(LshIndex::build(right_store, params)))
+            }
+            SemanticJoinStrategy::Ivf(params) => {
+                Probe::Index(Box::new(IvfIndex::build(right_store, params)))
+            }
+        };
+        // Pre-normalized probing needs normalized queries too.
+        let left_prenorm = match self.strategy {
+            SemanticJoinStrategy::PreNormalized => Some(left_store.normalized()),
+            _ => None,
+        };
+
+        let probe_one = |lv: usize, out: &mut Vec<(usize, usize, f32)>| -> u64 {
+            match &probe {
+                Probe::Scan { store, prenorm } => {
+                    let n = store.len() as u64;
+                    match (prenorm, &left_prenorm) {
+                        (Some(rn), Some(ln)) => {
+                            let q = ln.row(lv);
+                            for (rv, row) in rn.iter() {
+                                let score = dot_unrolled(q, row);
+                                if score >= threshold {
+                                    out.push((lv, rv, score));
+                                }
+                            }
+                        }
+                        _ => {
+                            let q = left_store.row(lv);
+                            let qn = left_store.row_norm(lv);
+                            for (rv, row) in store.iter() {
+                                let score = cosine_with_norms(q, row, qn, store.row_norm(rv));
+                                if score >= threshold {
+                                    out.push((lv, rv, score));
+                                }
+                            }
+                        }
+                    }
+                    n
+                }
+                Probe::Index(index) => {
+                    let before = index.stats().candidates_examined();
+                    for r in index.search_threshold(left_store.row(lv), threshold) {
+                        out.push((lv, r.id, r.score));
+                    }
+                    index.stats().candidates_examined() - before
+                }
+            }
+        };
+
+        let n_left = left_store.len();
+        let mut matches: Vec<(usize, usize, f32)> = Vec::new();
+        let mut evaluated = 0u64;
+        if self.parallelism <= 1 || n_left < 2 * self.parallelism {
+            for lv in 0..n_left {
+                evaluated += probe_one(lv, &mut matches);
+            }
+        } else {
+            let ranges = partition_ranges(n_left, self.parallelism);
+            let results: Vec<(Vec<(usize, usize, f32)>, u64)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = ranges
+                        .iter()
+                        .map(|range| {
+                            let range = range.clone();
+                            let probe_one = &probe_one;
+                            scope.spawn(move |_| {
+                                let mut local = Vec::new();
+                                let mut seen = 0u64;
+                                for lv in range {
+                                    seen += probe_one(lv, &mut local);
+                                }
+                                (local, seen)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("semantic join worker panicked"))
+                        .collect()
+                })
+                .map_err(|_| Error::InvalidArgument("semantic join worker panicked".into()))?;
+            for (local, seen) in results {
+                matches.extend(local);
+                evaluated += seen;
+            }
+        }
+        self.pairs_evaluated.fetch_add(evaluated, Ordering::Relaxed);
+
+        // Deterministic order regardless of parallelism.
+        matches.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(matches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_embed::{ClusterGeometry, ClusterSpec, ClusteredTextModel, SemanticSpace};
+    use cx_exec::{collect_table, TableScanExec};
+    use cx_storage::{Scalar, Table};
+
+    fn cache() -> Arc<EmbeddingCache> {
+        let space = SemanticSpace::build(
+            &[
+                ClusterSpec::new("shoes", &["boots", "sneakers", "oxfords"]),
+                ClusterSpec::new("jacket", &["parka", "coat", "windbreaker"]),
+                ClusterSpec::new("mug", &["cup"]),
+            ],
+            64,
+            42,
+            ClusterGeometry::default(),
+        );
+        Arc::new(EmbeddingCache::new(Arc::new(ClusteredTextModel::new(
+            "m",
+            Arc::new(space),
+            7,
+        ))))
+    }
+
+    fn products() -> Arc<dyn PhysicalOperator> {
+        let table = Table::from_columns(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4]),
+                Column::from_strings(["boots", "parka", "mug", "boots"]),
+            ],
+        )
+        .unwrap();
+        Arc::new(TableScanExec::new(Arc::new(table)))
+    }
+
+    fn catalog() -> Arc<dyn PhysicalOperator> {
+        let table = Table::from_columns(
+            Schema::new(vec![
+                Field::new("label", DataType::Utf8),
+                Field::new("kind", DataType::Utf8),
+            ]),
+            vec![
+                Column::from_strings(["sneakers", "coat", "cup", "oxfords"]),
+                Column::from_strings(["shoes", "jacket", "kitchen", "shoes"]),
+            ],
+        )
+        .unwrap();
+        Arc::new(TableScanExec::new(Arc::new(table)))
+    }
+
+    fn join_with(strategy: SemanticJoinStrategy, parallelism: usize) -> Table {
+        let join = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "name",
+            "label",
+            0.85,
+            "sim",
+            strategy,
+            cache(),
+            parallelism,
+        )
+        .unwrap();
+        collect_table(&join).unwrap()
+    }
+
+    #[test]
+    fn matches_within_clusters() {
+        let out = join_with(SemanticJoinStrategy::PreNormalized, 1);
+        // boots×2 rows match sneakers+oxfords (4 pairs), parka matches coat,
+        // mug matches cup.
+        assert_eq!(out.num_rows(), 6);
+        assert_eq!(
+            out.schema().names(),
+            vec!["id", "name", "label", "kind", "sim"]
+        );
+        // Every score is above threshold.
+        let sims = out.column_by_name("sim").unwrap();
+        for s in sims.f64_values().unwrap() {
+            assert!(*s >= 0.85);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_exact_results() {
+        let base = join_with(SemanticJoinStrategy::NestedLoop, 1);
+        let prenorm = join_with(SemanticJoinStrategy::PreNormalized, 1);
+        assert_eq!(base.num_rows(), prenorm.num_rows());
+        // Same (id, label) pairs.
+        let pairs = |t: &Table| {
+            let mut v: Vec<(Scalar, Scalar)> = (0..t.num_rows())
+                .map(|i| {
+                    let row = t.row(i).unwrap();
+                    (row[0].clone(), row[2].clone())
+                })
+                .collect();
+            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        assert_eq!(pairs(&base), pairs(&prenorm));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = join_with(SemanticJoinStrategy::PreNormalized, 1);
+        let parallel = join_with(SemanticJoinStrategy::PreNormalized, 4);
+        assert_eq!(serial.num_rows(), parallel.num_rows());
+    }
+
+    #[test]
+    fn lsh_and_ivf_reach_exact_recall_here() {
+        // Small, well-separated clusters: approximate strategies should
+        // find everything the exact scan finds.
+        let exact = join_with(SemanticJoinStrategy::PreNormalized, 1);
+        let lsh = join_with(SemanticJoinStrategy::Lsh(LshParams::default()), 1);
+        let ivf = join_with(
+            SemanticJoinStrategy::Ivf(IvfParams { nlist: 2, nprobe: 2, iterations: 5, seed: 3 }),
+            1,
+        );
+        assert_eq!(lsh.num_rows(), exact.num_rows());
+        assert_eq!(ivf.num_rows(), exact.num_rows());
+    }
+
+    #[test]
+    fn distinct_value_dedup_bounds_inference() {
+        let c = cache();
+        let join = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "name",
+            "label",
+            0.85,
+            "sim",
+            SemanticJoinStrategy::PreNormalized,
+            c.clone(),
+            1,
+        )
+        .unwrap();
+        collect_table(&join).unwrap();
+        // 3 distinct left + 4 distinct right = 7 embeddings, despite 4 left rows.
+        assert_eq!(c.model().stats().invocations(), 7);
+        // Exact scan evaluated 3×4 pairs.
+        assert_eq!(join.pairs_evaluated(), 12);
+    }
+
+    #[test]
+    fn score_column_collision_rejected() {
+        let bad = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "name",
+            "label",
+            0.9,
+            "kind",
+            SemanticJoinStrategy::NestedLoop,
+            cache(),
+            1,
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn empty_side_yields_empty_output() {
+        let empty = {
+            let t = Table::empty(Arc::new(Schema::new(vec![
+                Field::new("label", DataType::Utf8),
+                Field::new("kind", DataType::Utf8),
+            ])));
+            Arc::new(TableScanExec::new(Arc::new(t))) as Arc<dyn PhysicalOperator>
+        };
+        let join = SemanticJoinExec::new(
+            products(),
+            empty,
+            "name",
+            "label",
+            0.9,
+            "sim",
+            SemanticJoinStrategy::PreNormalized,
+            cache(),
+            1,
+        )
+        .unwrap();
+        let out = collect_table(&join).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.schema().len(), 5);
+    }
+
+    #[test]
+    fn non_utf8_keys_rejected() {
+        let bad = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "id",
+            "label",
+            0.9,
+            "sim",
+            SemanticJoinStrategy::NestedLoop,
+            cache(),
+            1,
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's new operator class: model-assisted *semantic* operators.
+//!
+//! Section IV proposes three operator extensions that make context-rich
+//! processing declarative:
+//!
+//! * **Semantic Select** ([`SemanticFilterExec`]) — `column ~ 'target' USING
+//!   model M WITH cosine >= θ`,
+//! * **Semantic Join** ([`SemanticJoinExec`]) — join keys matched by latent-
+//!   space distance instead of equality, with selectable physical strategy
+//!   (nested-loop / pre-normalized scan / LSH / IVF),
+//! * **Semantic Group-By** ([`SemanticGroupByExec`]) — on-the-fly clustering
+//!   of values by model similarity with per-cluster aggregates.
+//!
+//! On top of the join/group-by machinery, [`consolidate`] implements
+//! Figure 3's automated result consolidation (deduplication / entity
+//! resolution), with pairwise quality metrics against ground truth.
+//!
+//! [`selectivity`] provides the sampling-based cardinality hooks the
+//! holistic optimizer (Section V) uses to cost these operators like any
+//! relational operator.
+
+pub mod consolidate;
+pub mod filter;
+pub mod groupby;
+pub mod join;
+pub mod selectivity;
+
+pub use consolidate::{consolidate, pairwise_metrics, ConsolidationResult, PairwiseMetrics};
+pub use filter::SemanticFilterExec;
+pub use groupby::SemanticGroupByExec;
+pub use join::{SemanticJoinExec, SemanticJoinStrategy};
+pub use selectivity::{semantic_filter_selectivity, semantic_join_selectivity};

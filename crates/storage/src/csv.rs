@@ -1,0 +1,194 @@
+//! Minimal CSV import/export (used by examples and the NoDB-style raw scan).
+//!
+//! The format is deliberately simple: comma-separated, `\n` rows, values
+//! containing commas/quotes are double-quoted with `""` escaping. This is
+//! enough for round-tripping engine tables without pulling in a dependency.
+
+use crate::builder::RowBuilder;
+use crate::error::{Error, Result};
+use crate::scalar::Scalar;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::types::DataType;
+use std::sync::Arc;
+
+/// Serializes a table to CSV with a header row.
+pub fn to_csv(table: &Table) -> Result<String> {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for i in 0..table.num_rows() {
+        let row = table.row(i)?;
+        let cells: Vec<String> = row
+            .iter()
+            .map(|s| match s {
+                Scalar::Null => String::new(),
+                Scalar::Utf8(v) => escape(v),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses CSV (with header) into a table using the provided schema. Empty
+/// cells become NULL.
+pub fn from_csv(schema: Schema, csv: &str) -> Result<Table> {
+    let schema = Arc::new(schema);
+    let mut lines = csv.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    let header_cells = split_line(header)?;
+    if header_cells.len() != schema.len() {
+        return Err(Error::Parse(format!(
+            "CSV header has {} columns, schema has {}",
+            header_cells.len(),
+            schema.len()
+        )));
+    }
+    let mut builder = RowBuilder::new(schema.clone());
+    for (line_no, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let cells = split_line(line)?;
+        if cells.len() != schema.len() {
+            return Err(Error::Parse(format!(
+                "line {}: expected {} cells, got {}",
+                line_no + 2,
+                schema.len(),
+                cells.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for (cell, field) in cells.into_iter().zip(schema.fields()) {
+            row.push(parse_cell(&cell, field.data_type, line_no + 2)?);
+        }
+        builder.push_row(row)?;
+    }
+    let chunk = builder.finish()?;
+    Table::new(schema, vec![chunk])
+}
+
+fn parse_cell(cell: &str, data_type: DataType, line: usize) -> Result<Scalar> {
+    if cell.is_empty() {
+        return Ok(Scalar::Null);
+    }
+    let err = |what: &str| Error::Parse(format!("line {line}: invalid {what}: {cell:?}"));
+    Ok(match data_type {
+        DataType::Bool => Scalar::Bool(cell.parse().map_err(|_| err("bool"))?),
+        DataType::Int64 => Scalar::Int64(cell.parse().map_err(|_| err("int"))?),
+        DataType::Float64 => Scalar::Float64(cell.parse().map_err(|_| err("float"))?),
+        DataType::Utf8 => Scalar::Utf8(cell.to_string()),
+        DataType::Timestamp => {
+            let digits = cell.strip_prefix("ts:").unwrap_or(cell);
+            Scalar::Timestamp(digits.parse().map_err(|_| err("timestamp"))?)
+        }
+    })
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn split_line(line: &str) -> Result<Vec<String>> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => cells.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Parse(format!("unterminated quote in line: {line:?}")));
+    }
+    cells.push(cur);
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = Table::from_columns(
+            schema(),
+            vec![
+                Column::from_i64(vec![1, 2]),
+                Column::from_strings(["plain", "with,comma \"and quotes\""]),
+                Column::from_f64(vec![1.5, 2.5]),
+            ],
+        )
+        .unwrap();
+        let csv = to_csv(&t).unwrap();
+        let back = from_csv(schema(), &csv).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.row(1).unwrap()[1], Scalar::from("with,comma \"and quotes\""));
+        assert_eq!(back.row(0).unwrap()[2], Scalar::Float64(1.5));
+    }
+
+    #[test]
+    fn null_roundtrip() {
+        let csv = "id,name,price\n1,,\n";
+        let t = from_csv(schema(), csv).unwrap();
+        assert_eq!(t.row(0).unwrap()[1], Scalar::Null);
+        assert_eq!(t.row(0).unwrap()[2], Scalar::Null);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_csv(schema(), "").is_err());
+        assert!(from_csv(schema(), "id,name\n").is_err());
+        assert!(from_csv(schema(), "id,name,price\nx,a,1.0\n").is_err());
+        assert!(from_csv(schema(), "id,name,price\n1,\"unterminated,1.0\n").is_err());
+    }
+
+    #[test]
+    fn timestamp_cells() {
+        let schema = Schema::new(vec![Field::new("t", DataType::Timestamp)]);
+        let t = from_csv(schema.clone(), "t\nts:123\n456\n").unwrap();
+        assert_eq!(t.row(0).unwrap()[0], Scalar::Timestamp(123));
+        assert_eq!(t.row(1).unwrap()[0], Scalar::Timestamp(456));
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Storage-layer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column or field name was not found in a schema.
+    ColumnNotFound(String),
+    /// Two values/columns had incompatible types for the attempted operation.
+    TypeMismatch { expected: String, actual: String },
+    /// Columns in a chunk (or chunks in a table) had inconsistent lengths.
+    LengthMismatch { expected: usize, actual: usize },
+    /// An index was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// Malformed input (e.g. CSV parse failure).
+    Parse(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            Error::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            Error::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,43 @@
+//! Column-oriented in-memory storage for the context-rich analytical engine.
+//!
+//! This crate provides the data representation every other crate builds on:
+//!
+//! * [`DataType`] / [`Scalar`] — the logical type system and single values,
+//! * [`Bitmap`] — packed validity (null) bitmaps,
+//! * [`Column`] — typed, contiguous column vectors with optional validity,
+//! * [`Chunk`] — a horizontal slice of a table (a batch of rows, stored
+//!   column-wise) which is the unit of vectorized execution,
+//! * [`Schema`] / [`Field`] — named, typed column descriptors,
+//! * [`Table`] — an in-memory table as a schema plus a list of chunks,
+//! * [`stats`] — per-column statistics (min/max, null count, distinct
+//!   estimate, equi-width histograms) driving optimizer decisions,
+//! * [`csv`] — a small CSV import/export used by examples and tests.
+//!
+//! Everything is deliberately dependency-light and deterministic so the
+//! engine's experiments are reproducible.
+
+pub mod bitmap;
+pub mod builder;
+pub mod chunk;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod scalar;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use bitmap::Bitmap;
+pub use builder::{ColumnBuilder, RowBuilder};
+pub use chunk::Chunk;
+pub use column::Column;
+pub use error::{Error, Result};
+pub use scalar::Scalar;
+pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, Histogram, TableStats};
+pub use table::Table;
+pub use types::DataType;
+
+/// Default number of rows per [`Chunk`] used by vectorized operators.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;

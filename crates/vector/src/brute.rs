@@ -1,0 +1,151 @@
+//! Exact brute-force similarity search.
+
+use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
+use crate::kernels::{cosine_prenormalized, norm};
+use crate::store::VectorStore;
+use crate::topk::TopK;
+
+/// Exact scan over a normalized vector store.
+///
+/// This is the baseline every approximate index is measured against, and —
+/// per the optimizer's cost model — the *right* choice for small
+/// cardinalities where index build cost dominates.
+pub struct BruteForceIndex {
+    store: VectorStore,
+    stats: IndexStats,
+}
+
+impl BruteForceIndex {
+    /// Builds the index (normalizes a copy of the store).
+    pub fn build(store: &VectorStore) -> Self {
+        BruteForceIndex {
+            store: store.normalized(),
+            stats: IndexStats::default(),
+        }
+    }
+
+    fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        let n = norm(query);
+        if n == 0.0 {
+            return query.to_vec();
+        }
+        query.iter().map(|x| x / n).collect()
+    }
+}
+
+impl VectorIndex for BruteForceIndex {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult> {
+        let q = self.normalized_query(query);
+        self.stats.record_search(self.store.len());
+        let mut out = Vec::new();
+        for (id, row) in self.store.iter() {
+            let score = cosine_prenormalized(&q, row);
+            if score >= threshold {
+                out.push(SearchResult { id, score });
+            }
+        }
+        sort_results(&mut out);
+        out
+    }
+
+    fn search_topk(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        let q = self.normalized_query(query);
+        self.stats.record_search(self.store.len());
+        let mut topk = TopK::new(k);
+        for (id, row) in self.store.iter() {
+            topk.push(id, cosine_prenormalized(&q, row));
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(id, score)| SearchResult { id, score })
+            .collect()
+    }
+
+    fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> VectorStore {
+        // Four 4-d vectors: two near e0, one near e1, one diagonal.
+        VectorStore::from_flat(
+            4,
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.9, 0.1, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.5, 0.5, 0.5, 0.5, //
+            ],
+        )
+    }
+
+    #[test]
+    fn threshold_search() {
+        let idx = BruteForceIndex::build(&store());
+        let out = idx.search_threshold(&[1.0, 0.0, 0.0, 0.0], 0.9);
+        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(out[0].score >= out[1].score);
+        assert!(idx.is_exact());
+    }
+
+    #[test]
+    fn topk_search() {
+        let idx = BruteForceIndex::build(&store());
+        let out = idx.search_topk(&[1.0, 0.0, 0.0, 0.0], 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[1].id, 1);
+        // k larger than the store returns everything.
+        assert_eq!(idx.search_topk(&[1.0, 0.0, 0.0, 0.0], 10).len(), 4);
+    }
+
+    #[test]
+    fn unnormalized_inputs_handled() {
+        let mut s = VectorStore::new(2);
+        s.push(&[10.0, 0.0]);
+        s.push(&[0.0, 0.2]);
+        let idx = BruteForceIndex::build(&s);
+        // Scaled query matches direction, not magnitude.
+        let out = idx.search_threshold(&[5.0, 0.0], 0.99);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+        assert!((out[0].score - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stats_count_full_scans() {
+        let idx = BruteForceIndex::build(&store());
+        idx.search_threshold(&[1.0, 0.0, 0.0, 0.0], 0.5);
+        idx.search_topk(&[1.0, 0.0, 0.0, 0.0], 1);
+        assert_eq!(idx.stats().searches(), 2);
+        assert_eq!(idx.stats().candidates_examined(), 8);
+    }
+
+    #[test]
+    fn empty_store() {
+        let idx = BruteForceIndex::build(&VectorStore::new(3));
+        assert!(idx.is_empty());
+        assert!(idx.search_threshold(&[1.0, 0.0, 0.0], 0.5).is_empty());
+    }
+}

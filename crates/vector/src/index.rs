@@ -1,0 +1,126 @@
+//! The common interface over exact and approximate similarity indexes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One match: row id and cosine similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    pub id: usize,
+    pub score: f32,
+}
+
+/// Cumulative probe counters, exposed so the optimizer's cost model can be
+/// validated against observed work (Section V: index structures "have to be
+/// included in the optimization process equally as relational indexes").
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    searches: AtomicU64,
+    candidates_examined: AtomicU64,
+}
+
+impl IndexStats {
+    /// Records one search that examined `candidates` vectors exactly.
+    pub fn record_search(&self, candidates: usize) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.candidates_examined
+            .fetch_add(candidates as u64, Ordering::Relaxed);
+    }
+
+    /// Number of searches issued.
+    pub fn searches(&self) -> u64 {
+        self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Total candidates exactly evaluated across searches.
+    pub fn candidates_examined(&self) -> u64 {
+        self.candidates_examined.load(Ordering::Relaxed)
+    }
+
+    /// Mean candidates per search (0 when unused).
+    pub fn mean_candidates(&self) -> f64 {
+        let s = self.searches();
+        if s == 0 {
+            0.0
+        } else {
+            self.candidates_examined() as f64 / s as f64
+        }
+    }
+
+    /// Resets counters (between experiment runs).
+    pub fn reset(&self) {
+        self.searches.store(0, Ordering::Relaxed);
+        self.candidates_examined.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A similarity index over a fixed set of vectors, searched by cosine.
+///
+/// Implementations normalize their stored vectors at build time; queries
+/// are normalized per call. Returned results are sorted by descending
+/// score with ascending-id tie-breaks, so results are deterministic.
+pub trait VectorIndex: Send + Sync {
+    /// Index kind name (for EXPLAIN output).
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All vectors with cosine similarity ≥ `threshold` to `query`.
+    fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult>;
+
+    /// The `k` most similar vectors to `query`.
+    fn search_topk(&self, query: &[f32], k: usize) -> Vec<SearchResult>;
+
+    /// Cumulative probe counters.
+    fn stats(&self) -> &IndexStats;
+
+    /// Approximate index memory footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Whether results are exact (brute force) or approximate (LSH/IVF).
+    fn is_exact(&self) -> bool;
+}
+
+/// Sorts results canonically: descending score, ascending id.
+pub fn sort_results(results: &mut [SearchResult]) {
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let s = IndexStats::default();
+        s.record_search(10);
+        s.record_search(20);
+        assert_eq!(s.searches(), 2);
+        assert_eq!(s.candidates_examined(), 30);
+        assert!((s.mean_candidates() - 15.0).abs() < 1e-9);
+        s.reset();
+        assert_eq!(s.searches(), 0);
+        assert_eq!(s.mean_candidates(), 0.0);
+    }
+
+    #[test]
+    fn canonical_sort() {
+        let mut r = vec![
+            SearchResult { id: 2, score: 0.5 },
+            SearchResult { id: 1, score: 0.9 },
+            SearchResult { id: 0, score: 0.5 },
+        ];
+        sort_results(&mut r);
+        assert_eq!(r.iter().map(|x| x.id).collect::<Vec<_>>(), vec![1, 0, 2]);
+    }
+}

@@ -1,0 +1,326 @@
+//! IVF-Flat: inverted-file index with a k-means coarse quantizer.
+//!
+//! The billion-scale similarity search systems the paper cites (Johnson et
+//! al. [20]) are built on this structure: cluster the vectors into `nlist`
+//! cells with k-means, keep an inverted list per cell, and at query time
+//! scan only the `nprobe` cells whose centroids are closest to the query.
+
+use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
+use crate::kernels::{cosine_prenormalized, norm};
+use crate::store::VectorStore;
+use crate::topk::TopK;
+use cx_embed::rng::SplitMix64;
+
+/// Tuning parameters for [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvfParams {
+    /// Number of inverted lists (k-means cells).
+    pub nlist: usize,
+    /// Cells scanned per query.
+    pub nprobe: usize,
+    /// k-means iterations.
+    pub iterations: usize,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams { nlist: 64, nprobe: 8, iterations: 10, seed: 0x1F }
+    }
+}
+
+/// IVF-Flat index over normalized vectors, cosine metric.
+pub struct IvfIndex {
+    store: VectorStore,
+    /// `nlist × dim` centroid matrix (unit-normalized).
+    centroids: Vec<f32>,
+    lists: Vec<Vec<u32>>,
+    params: IvfParams,
+    stats: IndexStats,
+}
+
+impl IvfIndex {
+    /// Builds the index over `store` with `params`. `nlist` is capped at
+    /// the number of vectors.
+    pub fn build(store: &VectorStore, params: IvfParams) -> Self {
+        assert!(params.nlist > 0, "nlist must be positive");
+        assert!(params.nprobe > 0, "nprobe must be positive");
+        let store = store.normalized();
+        let dim = store.dim();
+        let n = store.len();
+        let nlist = params.nlist.min(n.max(1));
+
+        // Deterministic k-means++-lite init: evenly strided picks, which is
+        // reproducible and good enough for a coarse quantizer.
+        let mut centroids = vec![0.0f32; nlist * dim];
+        if n > 0 {
+            let stride = (n / nlist).max(1);
+            for c in 0..nlist {
+                let src = store.row((c * stride) % n);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(src);
+            }
+        }
+        let mut rng = SplitMix64::new(params.seed);
+
+        let mut assignment = vec![0u32; n];
+        let iterations = if n == 0 { 0 } else { params.iterations };
+        for _ in 0..iterations {
+            // Assign.
+            for (i, row) in store.iter() {
+                assignment[i] = nearest_centroid(&centroids, dim, nlist, row) as u32;
+            }
+            // Update.
+            let mut sums = vec![0.0f64; nlist * dim];
+            let mut counts = vec![0u32; nlist];
+            for (i, row) in store.iter() {
+                let c = assignment[i] as usize;
+                counts[c] += 1;
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                    *s += x as f64;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    // Re-seed empty cells with a random existing vector.
+                    let pick = rng.next_range(n.max(1) as u64) as usize;
+                    centroids[c * dim..(c + 1) * dim].copy_from_slice(store.row(pick));
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let dst = &mut centroids[c * dim..(c + 1) * dim];
+                for (d, s) in dst.iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                    *d = (*s * inv) as f32;
+                }
+                // Normalize centroid for the cosine metric.
+                let cn = norm(dst);
+                if cn > 0.0 {
+                    for x in dst.iter_mut() {
+                        *x /= cn;
+                    }
+                }
+            }
+        }
+
+        // Final assignment into inverted lists.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        for (i, row) in store.iter() {
+            let c = nearest_centroid(&centroids, dim, nlist, row);
+            lists[c].push(i as u32);
+        }
+
+        IvfIndex {
+            store,
+            centroids,
+            lists,
+            params: IvfParams { nlist, ..params },
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Builds with default parameters.
+    pub fn build_default(store: &VectorStore) -> Self {
+        Self::build(store, IvfParams::default())
+    }
+
+    /// The parameters the index was built with (nlist possibly capped).
+    pub fn params(&self) -> IvfParams {
+        self.params
+    }
+
+    /// The `nprobe` cells nearest to `q`, by centroid cosine.
+    fn probe_cells(&self, q: &[f32]) -> Vec<usize> {
+        let dim = self.store.dim();
+        let nlist = self.lists.len();
+        let mut topk = TopK::new(self.params.nprobe.min(nlist));
+        for c in 0..nlist {
+            let score = cosine_prenormalized(q, &self.centroids[c * dim..(c + 1) * dim]);
+            topk.push(c, score);
+        }
+        topk.into_sorted().into_iter().map(|(c, _)| c).collect()
+    }
+
+    fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        let n = norm(query);
+        if n == 0.0 {
+            return query.to_vec();
+        }
+        query.iter().map(|x| x / n).collect()
+    }
+}
+
+#[inline]
+fn nearest_centroid(centroids: &[f32], dim: usize, nlist: usize, v: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_score = f32::NEG_INFINITY;
+    for c in 0..nlist {
+        let score = cosine_prenormalized(v, &centroids[c * dim..(c + 1) * dim]);
+        if score > best_score {
+            best_score = score;
+            best = c;
+        }
+    }
+    best
+}
+
+impl VectorIndex for IvfIndex {
+    fn name(&self) -> &'static str {
+        "ivf-flat"
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult> {
+        let q = self.normalized_query(query);
+        let cells = self.probe_cells(&q);
+        let mut examined = 0usize;
+        let mut out = Vec::new();
+        for c in cells {
+            for &id in &self.lists[c] {
+                examined += 1;
+                let score = cosine_prenormalized(&q, self.store.row(id as usize));
+                if score >= threshold {
+                    out.push(SearchResult { id: id as usize, score });
+                }
+            }
+        }
+        self.stats.record_search(examined);
+        sort_results(&mut out);
+        out
+    }
+
+    fn search_topk(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        let q = self.normalized_query(query);
+        let cells = self.probe_cells(&q);
+        let mut examined = 0usize;
+        let mut topk = TopK::new(k);
+        for c in cells {
+            for &id in &self.lists[c] {
+                examined += 1;
+                topk.push(id as usize, cosine_prenormalized(&q, self.store.row(id as usize)));
+            }
+        }
+        self.stats.record_search(examined);
+        topk.into_sorted()
+            .into_iter()
+            .map(|(id, score)| SearchResult { id, score })
+            .collect()
+    }
+
+    fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let lists: usize = self.lists.iter().map(|l| l.len() * 4 + 24).sum();
+        self.store.memory_bytes() + self.centroids.len() * 4 + lists
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+
+    fn clustered_store(n: usize, c: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = SplitMix64::new(seed);
+        let centroids: Vec<Vec<f32>> = (0..c).map(|_| rng.unit_vector(dim)).collect();
+        let mut store = VectorStore::new(dim);
+        for i in 0..n {
+            let centroid = &centroids[i % c];
+            let noise = rng.unit_vector(dim);
+            let v: Vec<f32> = centroid
+                .iter()
+                .zip(&noise)
+                .map(|(c, n)| c + 0.25 * n)
+                .collect();
+            store.push(&v);
+        }
+        store
+    }
+
+    #[test]
+    fn recall_against_brute_force() {
+        let store = clustered_store(600, 12, 48, 21);
+        let ivf = IvfIndex::build(
+            &store,
+            IvfParams { nlist: 24, nprobe: 6, iterations: 8, seed: 5 },
+        );
+        let exact = BruteForceIndex::build(&store);
+        let mut found = 0usize;
+        let mut expected = 0usize;
+        for probe in 0..40 {
+            let q = store.row(probe).to_vec();
+            let truth = exact.search_threshold(&q, 0.9);
+            let ids: std::collections::HashSet<usize> = ivf
+                .search_threshold(&q, 0.9)
+                .iter()
+                .map(|r| r.id)
+                .collect();
+            expected += truth.len();
+            found += truth.iter().filter(|r| ids.contains(&r.id)).count();
+        }
+        let recall = found as f64 / expected as f64;
+        assert!(recall > 0.85, "recall {recall}");
+    }
+
+    #[test]
+    fn probes_fewer_than_full_scan() {
+        let store = clustered_store(1000, 20, 48, 33);
+        let ivf = IvfIndex::build(
+            &store,
+            IvfParams { nlist: 32, nprobe: 4, iterations: 6, seed: 5 },
+        );
+        ivf.search_threshold(store.row(0), 0.9);
+        let examined = ivf.stats().candidates_examined();
+        assert!(examined < 500, "examined {examined}");
+        assert!(examined > 0);
+    }
+
+    #[test]
+    fn nlist_capped_by_store_size() {
+        let store = clustered_store(10, 2, 16, 1);
+        let ivf = IvfIndex::build(
+            &store,
+            IvfParams { nlist: 100, nprobe: 100, iterations: 3, seed: 1 },
+        );
+        assert_eq!(ivf.params().nlist, 10);
+        // With nprobe == nlist the search is exhaustive: exact results.
+        let out = ivf.search_topk(store.row(0), 1);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn every_vector_lands_in_exactly_one_list() {
+        let store = clustered_store(200, 4, 16, 9);
+        let ivf = IvfIndex::build_default(&store);
+        let mut all: Vec<u32> = ivf.lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let store = clustered_store(150, 5, 24, 13);
+        let a = IvfIndex::build_default(&store);
+        let b = IvfIndex::build_default(&store);
+        assert_eq!(
+            a.search_topk(store.row(3), 5),
+            b.search_topk(store.row(3), 5)
+        );
+    }
+
+    #[test]
+    fn empty_store_searches_cleanly() {
+        let ivf = IvfIndex::build_default(&VectorStore::new(8));
+        assert!(ivf.search_threshold(&[0.5; 8], 0.5).is_empty());
+        assert!(ivf.search_topk(&[0.5; 8], 3).is_empty());
+    }
+}

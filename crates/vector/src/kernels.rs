@@ -1,0 +1,175 @@
+//! Distance kernels: the optimization ladder of Figure 4.
+//!
+//! Each function is a rung the experiments compare:
+//!
+//! 1. [`dot`] — straightforward iterator dot product,
+//! 2. [`dot_unrolled`] — 8-wide unrolled with independent accumulators,
+//!    the shape LLVM auto-vectorizes into SIMD ("CPU-specific
+//!    instructions" without `unsafe`),
+//! 3. [`cosine_prenormalized`] — cosine as a bare dot product once inputs
+//!    are unit vectors (norms hoisted out of the O(n²) join loop),
+//! 4. quantized kernels live in [`cx_embed::quant`] and are benchmarked
+//!    alongside.
+
+/// L2 norm of `v`.
+#[inline]
+pub fn norm(v: &[f32]) -> f32 {
+    dot_unrolled(v, v).sqrt()
+}
+
+/// Straightforward dot product (the scalar rung).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// 8-wide unrolled dot product with independent accumulators.
+///
+/// The independent partial sums break the sequential FP dependency chain,
+/// letting the compiler emit packed SIMD adds/mults; this is the portable
+/// stand-in for the paper's hand-tuned C++ kernel.
+#[inline]
+pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    let (a_main, a_rest) = a.split_at(chunks * 8);
+    let (b_main, b_rest) = b.split_at(chunks * 8);
+    for (ca, cb) in a_main.chunks_exact(8).zip(b_main.chunks_exact(8)) {
+        for i in 0..8 {
+            acc[i] += ca[i] * cb[i];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in a_rest.iter().zip(b_rest) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Cosine similarity with norms computed inline (the naive rung: three
+/// passes over the data per pair).
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let (na, nb) = (norm(a), norm(b));
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Cosine similarity for pre-normalized inputs: just the unrolled dot.
+#[inline]
+pub fn cosine_prenormalized(a: &[f32], b: &[f32]) -> f32 {
+    dot_unrolled(a, b)
+}
+
+/// Cosine similarity with externally cached norms (one pass per pair).
+#[inline]
+pub fn cosine_with_norms(a: &[f32], b: &[f32], norm_a: f32, norm_b: f32) -> f32 {
+    if norm_a == 0.0 || norm_b == 0.0 {
+        return 0.0;
+    }
+    dot_unrolled(a, b) / (norm_a * norm_b)
+}
+
+/// Squared L2 distance.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    let (a_main, a_rest) = a.split_at(chunks * 8);
+    let (b_main, b_rest) = b.split_at(chunks * 8);
+    for (ca, cb) in a_main.chunks_exact(8).zip(b_main.chunks_exact(8)) {
+        for i in 0..8 {
+            let d = ca[i] - cb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in a_rest.iter().zip(b_rest) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// L2 distance.
+#[inline]
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    l2_squared(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n).map(|i| ((i * 31 % 17) as f32 - 8.0) / 10.0).collect();
+        let b: Vec<f32> = (0..n).map(|i| ((i * 13 % 23) as f32 - 11.0) / 10.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn unrolled_matches_scalar() {
+        // Exercise lengths around the unroll boundary.
+        for n in [0, 1, 7, 8, 9, 16, 100, 101] {
+            let (a, b) = vecs(n);
+            let exact = dot(&a, &b);
+            let fast = dot_unrolled(&a, &b);
+            assert!((exact - fast).abs() < 1e-3, "n={n}: {exact} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn cosine_bounds_and_identity() {
+        let (a, b) = vecs(100);
+        let c = cosine(&a, &b);
+        assert!((-1.0..=1.0).contains(&c));
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+        let neg: Vec<f32> = a.iter().map(|x| -x).collect();
+        assert!((cosine(&a, &neg) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let z = vec![0.0; 10];
+        let (a, _) = vecs(10);
+        assert_eq!(cosine(&z, &a), 0.0);
+        assert_eq!(cosine_with_norms(&z, &a, 0.0, norm(&a)), 0.0);
+    }
+
+    #[test]
+    fn prenormalized_agrees_with_cosine() {
+        let (mut a, mut b) = vecs(100);
+        let (na, nb) = (norm(&a), norm(&b));
+        let expected = cosine(&a, &b);
+        assert!((cosine_with_norms(&a, &b, na, nb) - expected).abs() < 1e-5);
+        for x in &mut a {
+            *x /= na;
+        }
+        for x in &mut b {
+            *x /= nb;
+        }
+        assert!((cosine_prenormalized(&a, &b) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_properties() {
+        let (a, b) = vecs(64);
+        assert_eq!(l2_distance(&a, &a), 0.0);
+        let d = l2_distance(&a, &b);
+        assert!(d > 0.0);
+        assert!((l2_squared(&a, &b) - d * d).abs() < 1e-3);
+        // Symmetry.
+        assert!((l2_distance(&b, &a) - d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_is_sqrt_self_dot() {
+        let (a, _) = vecs(33);
+        assert!((norm(&a) - dot(&a, &a).sqrt()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Vector similarity infrastructure for semantic operators.
+//!
+//! The paper's semantic select/join/group-by reduce to distance computations
+//! in a latent vector space (Section IV), so this crate provides:
+//!
+//! * [`kernels`] — the distance-kernel ladder (scalar, unrolled, norm-
+//!   precomputed, quantized) whose rungs correspond to the "tight code /
+//!   CPU-specific instructions" optimizations of Figure 4,
+//! * [`VectorStore`] — a contiguous row-major matrix of embeddings with
+//!   cached norms (the "prefetch/materialize" optimization),
+//! * [`topk`] — bounded top-k collection,
+//! * [`BruteForceIndex`] — exact threshold/top-k scan,
+//! * [`LshIndex`] — random-hyperplane locality-sensitive hashing,
+//! * [`IvfIndex`] — inverted-file index with a k-means coarse quantizer
+//!   (the "index-based access for similarity search [20]" the optimizer
+//!   must cost, per Section IV).
+//!
+//! All indexes implement [`VectorIndex`] so the physical planner can swap
+//! them per cost model.
+
+pub mod brute;
+pub mod index;
+pub mod ivf;
+pub mod kernels;
+pub mod lsh;
+pub mod store;
+pub mod topk;
+
+pub use brute::BruteForceIndex;
+pub use index::{IndexStats, SearchResult, VectorIndex};
+pub use ivf::IvfIndex;
+pub use kernels::{cosine, dot, dot_unrolled, l2_distance, norm};
+pub use lsh::LshIndex;
+pub use store::VectorStore;
+pub use topk::TopK;

@@ -1,0 +1,274 @@
+//! Random-hyperplane locality-sensitive hashing for cosine similarity.
+//!
+//! Classic SimHash construction: each table hashes a vector to a `bits`-bit
+//! signature of hyperplane sign tests; vectors colliding with the query in
+//! *any* table become candidates, which are then verified exactly. For two
+//! vectors at angle θ the per-bit collision probability is `1 − θ/π`, so
+//! high-similarity pairs collide with high probability while the index
+//! prunes the vast dissimilar majority — the index-based access path the
+//! paper says the optimizer must cost (Section IV).
+
+use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
+use crate::kernels::{cosine_prenormalized, dot_unrolled, norm};
+use crate::store::VectorStore;
+use crate::topk::TopK;
+use cx_embed::rng::SplitMix64;
+use std::collections::HashMap;
+
+/// Tuning parameters for [`LshIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshParams {
+    /// Signature bits per table (higher = fewer, purer candidates).
+    pub bits: usize,
+    /// Number of independent tables (higher = better recall).
+    pub tables: usize,
+    /// Seed for hyperplane generation.
+    pub seed: u64,
+}
+
+impl Default for LshParams {
+    fn default() -> Self {
+        LshParams { bits: 12, tables: 8, seed: 0x15AC }
+    }
+}
+
+/// Multi-table random-hyperplane LSH index.
+pub struct LshIndex {
+    store: VectorStore,
+    /// `tables × bits` hyperplanes, each of dimension `dim`, flat.
+    planes: Vec<f32>,
+    params: LshParams,
+    /// One bucket map per table: signature → row ids.
+    buckets: Vec<HashMap<u64, Vec<u32>>>,
+    stats: IndexStats,
+}
+
+impl LshIndex {
+    /// Builds the index over `store` with `params`.
+    pub fn build(store: &VectorStore, params: LshParams) -> Self {
+        assert!(params.bits > 0 && params.bits <= 64, "bits must be in 1..=64");
+        assert!(params.tables > 0, "at least one table required");
+        let store = store.normalized();
+        let dim = store.dim();
+        let mut rng = SplitMix64::new(params.seed);
+        let total_planes = params.tables * params.bits;
+        let mut planes = Vec::with_capacity(total_planes * dim);
+        for _ in 0..total_planes {
+            planes.extend(rng.unit_vector(dim));
+        }
+
+        let mut buckets: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); params.tables];
+        for (id, row) in store.iter() {
+            for (t, table) in buckets.iter_mut().enumerate() {
+                let sig = signature(&planes, dim, params.bits, t, row);
+                table.entry(sig).or_default().push(id as u32);
+            }
+        }
+
+        LshIndex {
+            store,
+            planes,
+            params,
+            buckets,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Builds with default parameters.
+    pub fn build_default(store: &VectorStore) -> Self {
+        Self::build(store, LshParams::default())
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Collects unique candidate ids colliding with `query` in any table.
+    fn candidates(&self, query: &[f32]) -> Vec<u32> {
+        let dim = self.store.dim();
+        let mut seen: Vec<u32> = Vec::new();
+        for (t, table) in self.buckets.iter().enumerate() {
+            let sig = signature(&self.planes, dim, self.params.bits, t, query);
+            if let Some(ids) = table.get(&sig) {
+                seen.extend_from_slice(ids);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    }
+
+    fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        let n = norm(query);
+        if n == 0.0 {
+            return query.to_vec();
+        }
+        query.iter().map(|x| x / n).collect()
+    }
+}
+
+/// Computes the `bits`-bit signature of `v` under table `t`'s hyperplanes.
+#[inline]
+fn signature(planes: &[f32], dim: usize, bits: usize, table: usize, v: &[f32]) -> u64 {
+    let mut sig = 0u64;
+    let base = table * bits;
+    for b in 0..bits {
+        let plane = &planes[(base + b) * dim..(base + b + 1) * dim];
+        if dot_unrolled(plane, v) >= 0.0 {
+            sig |= 1 << b;
+        }
+    }
+    sig
+}
+
+impl VectorIndex for LshIndex {
+    fn name(&self) -> &'static str {
+        "lsh"
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult> {
+        let q = self.normalized_query(query);
+        let candidates = self.candidates(&q);
+        self.stats.record_search(candidates.len());
+        let mut out = Vec::new();
+        for &id in &candidates {
+            let score = cosine_prenormalized(&q, self.store.row(id as usize));
+            if score >= threshold {
+                out.push(SearchResult { id: id as usize, score });
+            }
+        }
+        sort_results(&mut out);
+        out
+    }
+
+    fn search_topk(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        let q = self.normalized_query(query);
+        let candidates = self.candidates(&q);
+        self.stats.record_search(candidates.len());
+        let mut topk = TopK::new(k);
+        for &id in &candidates {
+            topk.push(id as usize, cosine_prenormalized(&q, self.store.row(id as usize)));
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|(id, score)| SearchResult { id, score })
+            .collect()
+    }
+
+    fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let buckets: usize = self
+            .buckets
+            .iter()
+            .map(|t| t.values().map(|v| v.len() * 4 + 16).sum::<usize>())
+            .sum();
+        self.store.memory_bytes() + self.planes.len() * 4 + buckets
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+
+    /// A store of `n` vectors in `c` tight clusters.
+    fn clustered_store(n: usize, c: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = SplitMix64::new(seed);
+        let centroids: Vec<Vec<f32>> = (0..c).map(|_| rng.unit_vector(dim)).collect();
+        let mut store = VectorStore::new(dim);
+        for i in 0..n {
+            let centroid = &centroids[i % c];
+            let noise = rng.unit_vector(dim);
+            let v: Vec<f32> = centroid
+                .iter()
+                .zip(&noise)
+                .map(|(c, n)| c + 0.25 * n)
+                .collect();
+            store.push(&v);
+        }
+        store
+    }
+
+    #[test]
+    fn high_recall_on_near_duplicates() {
+        let store = clustered_store(500, 10, 64, 3);
+        let lsh = LshIndex::build_default(&store);
+        let exact = BruteForceIndex::build(&store);
+        let mut found = 0usize;
+        let mut expected = 0usize;
+        for probe in 0..50 {
+            let q = store.row(probe).to_vec();
+            let truth = exact.search_threshold(&q, 0.9);
+            let approx = lsh.search_threshold(&q, 0.9);
+            let approx_ids: std::collections::HashSet<usize> =
+                approx.iter().map(|r| r.id).collect();
+            expected += truth.len();
+            found += truth.iter().filter(|r| approx_ids.contains(&r.id)).count();
+        }
+        let recall = found as f64 / expected as f64;
+        assert!(recall > 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn prunes_candidates() {
+        let store = clustered_store(1000, 20, 64, 5);
+        let lsh = LshIndex::build_default(&store);
+        lsh.search_threshold(store.row(0), 0.9);
+        // Examined far fewer than the full store.
+        assert!(
+            lsh.stats().candidates_examined() < 600,
+            "examined {}",
+            lsh.stats().candidates_examined()
+        );
+    }
+
+    #[test]
+    fn no_false_positives_below_threshold() {
+        let store = clustered_store(200, 5, 32, 9);
+        let lsh = LshIndex::build_default(&store);
+        for r in lsh.search_threshold(store.row(3), 0.95) {
+            assert!(r.score >= 0.95);
+        }
+    }
+
+    #[test]
+    fn topk_subset_of_candidates() {
+        let store = clustered_store(300, 6, 32, 11);
+        let lsh = LshIndex::build_default(&store);
+        let out = lsh.search_topk(store.row(0), 5);
+        assert!(out.len() <= 5);
+        // Self-match is the best result.
+        assert_eq!(out[0].id, 0);
+        assert!((out[0].score - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let store = clustered_store(100, 4, 16, 1);
+        let a = LshIndex::build_default(&store);
+        let b = LshIndex::build_default(&store);
+        assert_eq!(
+            a.search_threshold(store.row(7), 0.8),
+            b.search_threshold(store.row(7), 0.8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=64")]
+    fn invalid_bits_panics() {
+        LshIndex::build(&VectorStore::new(4), LshParams { bits: 0, tables: 1, seed: 1 });
+    }
+}

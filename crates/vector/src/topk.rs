@@ -1,0 +1,154 @@
+//! Bounded top-k collection by similarity score.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the top-k heap: `(score, id)` ordered by score ascending so
+/// the heap root is the current worst retained candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    score: f32,
+    id: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by score (BinaryHeap is a max-heap, so reverse), with id
+        // as tiebreaker for determinism.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Collects the `k` highest-scoring items seen.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopK {
+    /// A collector retaining the best `k` items.
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers `(id, score)`; retained only if among the best `k` so far.
+    /// NaN scores are ignored.
+    #[inline]
+    pub fn push(&mut self, id: usize, score: f32) {
+        if self.k == 0 || score.is_nan() {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { score, id });
+        } else if let Some(worst) = self.heap.peek() {
+            if score > worst.score {
+                self.heap.pop();
+                self.heap.push(Entry { score, id });
+            }
+        }
+    }
+
+    /// The score an item must beat to be retained (`None` until `k` items
+    /// are held). Useful for early pruning.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Finishes into `(id, score)` pairs sorted by descending score
+    /// (ties by ascending id).
+    pub fn into_sorted(self) -> Vec<(usize, f32)> {
+        let mut items: Vec<(usize, f32)> = self.heap.into_iter().map(|e| (e.id, e.score)).collect();
+        items.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut tk = TopK::new(3);
+        for (i, s) in [0.1, 0.9, 0.5, 0.7, 0.2, 0.8].iter().enumerate() {
+            tk.push(i, *s);
+        }
+        let out = tk.into_sorted();
+        assert_eq!(out.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![1, 5, 3]);
+        assert_eq!(out[0].1, 0.9);
+    }
+
+    #[test]
+    fn fewer_than_k() {
+        let mut tk = TopK::new(10);
+        tk.push(0, 0.5);
+        tk.push(1, 0.6);
+        assert_eq!(tk.threshold(), None);
+        assert_eq!(tk.len(), 2);
+        assert_eq!(tk.into_sorted().len(), 2);
+    }
+
+    #[test]
+    fn threshold_after_saturation() {
+        let mut tk = TopK::new(2);
+        tk.push(0, 0.3);
+        tk.push(1, 0.8);
+        assert_eq!(tk.threshold(), Some(0.3));
+        tk.push(2, 0.5);
+        assert_eq!(tk.threshold(), Some(0.5));
+    }
+
+    #[test]
+    fn zero_k_and_nan_ignored() {
+        let mut tk = TopK::new(0);
+        tk.push(0, 1.0);
+        assert!(tk.is_empty());
+        let mut tk = TopK::new(2);
+        tk.push(0, f32::NAN);
+        assert!(tk.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // On equal scores the first-seen entries are retained (a later equal
+        // score does not evict), and output order is ascending id — both
+        // deterministic for a fixed input order.
+        let mut tk = TopK::new(2);
+        for id in [5, 3, 9, 1] {
+            tk.push(id, 0.5);
+        }
+        let out = tk.into_sorted();
+        assert_eq!(out.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![3, 5]);
+    }
+}

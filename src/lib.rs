@@ -1,0 +1,41 @@
+//! # context-analytics
+//!
+//! A reproduction of *"Analytical Engines With Context-Rich Processing:
+//! Towards Efficient Next-Generation Analytics"* (Sanca & Ailamaki, ICDE
+//! 2023): an analytical engine whose optimizer and executor treat
+//! model-assisted **semantic operators** — semantic select, semantic join,
+//! semantic group-by — as first-class relational citizens.
+//!
+//! This umbrella crate re-exports the whole workspace under stable paths:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`storage`] | `cx-storage` | columns, chunks, tables, statistics |
+//! | [`expr`] | `cx-expr` | expressions, folding, selectivity |
+//! | [`embed`] | `cx-embed` | representation models, caches, quantization |
+//! | [`vector`] | `cx-vector` | similarity kernels, LSH/IVF indexes |
+//! | [`exec`] | `cx-exec` | logical plans, relational operators |
+//! | [`semantic`] | `cx-semantic` | semantic operators, consolidation |
+//! | [`optimizer`] | `cx-optimizer` | rules, cardinality, cost, planning |
+//! | [`hardware`] | `cx-hardware` | device topologies, placement, simulation |
+//! | [`kb`] | `cx-kb` | knowledge-base substrate |
+//! | [`vision`] | `cx-vision` | image store + simulated detection |
+//! | [`datagen`] | `cx-datagen` | deterministic workload generators |
+//! | [`engine`] | `context-engine` | the end-to-end engine |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use context_engine as engine;
+pub use cx_datagen as datagen;
+pub use cx_embed as embed;
+pub use cx_exec as exec;
+pub use cx_expr as expr;
+pub use cx_hardware as hardware;
+pub use cx_kb as kb;
+pub use cx_optimizer as optimizer;
+pub use cx_semantic as semantic;
+pub use cx_storage as storage;
+pub use cx_vector as vector;
+pub use cx_vision as vision;
+
+pub use context_engine::{Engine, EngineConfig, Query, QueryResult};

@@ -1,0 +1,275 @@
+//! Property-based tests on core data-structure invariants: bitmaps,
+//! columns, kernels, top-k, quantization, indexes, and expression folding.
+
+use cx_embed::{f16_to_f32, f32_to_f16, QuantizedVector};
+use cx_expr::{eval, fold_constants, BinOp, Expr};
+use cx_storage::{Bitmap, Chunk, Column, DataType, Field, Scalar, Schema};
+use cx_vector::kernels::{cosine, dot, dot_unrolled, l2_distance, norm};
+use cx_vector::{BruteForceIndex, LshIndex, TopK, VectorIndex, VectorStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Bitmap laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bitmap_de_morgan(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let a = Bitmap::from_bools(bits.iter().copied());
+        let b = Bitmap::from_bools(bits.iter().map(|x| !x));
+        // NOT(a AND b) == NOT a OR NOT b
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        // Complement partitions the domain.
+        prop_assert_eq!(a.count_ones() + a.not().count_ones(), bits.len());
+        // Double negation.
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn bitmap_set_indices_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_bools(bits.iter().copied());
+        let idx = bm.set_indices();
+        prop_assert_eq!(idx.len(), bm.count_ones());
+        // Indices are strictly increasing and in bounds.
+        for w in idx.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &i in &idx {
+            prop_assert!(bm.get(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn column_filter_take_consistency(
+        values in prop::collection::vec(any::<i64>(), 1..100),
+        mask_seed in any::<u64>(),
+    ) {
+        let col = Column::from_i64(values.clone());
+        let mask = Bitmap::from_bools(
+            (0..values.len()).map(|i| (mask_seed >> (i % 64)) & 1 == 1),
+        );
+        let filtered = col.filter(&mask).unwrap();
+        let taken = col.take(&mask.set_indices()).unwrap();
+        // filter == take(set_indices)
+        prop_assert_eq!(filtered, taken);
+    }
+
+    #[test]
+    fn column_concat_preserves_rows(
+        a in prop::collection::vec(any::<i64>(), 0..50),
+        b in prop::collection::vec(any::<i64>(), 0..50),
+    ) {
+        let ca = Column::from_i64(a.clone());
+        let cb = Column::from_i64(b.clone());
+        let joined = ca.concat(&cb).unwrap();
+        prop_assert_eq!(joined.len(), a.len() + b.len());
+        for (i, v) in a.iter().chain(b.iter()).enumerate() {
+            prop_assert_eq!(joined.get(i), Scalar::Int64(*v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel identities
+// ---------------------------------------------------------------------------
+
+fn f32vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn unrolled_dot_matches_scalar(n in 0usize..130, seed in any::<u64>()) {
+        let mut rng = cx_embed::rng::SplitMix64::new(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.next_f32_symmetric()).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.next_f32_symmetric()).collect();
+        let (s, u) = (dot(&a, &b), dot_unrolled(&a, &b));
+        prop_assert!((s - u).abs() <= 1e-3 * (1.0 + s.abs()), "{s} vs {u}");
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in f32vec(64), b in f32vec(64)) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c), "cosine {c}");
+        // Symmetry.
+        prop_assert!((c - cosine(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn triangle_inequality_l2(a in f32vec(32), b in f32vec(32), c in f32vec(32)) {
+        let ab = l2_distance(&a, &b);
+        let bc = l2_distance(&b, &c);
+        let ac = l2_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-2, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn norm_scaling(a in f32vec(32), k in -5.0f32..5.0) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * k).collect();
+        prop_assert!((norm(&scaled) - k.abs() * norm(&a)).abs() < 1e-2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TopK vs full sort
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn topk_matches_sorted_prefix(
+        scores in prop::collection::vec(0.0f32..1.0, 1..80),
+        k in 1usize..20,
+    ) {
+        let mut tk = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            tk.push(i, s);
+        }
+        let got: Vec<f32> = tk.into_sorted().into_iter().map(|(_, s)| s).collect();
+        let mut all = scores.clone();
+        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let want: Vec<f32> = all.into_iter().take(k).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization bounds
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn f16_roundtrip_relative_error(x in -60_000.0f32..60_000.0) {
+        let rt = f16_to_f32(f32_to_f16(x));
+        if x.abs() > 1e-4 {
+            let rel = ((rt - x) / x).abs();
+            prop_assert!(rel < 1e-3, "x={x} rt={rt}");
+        }
+    }
+
+    #[test]
+    fn int8_dot_error_bounded(a in f32vec(100), b in f32vec(100)) {
+        let exact = dot(&a, &b);
+        let approx = QuantizedVector::to_int8(&a).dot(&b);
+        // Error bound: per-element quantization error × |b|_1.
+        let max_a = a.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let b_l1: f32 = b.iter().map(|x| x.abs()).sum();
+        let bound = (max_a / 127.0) * b_l1 * 0.51 + 1e-3;
+        prop_assert!((exact - approx).abs() <= bound, "{exact} vs {approx} (bound {bound})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index correctness: approximate ⊆ exact, no false positives
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lsh_results_are_subset_of_brute_force(seed in any::<u64>()) {
+        let mut rng = cx_embed::rng::SplitMix64::new(seed);
+        let mut store = VectorStore::new(16);
+        for _ in 0..120 {
+            store.push(&rng.unit_vector(16));
+        }
+        let brute = BruteForceIndex::build(&store);
+        let lsh = LshIndex::build_default(&store);
+        let q = rng.unit_vector(16);
+        let exact: std::collections::HashSet<usize> =
+            brute.search_threshold(&q, 0.8).iter().map(|r| r.id).collect();
+        for r in lsh.search_threshold(&q, 0.8) {
+            // Every LSH hit is a true hit (scores verified exactly).
+            prop_assert!(exact.contains(&r.id), "false positive id {}", r.id);
+            prop_assert!(r.score >= 0.8);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression folding: eval(fold(e)) == eval(e)
+// ---------------------------------------------------------------------------
+
+fn arb_numeric_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Column("x".to_string())),
+        Just(Expr::Column("y".to_string())),
+        (-100i64..100).prop_map(|v| Expr::Literal(Scalar::Int64(v))),
+        (-100.0f64..100.0).prop_map(|v| Expr::Literal(Scalar::Float64(v))),
+        Just(Expr::Literal(Scalar::Null)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, prop::sample::select(vec![
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
+            BinOp::Eq, BinOp::Lt, BinOp::GtEq,
+        ]))
+            .prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn folding_preserves_evaluation(
+        e in arb_numeric_expr(),
+        xs in prop::collection::vec(-50i64..50, 1..8),
+    ) {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("y", DataType::Float64),
+        ]));
+        let ys: Vec<f64> = xs.iter().map(|&v| v as f64 / 3.0).collect();
+        let chunk = Chunk::new(
+            schema.clone(),
+            vec![Column::from_i64(xs), Column::from_f64(ys)],
+        ).unwrap();
+
+        let folded = fold_constants(&e);
+        // Both versions must bind identically (or both fail).
+        let b1 = e.bind(&schema);
+        let b2 = folded.bind(&schema);
+        match (b1, b2) {
+            (Ok(b1), Ok(b2)) => {
+                // Types can legitimately differ (e.g. Int64 op folded into a
+                // differently-typed literal is prevented by the folder, so
+                // compare row-wise as scalars via SQL equality semantics).
+                let v1 = eval(&b1, &chunk).unwrap();
+                let v2 = eval(&b2, &chunk).unwrap();
+                prop_assert_eq!(v1.len(), v2.len());
+                for i in 0..v1.len() {
+                    let (a, b) = (v1.get(i), v2.get(i));
+                    let equal = match (a.is_null(), b.is_null()) {
+                        (true, true) => true,
+                        (false, false) => match (a.as_f64(), b.as_f64()) {
+                            (Some(x), Some(y)) => {
+                                (x - y).abs() <= 1e-9 * (1.0 + x.abs()) || (x.is_nan() && y.is_nan())
+                            }
+                            _ => a == b,
+                        },
+                        _ => false,
+                    };
+                    prop_assert!(equal, "row {i}: {a:?} vs {b:?} for {e} -> {folded}");
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(err)) => {
+                return Err(TestCaseError::fail(format!("fold broke binding: {err} for {e} -> {folded}")));
+            }
+            (Err(_), Ok(_)) => {
+                // Folding can only make MORE expressions bindable (e.g.
+                // NULL arithmetic folded away) — that is acceptable.
+            }
+        }
+    }
+}
