@@ -1,0 +1,107 @@
+//! Pairwise vs. blocked kernel ablation: the new rung of the Figure 4
+//! ladder.
+//!
+//! Each benchmark scans one query against `CANDIDATES` stored vectors (so
+//! "time" is per scan, and per-pair cost is time / CANDIDATES):
+//!
+//! * `pairwise_cosine_with_norms` — the old hot-path inner loop: one
+//!   `cosine_with_norms` call per candidate,
+//! * `pairwise_prenorm_dot`      — pairwise `dot_unrolled` over normalized
+//!   rows (division hoisted out),
+//! * `dot_block`                 — one blocked-kernel call over the arena
+//!   panel,
+//! * `scores_matrix`             — `PROBES` queries × `CANDIDATES` build
+//!   rows in one tiled call (time is per full matrix; divide by
+//!   `PROBES × CANDIDATES` for per-pair cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cx_embed::rng::SplitMix64;
+use cx_vector::block::{dot_block, scores_matrix};
+use cx_vector::kernels::{cosine_with_norms, dot_unrolled};
+use cx_vector::VectorArena;
+use std::time::Duration;
+
+const CANDIDATES: usize = 1024;
+const PROBES: usize = 64;
+
+fn random_arena(rows: usize, dim: usize, seed: u64) -> VectorArena {
+    let mut rng = SplitMix64::new(seed);
+    let mut arena = VectorArena::with_capacity(dim, rows);
+    for _ in 0..rows {
+        arena.push(&rng.unit_vector(dim));
+    }
+    arena
+}
+
+fn bench_block_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_kernels");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(20);
+
+    for dim in [64usize, 256, 768] {
+        let build = random_arena(CANDIDATES, dim, 7 + dim as u64);
+        let probes = random_arena(PROBES, dim, 1000 + dim as u64);
+        let q = probes.row(0).to_vec();
+        let qn = probes.row_norm(0);
+        let build_norm = build.normalized();
+        let qn_vec = {
+            let mut v = q.clone();
+            for x in &mut v {
+                *x /= qn;
+            }
+            v
+        };
+
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_cosine_with_norms", dim),
+            &dim,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut acc = 0.0f32;
+                    for rv in 0..build.len() {
+                        acc += cosine_with_norms(&q, build.row(rv), qn, build.row_norm(rv));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_prenorm_dot", dim),
+            &dim,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut acc = 0.0f32;
+                    for rv in 0..build_norm.len() {
+                        acc += dot_unrolled(&qn_vec, build_norm.row(rv));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        let mut out = vec![0.0f32; CANDIDATES];
+        group.bench_with_input(BenchmarkId::new("dot_block", dim), &dim, |bench, _| {
+            let view = build_norm.as_block();
+            bench.iter(|| {
+                dot_block(&qn_vec, view.data, view.stride, &mut out);
+                black_box(out[CANDIDATES - 1])
+            })
+        });
+        let mut matrix = vec![0.0f32; PROBES * CANDIDATES];
+        group.bench_with_input(BenchmarkId::new("scores_matrix", dim), &dim, |bench, _| {
+            let pv = probes.as_block();
+            let bv = build_norm.as_block();
+            bench.iter(|| {
+                scores_matrix(
+                    pv.data, pv.stride, pv.rows, dim, bv.data, bv.stride, bv.rows, &mut matrix,
+                );
+                black_box(matrix[PROBES * CANDIDATES - 1])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_kernels);
+criterion_main!(benches);

@@ -25,7 +25,7 @@ fn main() {
     for &size in &[1_000usize, 10_000, 50_000, 100_000] {
         // Table I concepts plus synthetic clusters for scale.
         let mut specs = table1_clusters();
-        specs.extend(synthetic_clusters(30, 8, 0xF13_3));
+        specs.extend(synthetic_clusters(30, 8, 0xF133));
         let dirty = generate_dirty(
             &specs,
             DirtyConfig { size, typo_rate: 0.2, case_rate: 0.2, seed: 3 },

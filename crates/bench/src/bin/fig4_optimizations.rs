@@ -17,7 +17,8 @@
 //!   L1 + prefetch         — embeddings prefetched out of the dict
 //!   L2 + tight loop       — contiguous f32 rows, cached norms ("C++")
 //!   L3 + SIMD-shaped      — pre-normalized, 8-wide unrolled kernel
-//!   L4 + scale-up         — parallel probe over all cores
+//!   L4 + blocked kernel   — batch-at-a-time panels, one call per probe
+//!   L5 + scale-up         — parallel blocked probe over all cores
 //! Each rung × {no pushdown, 1% filter pushdown on both inputs}.
 //!
 //! Entries marked `*` were measured on a subsample and extrapolated by the
@@ -30,6 +31,7 @@
 use cx_bench::{measure_or_extrapolate, InterpretedModel, Measured};
 use cx_datagen::{generate_corpus, synthetic_clusters, CorpusConfig};
 use cx_embed::{ClusteredTextModel, EmbeddingModel};
+use cx_vector::block::dot_block_threshold;
 use cx_vector::kernels::{dot, dot_unrolled};
 use cx_vector::VectorStore;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -39,7 +41,7 @@ const THRESHOLD: f32 = 0.9;
 const PUSHDOWN_SELECTIVITY: f64 = 0.01;
 
 fn corpus(n: usize, seed: u64) -> Vec<String> {
-    let clusters = synthetic_clusters(200, 10, 0xF16_4);
+    let clusters = synthetic_clusters(200, 10, 0xF164);
     let vocab = cx_datagen::vocab::all_words(&clusters);
     generate_corpus(
         &vocab,
@@ -48,7 +50,7 @@ fn corpus(n: usize, seed: u64) -> Vec<String> {
 }
 
 fn model() -> Arc<dyn EmbeddingModel> {
-    let clusters = synthetic_clusters(200, 10, 0xF16_4);
+    let clusters = synthetic_clusters(200, 10, 0xF164);
     let space = Arc::new(cx_datagen::build_space(&clusters, 100, 42));
     Arc::new(ClusteredTextModel::new("fasttext-like", space, 7))
 }
@@ -117,25 +119,41 @@ fn join_simd(left: &VectorStore, right: &VectorStore) -> usize {
     matches
 }
 
-/// L4: L3 parallelized over left rows with scoped threads.
+/// L4: blocked batch kernel — each probe scores the whole pre-normalized
+/// build panel with one threshold-aware kernel call.
+fn join_blocked(left: &VectorStore, right: &VectorStore) -> usize {
+    let view = right.as_block();
+    let mut matches = 0usize;
+    for (_, l) in left.iter() {
+        dot_block_threshold(l, view.data, view.stride, view.rows, THRESHOLD, |_, _| {
+            matches += 1
+        });
+    }
+    matches
+}
+
+/// L5: L4 parallelized over left rows with scoped threads.
 fn join_parallel(left: &VectorStore, right: &VectorStore, threads: usize) -> usize {
     let counter = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                let view = right.as_block();
                 let mut local = 0usize;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= left.len() {
                         break;
                     }
-                    let l = left.row(i);
-                    for (_, r) in right.iter() {
-                        if dot_unrolled(l, r) >= THRESHOLD {
-                            local += 1;
-                        }
-                    }
+                    dot_block_threshold(
+                        left.row(i),
+                        view.data,
+                        view.stride,
+                        view.rows,
+                        THRESHOLD,
+                        |_, _| local += 1,
+                    );
                 }
                 counter.fetch_add(local, Ordering::Relaxed);
             });
@@ -220,7 +238,20 @@ fn main() {
     });
     rows.push(("L3 + SIMD-shaped unrolled kernel", no_push, push));
 
-    // ---- L4: + scale-up ----------------------------------------------------
+    // ---- L4: + blocked batch kernel ----------------------------------------
+    let no_push = measure_or_extrapolate(n, n, |k| {
+        let l = slice_store(&left_norm, k);
+        let r = slice_store(&right_norm, k);
+        std::hint::black_box(join_blocked(&l, &r));
+    });
+    let push = measure_or_extrapolate(pushed, pushed, |k| {
+        let l = slice_store(&left_norm, k);
+        let r = slice_store(&right_norm, k);
+        std::hint::black_box(join_blocked(&l, &r));
+    });
+    rows.push(("L4 + blocked batch kernel", no_push, push));
+
+    // ---- L5: + scale-up ----------------------------------------------------
     let no_push = measure_or_extrapolate(n, n, |k| {
         let l = slice_store(&left_norm, k);
         let r = slice_store(&right_norm, k);
@@ -231,7 +262,7 @@ fn main() {
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_parallel(&l, &r, threads));
     });
-    rows.push(("L4 + parallel scale-up", no_push, push));
+    rows.push(("L5 + parallel scale-up", no_push, push));
 
     // ---- report ------------------------------------------------------------
     println!(

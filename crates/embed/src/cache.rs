@@ -69,12 +69,44 @@ impl EmbeddingCache {
 
     /// Embeds a batch into a flat row-major matrix through the cache.
     pub fn get_batch(&self, texts: &[&str]) -> Vec<f32> {
-        let dim = self.dim();
-        let mut out = vec![0.0f32; texts.len() * dim];
-        for (row, text) in out.chunks_exact_mut(dim).zip(texts) {
-            row.copy_from_slice(&self.get(text));
-        }
+        let mut out = vec![0.0f32; texts.len() * self.dim()];
+        self.get_batch_into(texts, self.dim(), &mut out);
         out
+    }
+
+    /// Embeds a batch directly into a caller-provided row-major buffer:
+    /// text `i` lands at `out[i * stride .. i * stride + dim]`. Padding
+    /// lanes (`dim..stride`) are left untouched.
+    ///
+    /// This is the arena fill path for blocked similarity kernels: cache
+    /// hits copy straight from the cached entry and misses embed into the
+    /// destination row, so the batch never materializes a per-string
+    /// `Arc<Vec<f32>>` on the way out.
+    ///
+    /// # Panics
+    /// Panics if `stride < dim` or `out` is shorter than
+    /// `texts.len() * stride`.
+    pub fn get_batch_into<S: AsRef<str>>(&self, texts: &[S], stride: usize, out: &mut [f32]) {
+        let dim = self.dim();
+        assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
+        assert!(
+            out.len() >= texts.len() * stride,
+            "buffer of {} floats too short for {} rows at stride {stride}",
+            out.len(),
+            texts.len()
+        );
+        for (text, row) in texts.iter().zip(out.chunks_exact_mut(stride)) {
+            let text = text.as_ref();
+            // Hit fast path: copy straight out of the cached entry under
+            // the read lock, no Arc traffic. Misses delegate to `get` so
+            // counter and insertion semantics stay defined in one place.
+            if let Some(v) = self.entries.read().get(text) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                row[..dim].copy_from_slice(v);
+                continue;
+            }
+            row[..dim].copy_from_slice(&self.get(text));
+        }
     }
 
     /// Cache hits so far.
@@ -147,6 +179,30 @@ mod tests {
         // Rows 0 and 2 are identical.
         let dim = c.dim();
         assert_eq!(out[0..dim], out[2 * dim..3 * dim]);
+    }
+
+    #[test]
+    fn batch_into_strided_buffer() {
+        let c = cache();
+        let dim = c.dim();
+        let stride = dim + 3;
+        let mut out = vec![f32::NAN; 3 * stride];
+        c.get_batch_into(&["x", "y", "x"], stride, &mut out);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 1);
+        for (i, t) in ["x", "y", "x"].iter().enumerate() {
+            assert_eq!(out[i * stride..i * stride + dim], c.get(t)[..], "row {i}");
+            // Padding lanes untouched.
+            assert!(out[i * stride + dim..(i + 1) * stride].iter().all(|x| x.is_nan()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn batch_into_short_buffer_panics() {
+        let c = cache();
+        let mut out = vec![0.0f32; c.dim()];
+        c.get_batch_into(&["a", "b"], c.dim(), &mut out);
     }
 
     #[test]

@@ -1161,7 +1161,7 @@ mod tests {
 
     #[test]
     fn scalar_cmp_total_order() {
-        let mut vals = vec![
+        let mut vals = [
             Scalar::from("b"),
             Scalar::Null,
             Scalar::Int64(5),

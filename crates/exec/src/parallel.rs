@@ -46,6 +46,39 @@ where
         .collect()
 }
 
+/// Runs `f` over the partitions of `0..n` (at most `parts` contiguous
+/// spans, via [`partition_ranges`]) on scoped worker threads, returning
+/// results in range order.
+///
+/// This is the morsel driver for value-level (non-chunk) work — e.g. the
+/// semantic join's probe tiles, where each worker scans a span of probe
+/// vectors against the build-side arena. `parts <= 1` (or a single
+/// partition) runs inline.
+pub fn parallel_map_ranges<T, F>(n: usize, parts: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let ranges = partition_ranges(n, parts.max(1));
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move |_| f(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel range worker panicked"))
+            .collect()
+    })
+    .expect("scoped workers joined")
+}
+
 /// Splits the row range `0..n` into at most `parts` contiguous spans of
 /// near-equal size (used to partition build/probe work).
 pub fn partition_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
@@ -125,6 +158,18 @@ mod tests {
             }
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn map_ranges_matches_serial() {
+        let serial: Vec<usize> = parallel_map_ranges(100, 1, |r| r.sum());
+        let parallel: Vec<usize> = parallel_map_ranges(100, 7, |r| r.sum());
+        assert_eq!(serial.iter().sum::<usize>(), parallel.iter().sum::<usize>());
+        assert_eq!(parallel.len(), 7);
+        // Order is preserved: first range covers the lowest indices.
+        let firsts: Vec<usize> = parallel_map_ranges(100, 7, |r| r.start);
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+        assert!(parallel_map_ranges(0, 4, |r| r.len()).is_empty());
     }
 
     #[test]

@@ -91,9 +91,9 @@ pub fn place_pipeline(pipeline: &[OperatorProfile], topology: &Topology) -> Opti
 
     // Best final device.
     let (mut best_d, mut best) = (usize::MAX, INF);
-    for d in 0..n_dev {
-        if cost[n - 1][d] < best {
-            best = cost[n - 1][d];
+    for (d, &c) in cost[n - 1].iter().enumerate() {
+        if c < best {
+            best = c;
             best_d = d;
         }
     }
@@ -145,7 +145,7 @@ pub fn place_single_device(
             continue;
         }
         let total: f64 = stage_compute_ns.iter().sum();
-        if best.as_ref().map_or(true, |b| total < b.total_ns) {
+        if best.as_ref().is_none_or(|b| total < b.total_ns) {
             best = Some(PlacementPlan {
                 assignments: vec![d; pipeline.len()],
                 stage_transfer_ns: vec![0.0; pipeline.len()],

@@ -99,7 +99,9 @@ pub fn create_physical_plan(
             {
                 SemanticJoinStrategy::Lsh(LshParams::default())
             } else {
-                SemanticJoinStrategy::PreNormalized
+                // Exact path: the blocked scan is the fastest exact rung
+                // and bit-identical to pairwise prenormalized scoring.
+                SemanticJoinStrategy::Blocked
             };
             let l = create_physical_plan(left, ctx, env)?;
             let r = create_physical_plan(right, ctx, env)?;
@@ -213,7 +215,7 @@ mod tests {
     }
 
     #[test]
-    fn semantic_join_small_input_uses_prenormalized() {
+    fn semantic_join_small_input_uses_blocked_exact_scan() {
         let (env, mut ctx) = env_and_ctx();
         let plan = LogicalPlan::SemanticJoin {
             left: Box::new(scan()),
@@ -227,7 +229,7 @@ mod tests {
             },
         };
         let op = create_physical_plan(&plan, &mut ctx, &env).unwrap();
-        assert!(op.name().contains("pre-normalized"), "{}", op.name());
+        assert!(op.name().contains("blocked"), "{}", op.name());
         // Executes and matches at least the identical strings.
         let out = collect_table(op.as_ref()).unwrap();
         assert!(out.num_rows() >= 4, "got {}", out.num_rows());

@@ -56,7 +56,7 @@ impl OnlineClusterer {
                 continue;
             }
             let sim = dot_unrolled(emb, sum) / denom;
-            if sim >= self.threshold && best.map_or(true, |(_, b)| sim > b) {
+            if sim >= self.threshold && best.is_none_or(|(_, b)| sim > b) {
                 best = Some((id, sim));
             }
         }

@@ -6,7 +6,10 @@
 use cx_embed::EmbeddingCache;
 use cx_exec::{ChunkStream, PhysicalOperator};
 use cx_storage::{Bitmap, DataType, Error, Result, Schema};
-use cx_vector::kernels::{cosine_with_norms, norm};
+use cx_vector::block::cosine_block_threshold;
+use cx_vector::kernels::norm;
+use cx_vector::VectorArena;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Filters rows whose `column` value embeds within `threshold` cosine
@@ -86,12 +89,37 @@ impl PhysicalOperator for SemanticFilterExec {
             let chunk = chunk?;
             let col = chunk.column(column_index)?;
             let values = col.utf8_values()?;
-            let mask = Bitmap::from_bools(values.iter().enumerate().map(|(i, v)| {
-                if !col.is_valid(i) {
-                    return false; // NULL never matches.
+
+            // Deduplicate the chunk's values, embed the distinct set into a
+            // contiguous arena, then score target-vs-panel with one blocked
+            // threshold scan (scores match the pairwise cosine_with_norms
+            // kernel bit-for-bit).
+            let mut value_id: HashMap<&str, usize> = HashMap::new();
+            let mut distinct: Vec<&str> = Vec::new();
+            for (i, v) in values.iter().enumerate() {
+                if col.is_valid(i) {
+                    value_id.entry(v.as_str()).or_insert_with(|| {
+                        distinct.push(v.as_str());
+                        distinct.len() - 1
+                    });
                 }
-                let emb = cache.get(v);
-                cosine_with_norms(&target_vec, &emb, target_norm, norm(&emb)) >= threshold
+            }
+            let arena = VectorArena::from_texts(&cache, &distinct);
+            let view = arena.as_block();
+            let mut passes = vec![false; distinct.len()];
+            cosine_block_threshold(
+                &target_vec,
+                target_norm,
+                view.data,
+                view.stride,
+                view.norms,
+                threshold,
+                |r, _| passes[r] = true,
+            );
+
+            let mask = Bitmap::from_bools(values.iter().enumerate().map(|(i, v)| {
+                // NULL never matches.
+                col.is_valid(i) && passes[value_id[v.as_str()]]
             }));
             chunk.filter(&mask)
         })))

@@ -114,10 +114,10 @@ impl PhysicalOperator for SemanticGroupByExec {
             let chunk: Chunk = chunk?;
             let col = chunk.column(self.column_index)?;
             let values = col.utf8_values()?;
-            for row in 0..chunk.num_rows() {
+            for (row, value) in values.iter().enumerate() {
                 let accs = if col.is_valid(row) {
-                    let emb = self.cache.get(&values[row]);
-                    let id = clusterer.assign(&values[row], &emb);
+                    let emb = self.cache.get(value);
+                    let id = clusterer.assign(value, &emb);
                     if id == cluster_accs.len() {
                         cluster_accs.push(make_accs());
                     }

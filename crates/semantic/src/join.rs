@@ -11,22 +11,29 @@
 //! * [`SemanticJoinStrategy::NestedLoop`] — per-pair cosine with cached
 //!   norms over distinct values (the honest quadratic baseline),
 //! * [`SemanticJoinStrategy::PreNormalized`] — normalize once, then the
-//!   inner loop is a bare unrolled dot product,
+//!   inner loop is a bare unrolled dot product (the pairwise rung),
+//! * [`SemanticJoinStrategy::Blocked`] — the default: normalize once, then
+//!   score each probe against cache-sized tiles of the build-side arena
+//!   with the blocked kernels. Scores are bit-identical to
+//!   `PreNormalized`; only the schedule changes,
 //! * [`SemanticJoinStrategy::Lsh`] / [`SemanticJoinStrategy::Ivf`] — probe
 //!   an approximate index built on the right side, trading recall for
 //!   candidate pruning.
 //!
-//! Distinct join-key values are deduplicated before embedding, so model
-//! inference cost scales with distinct values, not rows.
+//! Distinct join-key values are deduplicated before embedding and flow
+//! from the embedding cache straight into a contiguous [`VectorArena`]
+//! ([`VectorArena::from_texts`]), so model inference cost scales with
+//! distinct values and the probe loop streams over contiguous rows.
 
 use cx_embed::EmbeddingCache;
-use cx_exec::{parallel::partition_ranges, ChunkStream, PhysicalOperator};
+use cx_exec::{parallel::parallel_map_ranges, ChunkStream, PhysicalOperator};
 use cx_storage::{Chunk, Column, DataType, Error, Field, Result, Schema};
-use cx_vector::lsh::LshParams;
+use cx_vector::block::{dot_block_threshold, TILE};
 use cx_vector::ivf::IvfParams;
+use cx_vector::lsh::LshParams;
 use cx_vector::{
     kernels::{cosine_with_norms, dot_unrolled},
-    IvfIndex, LshIndex, VectorIndex, VectorStore,
+    IvfIndex, LshIndex, VectorArena, VectorIndex, VectorStore,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,10 +46,20 @@ pub enum SemanticJoinStrategy {
     NestedLoop,
     /// Exact: pre-normalize both sides, inner loop is a dot product.
     PreNormalized,
+    /// Exact: pre-normalize both sides, probe tiles scored against build
+    /// blocks with the batched kernels (bit-identical to `PreNormalized`).
+    Blocked,
     /// Approximate: random-hyperplane LSH index on the right side.
     Lsh(LshParams),
     /// Approximate: IVF-Flat index on the right side.
     Ivf(IvfParams),
+}
+
+impl Default for SemanticJoinStrategy {
+    /// The blocked exact scan: fastest exact rung, identical results.
+    fn default() -> Self {
+        SemanticJoinStrategy::Blocked
+    }
 }
 
 impl SemanticJoinStrategy {
@@ -51,6 +68,7 @@ impl SemanticJoinStrategy {
         match self {
             SemanticJoinStrategy::NestedLoop => "nested-loop",
             SemanticJoinStrategy::PreNormalized => "pre-normalized",
+            SemanticJoinStrategy::Blocked => "blocked",
             SemanticJoinStrategy::Lsh(_) => "lsh",
             SemanticJoinStrategy::Ivf(_) => "ivf",
         }
@@ -202,19 +220,25 @@ impl PhysicalOperator for SemanticJoinExec {
         let (left_vals, left_rows) = distinct_values(&left, self.left_key)?;
         let (right_vals, right_rows) = distinct_values(&right, self.right_key)?;
 
-        // Embed distinct values through the cache into contiguous stores.
-        let dim = self.cache.dim();
-        let mut right_store = VectorStore::new(dim);
-        for v in &right_vals {
-            right_store.push(&self.cache.get(v));
-        }
-        let mut left_store = VectorStore::new(dim);
-        for v in &left_vals {
-            left_store.push(&self.cache.get(v));
-        }
+        // Embed distinct values through the cache straight into contiguous
+        // storage (no per-string Arc materialization on the batch path):
+        // scan strategies get the padded arena the blocked kernels want,
+        // index strategies get the unpadded store their builders consume —
+        // each side is embedded exactly once either way.
+        let right_side = match self.strategy {
+            SemanticJoinStrategy::Lsh(_) | SemanticJoinStrategy::Ivf(_) => {
+                let refs: Vec<&str> = right_vals.iter().map(String::as_str).collect();
+                RightSide::Store(VectorStore::from_flat(
+                    self.cache.dim(),
+                    self.cache.get_batch(&refs),
+                ))
+            }
+            _ => RightSide::Arena(VectorArena::from_texts(&self.cache, &right_vals)),
+        };
+        let left_arena = VectorArena::from_texts(&self.cache, &left_vals);
 
         // Value-level matching under the chosen strategy.
-        let matches = self.match_values(&left_store, &right_store)?;
+        let matches = self.match_values(&left_arena, &right_side)?;
         self.matches_found
             .fetch_add(matches.len() as u64, Ordering::Relaxed);
 
@@ -248,119 +272,152 @@ impl PhysicalOperator for SemanticJoinExec {
     }
 }
 
+/// Right-side embedding storage, shaped per strategy: padded arena for the
+/// scan strategies, unpadded store for the index builders.
+enum RightSide {
+    Arena(VectorArena),
+    Store(VectorStore),
+}
+
+impl RightSide {
+    fn is_empty(&self) -> bool {
+        match self {
+            RightSide::Arena(a) => a.is_empty(),
+            RightSide::Store(s) => s.is_empty(),
+        }
+    }
+}
+
 impl SemanticJoinExec {
     /// Value-level matching: `(left value id, right value id, score)`.
+    ///
+    /// Probe work is tiled over the left values and fanned out with
+    /// [`parallel_map_ranges`]; each strategy scans (or probes an index
+    /// over) the contiguous right side.
     fn match_values(
         &self,
-        left_store: &VectorStore,
-        right_store: &VectorStore,
+        left: &VectorArena,
+        right_side: &RightSide,
     ) -> Result<Vec<(usize, usize, f32)>> {
-        if left_store.is_empty() || right_store.is_empty() {
+        if left.is_empty() || right_side.is_empty() {
             return Ok(Vec::new());
         }
         let threshold = self.threshold;
 
-        // The index (or scan table) is built over the right side once.
+        // Strategy state is prepared once, before the probe fan-out.
         enum Probe<'a> {
-            Scan { store: &'a VectorStore, prenorm: Option<VectorStore> },
+            NestedLoop(&'a VectorArena),
+            PreNorm { left: VectorArena, right: VectorArena },
+            Blocked { left: VectorArena, right: VectorArena },
             Index(Box<dyn VectorIndex>),
         }
-        let probe = match self.strategy {
-            SemanticJoinStrategy::NestedLoop => Probe::Scan { store: right_store, prenorm: None },
-            SemanticJoinStrategy::PreNormalized => Probe::Scan {
-                store: right_store,
-                prenorm: Some(right_store.normalized()),
-            },
-            SemanticJoinStrategy::Lsh(params) => {
-                Probe::Index(Box::new(LshIndex::build(right_store, params)))
+        let probe = match (self.strategy, right_side) {
+            (SemanticJoinStrategy::NestedLoop, RightSide::Arena(right)) => {
+                Probe::NestedLoop(right)
             }
-            SemanticJoinStrategy::Ivf(params) => {
-                Probe::Index(Box::new(IvfIndex::build(right_store, params)))
+            (SemanticJoinStrategy::PreNormalized, RightSide::Arena(right)) => {
+                Probe::PreNorm { left: left.normalized(), right: right.normalized() }
             }
-        };
-        // Pre-normalized probing needs normalized queries too.
-        let left_prenorm = match self.strategy {
-            SemanticJoinStrategy::PreNormalized => Some(left_store.normalized()),
-            _ => None,
+            (SemanticJoinStrategy::Blocked, RightSide::Arena(right)) => {
+                Probe::Blocked { left: left.normalized(), right: right.normalized() }
+            }
+            (SemanticJoinStrategy::Lsh(params), RightSide::Store(store)) => {
+                Probe::Index(Box::new(LshIndex::build(store, params)))
+            }
+            (SemanticJoinStrategy::Ivf(params), RightSide::Store(store)) => {
+                Probe::Index(Box::new(IvfIndex::build(store, params)))
+            }
+            _ => unreachable!("right-side storage shaped by strategy in execute()"),
         };
 
-        let probe_one = |lv: usize, out: &mut Vec<(usize, usize, f32)>| -> u64 {
+        // Scans one contiguous span of left values, returning its local
+        // matches and the number of candidate pairs examined.
+        let scan_span = |span: std::ops::Range<usize>| -> (Vec<(usize, usize, f32)>, u64) {
+            let mut local: Vec<(usize, usize, f32)> = Vec::new();
+            let mut seen = 0u64;
             match &probe {
-                Probe::Scan { store, prenorm } => {
-                    let n = store.len() as u64;
-                    match (prenorm, &left_prenorm) {
-                        (Some(rn), Some(ln)) => {
-                            let q = ln.row(lv);
-                            for (rv, row) in rn.iter() {
-                                let score = dot_unrolled(q, row);
-                                if score >= threshold {
-                                    out.push((lv, rv, score));
-                                }
+                Probe::NestedLoop(right) => {
+                    for lv in span {
+                        let q = left.row(lv);
+                        let qn = left.row_norm(lv);
+                        for rv in 0..right.len() {
+                            let score = cosine_with_norms(q, right.row(rv), qn, right.row_norm(rv));
+                            if score >= threshold {
+                                local.push((lv, rv, score));
                             }
                         }
-                        _ => {
-                            let q = left_store.row(lv);
-                            let qn = left_store.row_norm(lv);
-                            for (rv, row) in store.iter() {
-                                let score = cosine_with_norms(q, row, qn, store.row_norm(rv));
-                                if score >= threshold {
-                                    out.push((lv, rv, score));
-                                }
+                        seen += right.len() as u64;
+                    }
+                }
+                Probe::PreNorm { left: ln, right: rn } => {
+                    for lv in span {
+                        let q = ln.row(lv);
+                        for rv in 0..rn.len() {
+                            let score = dot_unrolled(q, rn.row(rv));
+                            if score >= threshold {
+                                local.push((lv, rv, score));
                             }
+                        }
+                        seen += rn.len() as u64;
+                    }
+                }
+                Probe::Blocked { left: ln, right: rn } => {
+                    // Build-side tiles stay cache-resident while the probe
+                    // span streams over them; the kernel's threshold floor
+                    // skips write-back for sub-threshold candidates.
+                    for t0 in (0..rn.len()).step_by(TILE) {
+                        let tile = rn.block(t0..(t0 + TILE).min(rn.len()));
+                        for lv in span.clone() {
+                            dot_block_threshold(
+                                ln.row(lv),
+                                tile.data,
+                                tile.stride,
+                                tile.rows,
+                                threshold,
+                                |r, score| local.push((lv, t0 + r, score)),
+                            );
                         }
                     }
-                    n
+                    seen += (span.len() * rn.len()) as u64;
                 }
                 Probe::Index(index) => {
-                    let before = index.stats().candidates_examined();
-                    for r in index.search_threshold(left_store.row(lv), threshold) {
-                        out.push((lv, r.id, r.score));
+                    // `seen` stays 0 here: per-span deltas of the shared
+                    // IndexStats counter would race across workers, so the
+                    // caller takes one global delta around the fan-out.
+                    for lv in span {
+                        for r in index.search_threshold(left.row(lv), threshold) {
+                            local.push((lv, r.id, r.score));
+                        }
                     }
-                    index.stats().candidates_examined() - before
                 }
             }
+            (local, seen)
         };
 
-        let n_left = left_store.len();
+        let n_left = left.len();
+        let workers = if self.parallelism <= 1 || n_left < 2 * self.parallelism {
+            1
+        } else {
+            self.parallelism
+        };
+        // Index probes meter candidates through the index's shared stats
+        // counter; one delta around the whole fan-out is race-free.
+        let index_seen_before = match &probe {
+            Probe::Index(index) => index.stats().candidates_examined(),
+            _ => 0,
+        };
         let mut matches: Vec<(usize, usize, f32)> = Vec::new();
         let mut evaluated = 0u64;
-        if self.parallelism <= 1 || n_left < 2 * self.parallelism {
-            for lv in 0..n_left {
-                evaluated += probe_one(lv, &mut matches);
-            }
-        } else {
-            let ranges = partition_ranges(n_left, self.parallelism);
-            let results: Vec<(Vec<(usize, usize, f32)>, u64)> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = ranges
-                        .iter()
-                        .map(|range| {
-                            let range = range.clone();
-                            let probe_one = &probe_one;
-                            scope.spawn(move |_| {
-                                let mut local = Vec::new();
-                                let mut seen = 0u64;
-                                for lv in range {
-                                    seen += probe_one(lv, &mut local);
-                                }
-                                (local, seen)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("semantic join worker panicked"))
-                        .collect()
-                })
-                .map_err(|_| Error::InvalidArgument("semantic join worker panicked".into()))?;
-            for (local, seen) in results {
-                matches.extend(local);
-                evaluated += seen;
-            }
+        for (local, seen) in parallel_map_ranges(n_left, workers, scan_span) {
+            matches.extend(local);
+            evaluated += seen;
+        }
+        if let Probe::Index(index) = &probe {
+            evaluated += index.stats().candidates_examined() - index_seen_before;
         }
         self.pairs_evaluated.fetch_add(evaluated, Ordering::Relaxed);
 
-        // Deterministic order regardless of parallelism.
+        // Deterministic order regardless of parallelism or tiling.
         matches.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         Ok(matches)
     }
@@ -458,7 +515,9 @@ mod tests {
     fn strategies_agree_on_exact_results() {
         let base = join_with(SemanticJoinStrategy::NestedLoop, 1);
         let prenorm = join_with(SemanticJoinStrategy::PreNormalized, 1);
+        let blocked = join_with(SemanticJoinStrategy::Blocked, 1);
         assert_eq!(base.num_rows(), prenorm.num_rows());
+        assert_eq!(base.num_rows(), blocked.num_rows());
         // Same (id, label) pairs.
         let pairs = |t: &Table| {
             let mut v: Vec<(Scalar, Scalar)> = (0..t.num_rows())
@@ -471,13 +530,44 @@ mod tests {
             v
         };
         assert_eq!(pairs(&base), pairs(&prenorm));
+        assert_eq!(pairs(&base), pairs(&blocked));
+    }
+
+    #[test]
+    fn blocked_is_byte_identical_to_prenormalized() {
+        // The blocked default must reproduce the pairwise prenormalized
+        // rung exactly: same rows in the same order, scores equal to the
+        // bit.
+        for parallelism in [1, 4] {
+            let prenorm = join_with(SemanticJoinStrategy::PreNormalized, parallelism);
+            let blocked = join_with(SemanticJoinStrategy::Blocked, parallelism);
+            assert_eq!(prenorm.num_rows(), blocked.num_rows());
+            for i in 0..prenorm.num_rows() {
+                let (a, b) = (prenorm.row(i).unwrap(), blocked.row(i).unwrap());
+                assert_eq!(a[..4], b[..4], "row {i} keys (parallelism {parallelism})");
+                match (&a[4], &b[4]) {
+                    (Scalar::Float64(x), Scalar::Float64(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "row {i} score")
+                    }
+                    other => panic!("unexpected score scalars: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_strategy_is_blocked() {
+        assert_eq!(SemanticJoinStrategy::default(), SemanticJoinStrategy::Blocked);
+        assert_eq!(SemanticJoinStrategy::default().label(), "blocked");
     }
 
     #[test]
     fn parallel_matches_serial() {
-        let serial = join_with(SemanticJoinStrategy::PreNormalized, 1);
-        let parallel = join_with(SemanticJoinStrategy::PreNormalized, 4);
-        assert_eq!(serial.num_rows(), parallel.num_rows());
+        for strategy in [SemanticJoinStrategy::PreNormalized, SemanticJoinStrategy::Blocked] {
+            let serial = join_with(strategy, 1);
+            let parallel = join_with(strategy, 4);
+            assert_eq!(serial.num_rows(), parallel.num_rows());
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 pub const DEFAULT_SAMPLE: usize = 256;
 
 /// Deterministic stride sample of up to `cap` items from `values`.
-fn stride_sample<'a>(values: &'a [String], cap: usize) -> Vec<&'a str> {
+fn stride_sample(values: &[String], cap: usize) -> Vec<&str> {
     if values.is_empty() || cap == 0 {
         return Vec::new();
     }

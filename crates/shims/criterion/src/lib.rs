@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion` exposing the subset of its API this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and `black_box`.
+//!
+//! Measurement is deliberately simple — warm up, calibrate an iteration
+//! count per sample, take `sample_size` wall-clock samples, report
+//! `[min median max]` per iteration — which is plenty to rank kernel
+//! rungs against each other on one machine. No statistics files, no
+//! HTML reports, no outlier analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`; cargo
+        // itself injects `--bench`. Keep the first free-standing word as a
+        // substring filter, like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            samples: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchIdLike>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = self.full_id(&id.into().0);
+        if self.criterion.matches(&full) {
+            self.run(&full, &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = self.full_id(&id.id);
+        if self.criterion.matches(&full) {
+            self.run(&full, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        }
+    }
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(ref r) => println!(
+                "{id:<48} time: [{} {} {}]",
+                fmt_ns(r.min),
+                fmt_ns(r.median),
+                fmt_ns(r.max)
+            ),
+            None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Accepts both `&str`/`String` and [`BenchmarkId`] for `bench_function`.
+pub struct BenchIdLike(String);
+
+impl From<&str> for BenchIdLike {
+    fn from(s: &str) -> Self {
+        BenchIdLike(s.to_string())
+    }
+}
+
+impl From<String> for BenchIdLike {
+    fn from(s: String) -> Self {
+        BenchIdLike(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchIdLike {
+    fn from(id: BenchmarkId) -> Self {
+        BenchIdLike(id.id)
+    }
+}
+
+struct SampleStats {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+/// Runs the measured closure; one `iter` call per benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    result: Option<SampleStats>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find how many iterations fill one sample.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut iters_timed = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(f());
+            iters_timed += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_timed.max(1) as f64;
+        let sample_time = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((sample_time / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.result = Some(SampleStats {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: samples[samples.len() - 1],
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| black_box(1u64 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn formats_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

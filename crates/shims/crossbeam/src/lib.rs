@@ -1,0 +1,69 @@
+//! Offline stand-in for the `crossbeam::thread` scoped-thread API,
+//! implemented on `std::thread::scope` (stable since 1.63).
+//!
+//! Behavioral difference: if a spawned worker panics and its handle is
+//! never joined, the panic resurfaces when the scope exits (std semantics)
+//! instead of being returned as the outer `Err`. All call sites in this
+//! workspace either join explicitly or treat worker panics as fatal, so
+//! the difference is unobservable here.
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Matches `crossbeam::thread::Scope`'s spawn surface.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope stdthread::Scope<'scope, 'env>);
+
+    /// Matches `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T>(stdthread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker; the closure receives the scope again so
+        /// workers can spawn sub-workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> stdthread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned workers are joined before
+    /// this returns. Always `Ok` (see module docs for the panic caveat).
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_and_join() {
+        let data = [1, 2, 3];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn workers_can_spawn_subworkers() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`: the trait names exist so `use serde::…`
+//! resolves, and the derives (re-exported from the sibling no-op
+//! `serde_derive` shim) expand to nothing. No code in this workspace
+//! serializes; replace with the real crates when one does.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name; never implemented or
+/// required by this workspace.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name; never implemented or
+/// required by this workspace.
+pub trait Deserialize<'de> {}

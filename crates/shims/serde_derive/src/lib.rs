@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many data types for
+//! forward compatibility, but nothing in the tree serializes yet and the
+//! build environment is offline, so the derives expand to nothing. Swap
+//! this shim for the real crates.io `serde`/`serde_derive` when a wire
+//! format is actually needed.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

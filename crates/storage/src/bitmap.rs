@@ -73,7 +73,7 @@ impl Bitmap {
 
     /// Appends one bit.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         if value {

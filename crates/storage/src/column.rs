@@ -118,7 +118,7 @@ impl Column {
     /// Whether row `i` holds a valid (non-null) value.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity().map_or(true, |v| v.get(i))
+        self.validity().is_none_or(|v| v.get(i))
     }
 
     /// Number of NULL rows.

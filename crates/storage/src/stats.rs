@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn histogram_constant_column() {
-        let h = Histogram::build(std::iter::repeat(7.0).take(10)).unwrap();
+        let h = Histogram::build(std::iter::repeat_n(7.0, 10)).unwrap();
         assert_eq!(h.fraction_below(7.0), 0.0);
         assert_eq!(h.fraction_below(7.1), 1.0);
     }

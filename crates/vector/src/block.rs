@@ -1,0 +1,344 @@
+//! Blocked (batch-at-a-time) similarity kernels: the fourth rung of the
+//! Figure 4 optimization ladder.
+//!
+//! The pairwise kernels in [`crate::kernels`] score one `(query, candidate)`
+//! pair per call; every hot path that loops over them pays per-pair call
+//! and bookkeeping overhead and reloads the query from memory for each
+//! candidate. The kernels here score one query against a *panel* of
+//! candidates laid out row-major (see [`crate::VectorArena`]), and panels
+//! against panels, processing [`MICRO_ROWS`] candidate rows per pass so the
+//! query chunk is loaded once and reused across rows.
+//!
+//! Numerical contract: for every row, the accumulation order is *exactly*
+//! that of [`crate::kernels::dot_unrolled`] (eight independent partial sums
+//! over 8-wide chunks, the same reduction tree, then a sequential tail), so
+//! blocked scores are bit-identical to the pairwise rungs. Blocking changes
+//! the schedule, never the arithmetic.
+//!
+//! Layout contract: a block is `(data, stride)` where row `r` occupies
+//! `data[r * stride .. r * stride + dim]` and `stride >= dim`. Padding
+//! lanes (`dim..stride`) are never read.
+
+use crate::kernels::dot_unrolled;
+
+/// Candidate rows scored per micro-kernel pass. Eight rows keep eight
+/// independent FMA chains in flight (one 8-float accumulator block each),
+/// which saturates the FP units that a single pairwise chain leaves idle;
+/// measured on AVX2/AVX-512 hardware, 8 beats 4 and 16 adds nothing.
+pub const MICRO_ROWS: usize = 8;
+
+/// Default square tile edge for [`scores_matrix`]: 64×64 f32 scores plus a
+/// 64-row panel of dim ≤ 768 stays within L2 on every x86/ARM core that
+/// matters.
+pub const TILE: usize = 64;
+
+#[inline]
+fn reduce8(acc: &[f32; 8]) -> f32 {
+    // Must match dot_unrolled's reduction tree exactly.
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Dot products of `query` against [`MICRO_ROWS`] rows at once.
+///
+/// Each row keeps its own eight accumulators updated in `dot_unrolled`
+/// order; interleaving rows only improves instruction-level parallelism and
+/// query-chunk reuse, so each result is bit-identical to the pairwise call.
+#[inline]
+fn dot_micro8(query: &[f32], rows: &[&[f32]; MICRO_ROWS]) -> [f32; MICRO_ROWS] {
+    let dim = query.len();
+    let chunks = dim / 8;
+    let mut acc = [[0.0f32; 8]; MICRO_ROWS];
+    for c in 0..chunks {
+        let base = c * 8;
+        // Fixed-size array views let the compiler drop bounds checks and
+        // keep the whole pass in vector registers.
+        let q: &[f32; 8] = query[base..base + 8].try_into().expect("8-wide chunk");
+        for r in 0..MICRO_ROWS {
+            let x: &[f32; 8] = rows[r][base..base + 8].try_into().expect("8-wide chunk");
+            for i in 0..8 {
+                acc[r][i] += q[i] * x[i];
+            }
+        }
+    }
+    let mut s = [0.0f32; MICRO_ROWS];
+    for r in 0..MICRO_ROWS {
+        s[r] = reduce8(&acc[r]);
+        for i in chunks * 8..dim {
+            s[r] += query[i] * rows[r][i];
+        }
+    }
+    s
+}
+
+/// The [`MICRO_ROWS`] row slices starting at row `base` of a block.
+#[inline]
+fn micro_rows(block: &[f32], stride: usize, dim: usize, base: usize) -> [&[f32]; MICRO_ROWS] {
+    std::array::from_fn(|k| &block[(base + k) * stride..(base + k) * stride + dim])
+}
+
+/// Scores `query` against `out.len()` candidate rows stored row-major in
+/// `block` at `stride` floats per row, writing `out[r] = dot(query, row_r)`.
+///
+/// Bit-identical to calling `dot_unrolled(query, row_r)` per row.
+///
+/// # Panics
+/// Panics if `stride < query.len()` or `block` is too short for `out.len()`
+/// rows.
+pub fn dot_block(query: &[f32], block: &[f32], stride: usize, out: &mut [f32]) {
+    let dim = query.len();
+    let rows = out.len();
+    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
+    if rows == 0 {
+        return;
+    }
+    assert!(
+        block.len() >= (rows - 1) * stride + dim,
+        "block of {} floats too short for {rows} rows at stride {stride}",
+        block.len()
+    );
+    let mut r = 0;
+    while r + MICRO_ROWS <= rows {
+        let s = dot_micro8(query, &micro_rows(block, stride, dim, r));
+        out[r..r + MICRO_ROWS].copy_from_slice(&s);
+        r += MICRO_ROWS;
+    }
+    while r < rows {
+        out[r] = dot_unrolled(query, &block[r * stride..r * stride + dim]);
+        r += 1;
+    }
+}
+
+/// Threshold-aware block scan: scores `query` against `rows` candidate rows
+/// and invokes `emit(row, score)` only for rows with `score >= floor` —
+/// pruned candidates skip write-back entirely. Pass the current top-k floor
+/// (or the filter threshold) to avoid touching losers.
+///
+/// Scores are bit-identical to [`dot_block`].
+pub fn dot_block_threshold(
+    query: &[f32],
+    block: &[f32],
+    stride: usize,
+    rows: usize,
+    floor: f32,
+    mut emit: impl FnMut(usize, f32),
+) {
+    let dim = query.len();
+    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
+    if rows == 0 {
+        return;
+    }
+    assert!(
+        block.len() >= (rows - 1) * stride + dim,
+        "block of {} floats too short for {rows} rows at stride {stride}",
+        block.len()
+    );
+    let mut r = 0;
+    while r + MICRO_ROWS <= rows {
+        let s = dot_micro8(query, &micro_rows(block, stride, dim, r));
+        for (k, &score) in s.iter().enumerate() {
+            if score >= floor {
+                emit(r + k, score);
+            }
+        }
+        r += MICRO_ROWS;
+    }
+    while r < rows {
+        let score = dot_unrolled(query, &block[r * stride..r * stride + dim]);
+        if score >= floor {
+            emit(r, score);
+        }
+        r += 1;
+    }
+}
+
+/// Cosine variant of [`dot_block_threshold`] with externally cached norms:
+/// `score = dot / (query_norm * norms[r])`, the exact expression of
+/// [`crate::kernels::cosine_with_norms`] (zero-norm rows score 0.0).
+/// `emit(row, score)` fires only for rows at or above `floor`.
+#[allow(clippy::too_many_arguments)]
+pub fn cosine_block_threshold(
+    query: &[f32],
+    query_norm: f32,
+    block: &[f32],
+    stride: usize,
+    norms: &[f32],
+    floor: f32,
+    mut emit: impl FnMut(usize, f32),
+) {
+    let rows = norms.len();
+    if query_norm == 0.0 {
+        // cosine_with_norms returns 0.0 for a zero query against anything.
+        if 0.0 >= floor {
+            for r in 0..rows {
+                emit(r, 0.0);
+            }
+        }
+        return;
+    }
+    dot_block_threshold(query, block, stride, rows, f32::NEG_INFINITY, |r, dot| {
+        let score = if norms[r] == 0.0 { 0.0 } else { dot / (query_norm * norms[r]) };
+        if score >= floor {
+            emit(r, score);
+        }
+    });
+}
+
+/// A GEMM-shaped score matrix: `out[i * build_rows + j] = dot(probe_i,
+/// build_j)`, computed in [`TILE`]×[`TILE`] tiles so the build panel stays
+/// cache-resident while a tile of probes streams over it.
+///
+/// `probe`/`build` are row-major blocks with their own strides; `out` must
+/// hold `probe_rows * build_rows` floats. Bit-identical to the pairwise
+/// loop.
+#[allow(clippy::too_many_arguments)]
+pub fn scores_matrix(
+    probe: &[f32],
+    probe_stride: usize,
+    probe_rows: usize,
+    dim: usize,
+    build: &[f32],
+    build_stride: usize,
+    build_rows: usize,
+    out: &mut [f32],
+) {
+    assert!(probe_stride >= dim && build_stride >= dim, "stride shorter than dim");
+    assert_eq!(out.len(), probe_rows * build_rows, "output shape mismatch");
+    if probe_rows == 0 || build_rows == 0 {
+        return;
+    }
+    assert!(probe.len() >= (probe_rows - 1) * probe_stride + dim, "probe block too short");
+    assert!(build.len() >= (build_rows - 1) * build_stride + dim, "build block too short");
+    for i0 in (0..probe_rows).step_by(TILE) {
+        let i1 = (i0 + TILE).min(probe_rows);
+        for j0 in (0..build_rows).step_by(TILE) {
+            let j1 = (j0 + TILE).min(build_rows);
+            let tile = &build[j0 * build_stride..(j1 - 1) * build_stride + dim];
+            for i in i0..i1 {
+                let q = &probe[i * probe_stride..i * probe_stride + dim];
+                dot_block(q, tile, build_stride, &mut out[i * build_rows + j0..i * build_rows + j1]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{cosine_with_norms, norm};
+    use cx_embed::rng::SplitMix64;
+
+    fn random_block(rows: usize, dim: usize, stride: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        let mut data = vec![0.0f32; rows * stride];
+        for r in 0..rows {
+            for x in &mut data[r * stride..r * stride + dim] {
+                *x = rng.next_f32_symmetric();
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn dot_block_is_bit_identical_to_pairwise() {
+        for (dim, stride) in [(1, 8), (7, 8), (8, 8), (13, 16), (64, 64), (100, 104)] {
+            let mut rng = SplitMix64::new(dim as u64);
+            let q: Vec<f32> = (0..dim).map(|_| rng.next_f32_symmetric()).collect();
+            let block = random_block(11, dim, stride, 42 + dim as u64);
+            let mut out = vec![0.0f32; 11];
+            dot_block(&q, &block, stride, &mut out);
+            for r in 0..11 {
+                let exact = dot_unrolled(&q, &block[r * stride..r * stride + dim]);
+                assert_eq!(out[r].to_bits(), exact.to_bits(), "dim {dim} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_variant_prunes_and_matches() {
+        let dim = 33;
+        let q: Vec<f32> = {
+            let mut rng = SplitMix64::new(5);
+            (0..dim).map(|_| rng.next_f32_symmetric()).collect()
+        };
+        let block = random_block(29, dim, dim, 6);
+        let mut full = vec![0.0f32; 29];
+        dot_block(&q, &block, dim, &mut full);
+        let floor = full[14];
+        let mut emitted = Vec::new();
+        dot_block_threshold(&q, &block, dim, 29, floor, |r, s| emitted.push((r, s)));
+        let expected: Vec<(usize, f32)> = full
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= floor)
+            .map(|(r, &s)| (r, s))
+            .collect();
+        assert_eq!(emitted, expected);
+        assert!(emitted.len() < 29);
+    }
+
+    #[test]
+    fn cosine_threshold_matches_pairwise_kernel() {
+        let dim = 20;
+        let mut rng = SplitMix64::new(9);
+        let q: Vec<f32> = (0..dim).map(|_| rng.next_f32_symmetric()).collect();
+        let qn = norm(&q);
+        let mut block = random_block(10, dim, dim, 10);
+        // Row 3 is a zero vector: cosine_with_norms scores it 0.0.
+        block[3 * dim..4 * dim].fill(0.0);
+        let norms: Vec<f32> = (0..10).map(|r| norm(&block[r * dim..(r + 1) * dim])).collect();
+        let mut got = [f32::NAN; 10];
+        cosine_block_threshold(&q, qn, &block, dim, &norms, f32::NEG_INFINITY, |r, s| got[r] = s);
+        for r in 0..10 {
+            let exact = cosine_with_norms(&q, &block[r * dim..(r + 1) * dim], qn, norms[r]);
+            assert_eq!(got[r].to_bits(), exact.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn cosine_threshold_zero_query_scores_zero() {
+        let block = random_block(4, 8, 8, 11);
+        let norms: Vec<f32> = (0..4).map(|r| norm(&block[r * 8..(r + 1) * 8])).collect();
+        let mut got = Vec::new();
+        cosine_block_threshold(&[0.0; 8], 0.0, &block, 8, &norms, f32::NEG_INFINITY, |r, s| {
+            got.push((r, s));
+        });
+        assert_eq!(got, vec![(0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0)]);
+        got.clear();
+        cosine_block_threshold(&[0.0; 8], 0.0, &block, 8, &norms, 0.5, |r, s| got.push((r, s)));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn scores_matrix_matches_pairwise_loop() {
+        // Cross the tile boundary in both directions, with padded strides.
+        let (m, n, dim, ps, bs) = (TILE + 9, TILE + 17, 24, 24, 32);
+        let probe = random_block(m, dim, ps, 1);
+        let build = random_block(n, dim, bs, 2);
+        let mut out = vec![0.0f32; m * n];
+        scores_matrix(&probe, ps, m, dim, &build, bs, n, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let exact = dot_unrolled(
+                    &probe[i * ps..i * ps + dim],
+                    &build[j * bs..j * bs + dim],
+                );
+                assert_eq!(out[i * n + j].to_bits(), exact.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut out = [0.0f32; 0];
+        dot_block(&[1.0, 2.0], &[], 2, &mut out);
+        dot_block_threshold(&[1.0, 2.0], &[], 2, 0, 0.0, |_, _| panic!("no rows"));
+        scores_matrix(&[], 2, 0, 2, &[], 2, 0, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_block_panics() {
+        let mut out = [0.0f32; 3];
+        dot_block(&[1.0; 4], &[0.0; 8], 4, &mut out);
+    }
+}

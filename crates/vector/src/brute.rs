@@ -1,31 +1,37 @@
 //! Exact brute-force similarity search.
 
+use crate::arena::VectorArena;
+use crate::block::{dot_block_threshold, TILE};
 use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
-use crate::kernels::{cosine_prenormalized, norm};
+use crate::kernels::norm;
 use crate::store::VectorStore;
 use crate::topk::TopK;
 
-/// Exact scan over a normalized vector store.
+/// Exact scan over a normalized vector arena.
 ///
 /// This is the baseline every approximate index is measured against, and —
 /// per the optimizer's cost model — the *right* choice for small
-/// cardinalities where index build cost dominates.
+/// cardinalities where index build cost dominates. The scan runs on the
+/// blocked kernels: candidates are scored a panel at a time via
+/// [`dot_block_threshold`], and top-k scans pass the current heap floor
+/// so pruned candidates skip write-back. Scores are bit-identical to the
+/// pairwise prenormalized kernel.
 pub struct BruteForceIndex {
-    store: VectorStore,
+    arena: VectorArena,
     stats: IndexStats,
 }
 
 impl BruteForceIndex {
-    /// Builds the index (normalizes a copy of the store).
+    /// Builds the index (normalizes a copy of the store into arena layout).
     pub fn build(store: &VectorStore) -> Self {
         BruteForceIndex {
-            store: store.normalized(),
+            arena: VectorArena::from_store(store).normalized(),
             stats: IndexStats::default(),
         }
     }
 
     fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
-        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        assert_eq!(query.len(), self.arena.dim(), "query dimension mismatch");
         let n = norm(query);
         if n == 0.0 {
             return query.to_vec();
@@ -40,29 +46,34 @@ impl VectorIndex for BruteForceIndex {
     }
 
     fn len(&self) -> usize {
-        self.store.len()
+        self.arena.len()
     }
 
     fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult> {
         let q = self.normalized_query(query);
-        self.stats.record_search(self.store.len());
+        self.stats.record_search(self.arena.len());
+        let view = self.arena.as_block();
         let mut out = Vec::new();
-        for (id, row) in self.store.iter() {
-            let score = cosine_prenormalized(&q, row);
-            if score >= threshold {
-                out.push(SearchResult { id, score });
-            }
-        }
+        dot_block_threshold(&q, view.data, view.stride, view.rows, threshold, |id, score| {
+            out.push(SearchResult { id, score })
+        });
         sort_results(&mut out);
         out
     }
 
     fn search_topk(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
         let q = self.normalized_query(query);
-        self.stats.record_search(self.store.len());
+        self.stats.record_search(self.arena.len());
         let mut topk = TopK::new(k);
-        for (id, row) in self.store.iter() {
-            topk.push(id, cosine_prenormalized(&q, row));
+        let n = self.arena.len();
+        for t0 in (0..n).step_by(TILE) {
+            let tile = self.arena.block(t0..(t0 + TILE).min(n));
+            // Once the heap is full, its floor skips write-back for the
+            // tile's losing candidates.
+            let floor = topk.threshold().unwrap_or(f32::NEG_INFINITY);
+            dot_block_threshold(&q, tile.data, tile.stride, tile.rows, floor, |r, score| {
+                topk.push(t0 + r, score)
+            });
         }
         topk.into_sorted()
             .into_iter()
@@ -75,7 +86,7 @@ impl VectorIndex for BruteForceIndex {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.store.memory_bytes()
+        self.arena.memory_bytes()
     }
 
     fn is_exact(&self) -> bool {
@@ -86,6 +97,7 @@ impl VectorIndex for BruteForceIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::cosine_prenormalized;
 
     fn store() -> VectorStore {
         // Four 4-d vectors: two near e0, one near e1, one diagonal.
@@ -147,5 +159,35 @@ mod tests {
         let idx = BruteForceIndex::build(&VectorStore::new(3));
         assert!(idx.is_empty());
         assert!(idx.search_threshold(&[1.0, 0.0, 0.0], 0.5).is_empty());
+    }
+
+    #[test]
+    fn blocked_scan_matches_pairwise_scores_bitwise() {
+        use cx_embed::rng::SplitMix64;
+        let mut rng = SplitMix64::new(17);
+        let mut s = VectorStore::new(24);
+        // Enough rows to cross several scan tiles.
+        for _ in 0..(3 * TILE + 5) {
+            s.push(&rng.unit_vector(24));
+        }
+        let idx = BruteForceIndex::build(&s);
+        let q = rng.unit_vector(24);
+        let qn = {
+            let n = norm(&q);
+            q.iter().map(|x| x / n).collect::<Vec<_>>()
+        };
+        for r in idx.search_threshold(&q, 0.2) {
+            let exact = cosine_prenormalized(&qn, idx.arena.row(r.id));
+            assert_eq!(r.score.to_bits(), exact.to_bits(), "id {}", r.id);
+        }
+        // Top-k with heap pruning returns the same ids as an exhaustive sort.
+        let k = 7;
+        let got: Vec<usize> = idx.search_topk(&q, k).iter().map(|r| r.id).collect();
+        let mut all: Vec<(usize, f32)> = (0..idx.len())
+            .map(|i| (i, cosine_prenormalized(&qn, idx.arena.row(i))))
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let want: Vec<usize> = all[..k].iter().map(|(i, _)| *i).collect();
+        assert_eq!(got, want);
     }
 }

@@ -4,7 +4,15 @@
 //! al. [20]) are built on this structure: cluster the vectors into `nlist`
 //! cells with k-means, keep an inverted list per cell, and at query time
 //! scan only the `nprobe` cells whose centroids are closest to the query.
+//!
+//! Storage is *cell-contiguous*: after clustering, vectors are regrouped so
+//! each inverted list occupies one contiguous arena block. A probe then
+//! scores its whole cell with one blocked-kernel call
+//! ([`dot_block_threshold`]) instead of chasing ids row by row — the same
+//! batch-at-a-time shape as the rest of the semantic hot path.
 
+use crate::arena::VectorArena;
+use crate::block::{dot_block, dot_block_threshold, TILE};
 use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
 use crate::kernels::{cosine_prenormalized, norm};
 use crate::store::VectorStore;
@@ -32,10 +40,15 @@ impl Default for IvfParams {
 
 /// IVF-Flat index over normalized vectors, cosine metric.
 pub struct IvfIndex {
-    store: VectorStore,
-    /// `nlist × dim` centroid matrix (unit-normalized).
+    /// Normalized vectors regrouped cell-contiguously: cell `c` is arena
+    /// rows `offsets[c]..offsets[c + 1]`.
+    arena: VectorArena,
+    /// Original vector id for each arena row.
+    ids: Vec<u32>,
+    /// `nlist + 1` prefix offsets into `arena`/`ids`.
+    offsets: Vec<usize>,
+    /// `nlist × dim` centroid matrix (unit-normalized, row-major).
     centroids: Vec<f32>,
-    lists: Vec<Vec<u32>>,
     params: IvfParams,
     stats: IndexStats,
 }
@@ -102,17 +115,39 @@ impl IvfIndex {
             }
         }
 
-        // Final assignment into inverted lists.
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        // Final assignment, then regroup vectors cell-contiguously so each
+        // inverted list is one blocked-kernel scan.
+        let mut cell_of = vec![0usize; n];
+        let mut counts = vec![0usize; nlist];
         for (i, row) in store.iter() {
             let c = nearest_centroid(&centroids, dim, nlist, row);
-            lists[c].push(i as u32);
+            cell_of[i] = c;
+            counts[c] += 1;
+        }
+        let mut offsets = vec![0usize; nlist + 1];
+        for c in 0..nlist {
+            offsets[c + 1] = offsets[c] + counts[c];
+        }
+        let mut ids = vec![0u32; n];
+        let mut arena = VectorArena::with_capacity(dim, n);
+        let mut cursor = offsets.clone();
+        // Two passes keep ids and rows aligned: ids first (ordered by id
+        // within each cell because store iteration is in id order)…
+        for i in 0..n {
+            let slot = cursor[cell_of[i]];
+            ids[slot] = i as u32;
+            cursor[cell_of[i]] += 1;
+        }
+        // …then rows pushed in final arena order.
+        for &id in &ids {
+            arena.push(store.row(id as usize));
         }
 
         IvfIndex {
-            store,
+            arena,
+            ids,
+            offsets,
             centroids,
-            lists,
             params: IvfParams { nlist, ..params },
             stats: IndexStats::default(),
         }
@@ -128,20 +163,35 @@ impl IvfIndex {
         self.params
     }
 
-    /// The `nprobe` cells nearest to `q`, by centroid cosine.
+    /// Number of inverted lists.
+    pub fn num_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Original vector ids stored in cell `c`.
+    pub fn cell_ids(&self, c: usize) -> &[u32] {
+        &self.ids[self.offsets[c]..self.offsets[c + 1]]
+    }
+
+    /// The `nprobe` cells nearest to `q`, by centroid cosine — itself a
+    /// blocked scan over the contiguous centroid matrix.
     fn probe_cells(&self, q: &[f32]) -> Vec<usize> {
-        let dim = self.store.dim();
-        let nlist = self.lists.len();
+        let dim = self.arena.dim();
+        let nlist = self.num_cells();
         let mut topk = TopK::new(self.params.nprobe.min(nlist));
-        for c in 0..nlist {
-            let score = cosine_prenormalized(q, &self.centroids[c * dim..(c + 1) * dim]);
-            topk.push(c, score);
+        let mut scores = [0.0f32; TILE];
+        for c0 in (0..nlist).step_by(TILE) {
+            let c1 = (c0 + TILE).min(nlist);
+            dot_block(q, &self.centroids[c0 * dim..], dim, &mut scores[..c1 - c0]);
+            for (k, &score) in scores[..c1 - c0].iter().enumerate() {
+                topk.push(c0 + k, score);
+            }
         }
         topk.into_sorted().into_iter().map(|(c, _)| c).collect()
     }
 
     fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
-        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        assert_eq!(query.len(), self.arena.dim(), "query dimension mismatch");
         let n = norm(query);
         if n == 0.0 {
             return query.to_vec();
@@ -170,7 +220,7 @@ impl VectorIndex for IvfIndex {
     }
 
     fn len(&self) -> usize {
-        self.store.len()
+        self.arena.len()
     }
 
     fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult> {
@@ -179,13 +229,12 @@ impl VectorIndex for IvfIndex {
         let mut examined = 0usize;
         let mut out = Vec::new();
         for c in cells {
-            for &id in &self.lists[c] {
-                examined += 1;
-                let score = cosine_prenormalized(&q, self.store.row(id as usize));
-                if score >= threshold {
-                    out.push(SearchResult { id: id as usize, score });
-                }
-            }
+            let block = self.arena.block(self.offsets[c]..self.offsets[c + 1]);
+            examined += block.rows;
+            let base = self.offsets[c];
+            dot_block_threshold(&q, block.data, block.stride, block.rows, threshold, |r, score| {
+                out.push(SearchResult { id: self.ids[base + r] as usize, score })
+            });
         }
         self.stats.record_search(examined);
         sort_results(&mut out);
@@ -198,10 +247,14 @@ impl VectorIndex for IvfIndex {
         let mut examined = 0usize;
         let mut topk = TopK::new(k);
         for c in cells {
-            for &id in &self.lists[c] {
-                examined += 1;
-                topk.push(id as usize, cosine_prenormalized(&q, self.store.row(id as usize)));
-            }
+            let block = self.arena.block(self.offsets[c]..self.offsets[c + 1]);
+            examined += block.rows;
+            let base = self.offsets[c];
+            // The current heap floor prunes write-back within each cell.
+            let floor = topk.threshold().unwrap_or(f32::NEG_INFINITY);
+            dot_block_threshold(&q, block.data, block.stride, block.rows, floor, |r, score| {
+                topk.push(self.ids[base + r] as usize, score)
+            });
         }
         self.stats.record_search(examined);
         topk.into_sorted()
@@ -215,8 +268,10 @@ impl VectorIndex for IvfIndex {
     }
 
     fn memory_bytes(&self) -> usize {
-        let lists: usize = self.lists.iter().map(|l| l.len() * 4 + 24).sum();
-        self.store.memory_bytes() + self.centroids.len() * 4 + lists
+        self.arena.memory_bytes()
+            + self.centroids.len() * 4
+            + self.ids.len() * 4
+            + self.offsets.len() * std::mem::size_of::<usize>()
     }
 
     fn is_exact(&self) -> bool {
@@ -298,12 +353,27 @@ mod tests {
     }
 
     #[test]
-    fn every_vector_lands_in_exactly_one_list() {
+    fn every_vector_lands_in_exactly_one_cell() {
         let store = clustered_store(200, 4, 16, 9);
         let ivf = IvfIndex::build_default(&store);
-        let mut all: Vec<u32> = ivf.lists.iter().flatten().copied().collect();
+        let mut all: Vec<u32> = (0..ivf.num_cells())
+            .flat_map(|c| ivf.cell_ids(c).iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..200u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cell_storage_is_contiguous_and_aligned_with_ids() {
+        let store = clustered_store(150, 6, 24, 2);
+        let ivf = IvfIndex::build_default(&store);
+        let normalized = store.normalized();
+        for c in 0..ivf.num_cells() {
+            for (k, &id) in ivf.cell_ids(c).iter().enumerate() {
+                let row = ivf.arena.row(ivf.offsets[c] + k);
+                assert_eq!(row, normalized.row(id as usize), "cell {c} slot {k}");
+            }
+        }
     }
 
     #[test]

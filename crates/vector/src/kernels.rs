@@ -8,8 +8,15 @@
 //!    instructions" without `unsafe`),
 //! 3. [`cosine_prenormalized`] — cosine as a bare dot product once inputs
 //!    are unit vectors (norms hoisted out of the O(n²) join loop),
-//! 4. quantized kernels live in [`cx_embed::quant`] and are benchmarked
+//! 4. [`crate::block`] — the batched rung: one query against a contiguous
+//!    panel of candidates ([`crate::block::dot_block`]), panels against
+//!    panels ([`crate::block::scores_matrix`]), same per-pair arithmetic
+//!    at batch-at-a-time memory traffic,
+//! 5. quantized kernels live in [`cx_embed::quant`] and are benchmarked
 //!    alongside.
+//!
+//! Every rung here scores one pair per call; the blocked rung reuses these
+//! exact accumulation orders so its scores are bit-identical.
 
 /// L2 norm of `v`.
 #[inline]
@@ -50,13 +57,18 @@ pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
 
 /// Cosine similarity with norms computed inline (the naive rung: three
 /// passes over the data per pair).
+///
+/// All three passes use the unrolled kernel, so this rung isolates exactly
+/// one inefficiency — recomputing norms per pair — rather than mixing in
+/// the scalar-vs-unrolled gap as well (which would skew the Figure 4
+/// naive baseline two ways at once).
 #[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let (na, nb) = (norm(a), norm(b));
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    dot(a, b) / (na * nb)
+    dot_unrolled(a, b) / (na * nb)
 }
 
 /// Cosine similarity for pre-normalized inputs: just the unrolled dot.

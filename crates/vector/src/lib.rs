@@ -3,11 +3,16 @@
 //! The paper's semantic select/join/group-by reduce to distance computations
 //! in a latent vector space (Section IV), so this crate provides:
 //!
-//! * [`kernels`] — the distance-kernel ladder (scalar, unrolled, norm-
-//!   precomputed, quantized) whose rungs correspond to the "tight code /
-//!   CPU-specific instructions" optimizations of Figure 4,
+//! * [`kernels`] — the pairwise distance-kernel ladder (scalar, unrolled,
+//!   norm-precomputed, quantized) whose rungs correspond to the "tight code
+//!   / CPU-specific instructions" optimizations of Figure 4,
+//! * [`block`] — the batched rung above it: one query scored against a
+//!   row-major panel of candidates ([`dot_block`]), panels against panels
+//!   ([`scores_matrix`]), with threshold-aware early-exit variants,
 //! * [`VectorStore`] — a contiguous row-major matrix of embeddings with
 //!   cached norms (the "prefetch/materialize" optimization),
+//! * [`VectorArena`] — the padded, kernel-aligned arena the blocked
+//!   kernels scan, fillable straight from an embedding cache,
 //! * [`topk`] — bounded top-k collection,
 //! * [`BruteForceIndex`] — exact threshold/top-k scan,
 //! * [`LshIndex`] — random-hyperplane locality-sensitive hashing,
@@ -18,6 +23,8 @@
 //! All indexes implement [`VectorIndex`] so the physical planner can swap
 //! them per cost model.
 
+pub mod arena;
+pub mod block;
 pub mod brute;
 pub mod index;
 pub mod ivf;
@@ -26,6 +33,8 @@ pub mod lsh;
 pub mod store;
 pub mod topk;
 
+pub use arena::{RowBlock, VectorArena};
+pub use block::{cosine_block_threshold, dot_block, dot_block_threshold, scores_matrix};
 pub use brute::BruteForceIndex;
 pub use index::{IndexStats, SearchResult, VectorIndex};
 pub use ivf::IvfIndex;

@@ -1,5 +1,6 @@
 //! Contiguous embedding storage with cached norms.
 
+use crate::arena::RowBlock;
 use crate::kernels::norm;
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +73,24 @@ impl VectorStore {
     /// The flat row-major buffer.
     pub fn flat(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Zero-copy view of rows `range.start..range.end` for the blocked
+    /// kernels (stride equals `dim`: store rows are unpadded).
+    pub fn block(&self, range: std::ops::Range<usize>) -> RowBlock<'_> {
+        assert!(range.end <= self.len(), "block range out of bounds");
+        RowBlock {
+            data: &self.data[range.start * self.dim..range.end * self.dim],
+            stride: self.dim,
+            dim: self.dim,
+            rows: range.len(),
+            norms: &self.norms[range],
+        }
+    }
+
+    /// Zero-copy view of the whole store.
+    pub fn as_block(&self) -> RowBlock<'_> {
+        self.block(0..self.len())
     }
 
     /// Iterator over `(id, row)` pairs.

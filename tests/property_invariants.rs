@@ -4,8 +4,9 @@
 use cx_embed::{f16_to_f32, f32_to_f16, QuantizedVector};
 use cx_expr::{eval, fold_constants, BinOp, Expr};
 use cx_storage::{Bitmap, Chunk, Column, DataType, Field, Scalar, Schema};
-use cx_vector::kernels::{cosine, dot, dot_unrolled, l2_distance, norm};
-use cx_vector::{BruteForceIndex, LshIndex, TopK, VectorIndex, VectorStore};
+use cx_vector::block::{cosine_block_threshold, dot_block, dot_block_threshold, scores_matrix};
+use cx_vector::kernels::{cosine, cosine_with_norms, dot, dot_unrolled, l2_distance, norm};
+use cx_vector::{BruteForceIndex, LshIndex, TopK, VectorArena, VectorIndex, VectorStore};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -118,6 +119,113 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Blocked kernels vs pairwise kernels
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dot_block_matches_pairwise(
+        // Dims deliberately include non-multiples of 8 (tail path) and the
+        // degenerate dim-1 case; pad-or-not covers both stride layouts.
+        dim in 1usize..130,
+        rows in 0usize..40,
+        pad in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = cx_embed::rng::SplitMix64::new(seed);
+        let stride = if pad { dim.next_multiple_of(8) } else { dim };
+        let q: Vec<f32> = (0..dim).map(|_| rng.next_f32_symmetric()).collect();
+        let mut block = vec![0.0f32; rows * stride];
+        for r in 0..rows {
+            for x in &mut block[r * stride..r * stride + dim] {
+                *x = rng.next_f32_symmetric();
+            }
+        }
+        // Make one row a zero vector when there are any rows.
+        if rows > 0 {
+            let z = seed as usize % rows;
+            block[z * stride..z * stride + dim].fill(0.0);
+        }
+        let mut out = vec![f32::NAN; rows];
+        dot_block(&q, &block, stride, &mut out);
+        for r in 0..rows {
+            let pairwise = dot_unrolled(&q, &block[r * stride..r * stride + dim]);
+            // The contract is |Δ| <= 1e-5; the implementation achieves
+            // bit-equality by preserving accumulation order.
+            prop_assert!((out[r] - pairwise).abs() <= 1e-5, "row {r}: {} vs {pairwise}", out[r]);
+            prop_assert_eq!(out[r].to_bits(), pairwise.to_bits(), "row {r} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn threshold_block_scan_matches_pairwise_filter(
+        dim in 1usize..100,
+        rows in 0usize..40,
+        floor in -1.0f32..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = cx_embed::rng::SplitMix64::new(seed);
+        let q: Vec<f32> = (0..dim).map(|_| rng.next_f32_symmetric()).collect();
+        let qn = norm(&q);
+        let mut arena = VectorArena::new(dim);
+        for r in 0..rows.max(1) {
+            if r == rows / 2 {
+                arena.push(&vec![0.0; dim]); // zero vector row
+            } else {
+                arena.push(&(0..dim).map(|_| rng.next_f32_symmetric()).collect::<Vec<_>>());
+            }
+        }
+        let view = arena.as_block();
+        let mut got: Vec<(usize, f32)> = Vec::new();
+        dot_block_threshold(&q, view.data, view.stride, view.rows, floor, |r, s| got.push((r, s)));
+        let want: Vec<(usize, f32)> = (0..arena.len())
+            .map(|r| (r, dot_unrolled(&q, arena.row(r))))
+            .filter(|(_, s)| *s >= floor)
+            .collect();
+        prop_assert_eq!(got, want);
+
+        // Cosine variant agrees with the pairwise cosine_with_norms kernel.
+        let mut cos_got: Vec<(usize, f32)> = Vec::new();
+        cosine_block_threshold(&q, qn, view.data, view.stride, view.norms, floor, |r, s| {
+            cos_got.push((r, s))
+        });
+        let cos_want: Vec<(usize, f32)> = (0..arena.len())
+            .map(|r| (r, cosine_with_norms(&q, arena.row(r), qn, arena.row_norm(r))))
+            .filter(|(_, s)| *s >= floor)
+            .collect();
+        prop_assert_eq!(cos_got, cos_want);
+    }
+
+    #[test]
+    fn scores_matrix_matches_pairwise_loop(
+        dim in 1usize..80,
+        m in 0usize..20,
+        n in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = cx_embed::rng::SplitMix64::new(seed);
+        let mut probe = VectorArena::new(dim);
+        let mut build = VectorArena::new(dim);
+        for _ in 0..m {
+            probe.push(&(0..dim).map(|_| rng.next_f32_symmetric()).collect::<Vec<_>>());
+        }
+        for _ in 0..n {
+            build.push(&(0..dim).map(|_| rng.next_f32_symmetric()).collect::<Vec<_>>());
+        }
+        let (pv, bv) = (probe.as_block(), build.as_block());
+        let mut out = vec![f32::NAN; m * n];
+        scores_matrix(pv.data, pv.stride, m, dim, bv.data, bv.stride, n, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let pairwise = dot_unrolled(probe.row(i), build.row(j));
+                prop_assert!((out[i * n + j] - pairwise).abs() <= 1e-5, "({i},{j})");
+                prop_assert_eq!(out[i * n + j].to_bits(), pairwise.to_bits(), "({i},{j})");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TopK vs full sort
 // ---------------------------------------------------------------------------
 
@@ -188,6 +296,82 @@ proptest! {
             // Every LSH hit is a true hit (scores verified exactly).
             prop_assert!(exact.contains(&r.id), "false positive id {}", r.id);
             prop_assert!(r.score >= 0.8);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SemanticJoin: pairwise vs blocked scoring identity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn semantic_join_blocked_equals_pairwise(
+        n_left in 1usize..25,
+        n_right in 1usize..25,
+        threshold in 0.1f32..0.9,
+        parallelism in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use cx_embed::{EmbeddingCache, HashNGramModel};
+        use cx_exec::{collect_table, PhysicalOperator, TableScanExec};
+        use cx_semantic::{SemanticJoinExec, SemanticJoinStrategy};
+        use cx_storage::Table;
+
+        let mut rng = cx_embed::rng::SplitMix64::new(seed);
+        // Short random words over a tiny alphabet: plenty of near-collisions
+        // so thresholds actually separate pairs.
+        let word = |rng: &mut cx_embed::rng::SplitMix64| {
+            let len = 2 + (rng.next_range(5)) as usize;
+            (0..len)
+                .map(|_| char::from(b'a' + rng.next_range(6) as u8))
+                .collect::<String>()
+        };
+        let left_vals: Vec<String> = (0..n_left).map(|_| word(&mut rng)).collect();
+        let right_vals: Vec<String> = (0..n_right).map(|_| word(&mut rng)).collect();
+
+        let scan = |vals: &[String], col: &str| -> Arc<dyn PhysicalOperator> {
+            let table = Table::from_columns(
+                Schema::new(vec![Field::new(col, DataType::Utf8)]),
+                vec![Column::from_strings(vals.iter().map(|s| s.as_str()))],
+            )
+            .unwrap();
+            Arc::new(TableScanExec::new(Arc::new(table)))
+        };
+
+        let run = |strategy: SemanticJoinStrategy, parallelism: usize| {
+            let cache = Arc::new(EmbeddingCache::new(Arc::new(HashNGramModel::new(3))));
+            let join = SemanticJoinExec::new(
+                scan(&left_vals, "l"),
+                scan(&right_vals, "r"),
+                "l",
+                "r",
+                threshold,
+                "sim",
+                strategy,
+                cache,
+                parallelism,
+            )
+            .unwrap();
+            collect_table(&join).unwrap()
+        };
+
+        let pairwise = run(SemanticJoinStrategy::PreNormalized, 1);
+        let blocked = run(SemanticJoinStrategy::Blocked, parallelism);
+        prop_assert_eq!(pairwise.num_rows(), blocked.num_rows());
+        for i in 0..pairwise.num_rows() {
+            let (a, b) = (pairwise.row(i).unwrap(), blocked.row(i).unwrap());
+            prop_assert_eq!(&a[..2], &b[..2], "row {i} keys");
+            match (&a[2], &b[2]) {
+                (Scalar::Float64(x), Scalar::Float64(y)) => {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "row {i} score {x} vs {y}");
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!("unexpected score scalars {other:?}")));
+                }
+            }
         }
     }
 }
