@@ -1,5 +1,4 @@
-//! Pairwise vs. blocked kernel ablation: the new rung of the Figure 4
-//! ladder.
+//! Pairwise vs. blocked kernel ablation — f32 and quantized tiers.
 //!
 //! Each benchmark scans one query against `CANDIDATES` stored vectors (so
 //! "time" is per scan, and per-pair cost is time / CANDIDATES):
@@ -10,15 +9,24 @@
 //!   rows (division hoisted out),
 //! * `dot_block`                 — one blocked-kernel call over the arena
 //!   panel,
+//! * `pairwise_f16_dot` / `pairwise_int8_dot` — per-candidate
+//!   `QuantizedVector::dot` (the quantized pairwise rung),
+//! * `dot_block_f16` / `dot_block_int8` — one quantized-panel call over a
+//!   `QuantizedArena` (int8 includes query quantization and scale
+//!   application, i.e. the full production path),
 //! * `scores_matrix`             — `PROBES` queries × `CANDIDATES` build
 //!   rows in one tiled call (time is per full matrix; divide by
 //!   `PROBES × CANDIDATES` for per-pair cost).
+//!
+//! After the run, medians land in `BENCH_block_kernels.json` (ns/pair per
+//! rung) so the perf trajectory is tracked across PRs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use cx_embed::rng::SplitMix64;
+use cx_embed::QuantizedVector;
 use cx_vector::block::{dot_block, scores_matrix};
 use cx_vector::kernels::{cosine_with_norms, dot_unrolled};
-use cx_vector::VectorArena;
+use cx_vector::{QuantTier, QuantizedArena, VectorArena};
 use std::time::Duration;
 
 const CANDIDATES: usize = 1024;
@@ -88,6 +96,47 @@ fn bench_block_kernels(c: &mut Criterion) {
                 black_box(out[CANDIDATES - 1])
             })
         });
+
+        // Quantized rungs: per-pair QuantizedVector::dot vs one panel call.
+        let f16_rows: Vec<QuantizedVector> = (0..build_norm.len())
+            .map(|r| QuantizedVector::to_f16(build_norm.row(r)))
+            .collect();
+        let int8_rows: Vec<QuantizedVector> = (0..build_norm.len())
+            .map(|r| QuantizedVector::to_int8(build_norm.row(r)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("pairwise_f16_dot", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0f32;
+                for row in &f16_rows {
+                    acc += row.dot(&qn_vec);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise_int8_dot", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0f32;
+                for row in &int8_rows {
+                    acc += row.dot(&qn_vec);
+                }
+                black_box(acc)
+            })
+        });
+        let f16_panel = QuantizedArena::from_arena(&build_norm, QuantTier::F16);
+        let int8_panel = QuantizedArena::from_arena(&build_norm, QuantTier::Int8);
+        group.bench_with_input(BenchmarkId::new("dot_block_f16", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                f16_panel.scores_into(&qn_vec, &mut out);
+                black_box(out[CANDIDATES - 1])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dot_block_int8", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                int8_panel.scores_into(&qn_vec, &mut out);
+                black_box(out[CANDIDATES - 1])
+            })
+        });
+
         let mut matrix = vec![0.0f32; PROBES * CANDIDATES];
         group.bench_with_input(BenchmarkId::new("scores_matrix", dim), &dim, |bench, _| {
             let pv = probes.as_block();
@@ -104,4 +153,40 @@ fn bench_block_kernels(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_block_kernels);
-criterion_main!(benches);
+
+/// Runs the group, then writes `BENCH_block_kernels.json` — median ns/pair
+/// per rung — so the perf trajectory is tracked across PRs.
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    if results.is_empty() {
+        return;
+    }
+    let mut entries = Vec::new();
+    for r in &results {
+        // One iteration = one scan: CANDIDATES pairs, except the matrix
+        // rung which scores PROBES × CANDIDATES at once.
+        let pairs = if r.id.contains("scores_matrix") {
+            (PROBES * CANDIDATES) as f64
+        } else {
+            CANDIDATES as f64
+        };
+        entries.push(format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"ns_per_pair\": {:.4}}}",
+            r.id,
+            r.median_ns,
+            r.median_ns / pairs
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"block_kernels\",\n  \"candidates\": {CANDIDATES},\n  \"probes\": {PROBES},\n  \"unit\": \"ns\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Anchored to the workspace root: `cargo bench` sets cwd to the
+    // package dir, `cargo run` to wherever the user stands.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_block_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_block_kernels.json ({} rungs)", results.len()),
+        Err(e) => eprintln!("could not write BENCH_block_kernels.json: {e}"),
+    }
+}

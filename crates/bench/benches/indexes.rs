@@ -6,14 +6,14 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cx_embed::rng::SplitMix64;
 use cx_vector::ivf::IvfParams;
 use cx_vector::lsh::LshParams;
-use cx_vector::{BruteForceIndex, IvfIndex, LshIndex, VectorIndex, VectorStore};
+use cx_vector::{BruteForceIndex, IvfIndex, LshIndex, VectorArena, VectorIndex};
 use std::time::Duration;
 
-fn store(n: usize, dim: usize, seed: u64) -> VectorStore {
+fn store(n: usize, dim: usize, seed: u64) -> VectorArena {
     let mut rng = SplitMix64::new(seed);
     let n_clusters = (n / 25).max(2);
     let centroids: Vec<Vec<f32>> = (0..n_clusters).map(|_| rng.unit_vector(dim)).collect();
-    let mut s = VectorStore::new(dim);
+    let mut s = VectorArena::new(dim);
     for i in 0..n {
         let c = &centroids[i % n_clusters];
         let noise = rng.unit_vector(dim);

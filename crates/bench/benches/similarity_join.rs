@@ -6,15 +6,15 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use cx_embed::rng::SplitMix64;
 use cx_vector::ivf::IvfParams;
 use cx_vector::lsh::LshParams;
-use cx_vector::{BruteForceIndex, IvfIndex, LshIndex, VectorIndex, VectorStore};
+use cx_vector::{BruteForceIndex, IvfIndex, LshIndex, VectorArena, VectorIndex};
 use std::time::Duration;
 
 /// Clustered vectors: realistic for synonym-heavy text embeddings.
-fn store(n: usize, dim: usize, seed: u64) -> VectorStore {
+fn store(n: usize, dim: usize, seed: u64) -> VectorArena {
     let mut rng = SplitMix64::new(seed);
     let n_clusters = (n / 20).max(2);
     let centroids: Vec<Vec<f32>> = (0..n_clusters).map(|_| rng.unit_vector(dim)).collect();
-    let mut s = VectorStore::new(dim);
+    let mut s = VectorArena::new(dim);
     for i in 0..n {
         let c = &centroids[i % n_clusters];
         let noise = rng.unit_vector(dim);
@@ -43,8 +43,8 @@ fn bench_threshold_search(c: &mut Criterion) {
 
         let run = |index: &dyn VectorIndex| {
             let mut total = 0usize;
-            for (_, q) in queries.iter() {
-                total += index.search_threshold(q, 0.9).len();
+            for q in 0..queries.len() {
+                total += index.search_threshold(queries.row(q), 0.9).len();
             }
             total
         };

@@ -297,6 +297,33 @@ fn main() {
         "combined (naive no-pushdown -> all optimizations + pushdown): {:.0}x",
         first.1.full_secs / last.2.full_secs
     );
+
+    // Machine-readable trajectory: median ns/pair per rung, tracked across
+    // PRs via BENCH_fig4.json.
+    let pair_count = (n as f64) * (n as f64);
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(name, no_push, push)| {
+            format!(
+                "    {{\"rung\": \"{}\", \"ns_per_pair\": {:.4}, \"no_pushdown_secs\": {:.6}, \"pushdown_secs\": {:.6}, \"extrapolated\": {}}}",
+                name,
+                no_push.full_secs * 1e9 / pair_count,
+                no_push.full_secs,
+                push.full_secs,
+                no_push.extrapolated
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig4_optimizations\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Anchored to the workspace root regardless of invocation cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig4.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_fig4.json ({} rungs)", rows.len()),
+        Err(e) => eprintln!("could not write BENCH_fig4.json: {e}"),
+    }
 }
 
 /// A store view over the first `k` rows (copy; small relative to join cost).

@@ -7,7 +7,7 @@
 //! Usage: `cargo run --release -p cx-bench --bin table1_semantic_matches`
 
 use cx_embed::{ClusteredTextModel, EmbeddingModel};
-use cx_vector::{BruteForceIndex, VectorIndex, VectorStore};
+use cx_vector::{BruteForceIndex, VectorArena, VectorIndex};
 use std::sync::Arc;
 
 fn main() {
@@ -16,11 +16,11 @@ fn main() {
     let space = Arc::new(cx_datagen::build_space(&specs, 100, 42));
     let model = ClusteredTextModel::new("table1-model", space.clone(), 7);
 
-    let mut store = VectorStore::new(model.dim());
+    let mut arena = VectorArena::new(model.dim());
     for w in &words {
-        store.push(&model.embed(w));
+        arena.push(&model.embed(w));
     }
-    let index = BruteForceIndex::build(&store);
+    let index = BruteForceIndex::build(&arena);
 
     println!("TABLE I — context-rich text labels the representation model matches");
     println!("(top-4 nearest labels per category, cosine in parentheses)\n");

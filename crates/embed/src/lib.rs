@@ -38,7 +38,10 @@ pub mod semantic_space;
 pub use cache::EmbeddingCache;
 pub use hash_ngram::HashNGramModel;
 pub use model::{EmbeddingModel, ModelStats};
-pub use quant::{f16_to_f32, f32_to_f16, QuantizedVector};
+pub use quant::{
+    dot_block_f16, dot_block_int8, dot_int8, f16_to_f32, f32_to_f16, quantize_query_int8,
+    QuantTier, QuantizedVector,
+};
 pub use registry::ModelRegistry;
 pub use semantic_space::{ClusterGeometry, ClusterSpec, ClusteredTextModel, SemanticSpace};
 

@@ -3,10 +3,52 @@
 //! Section VI of the paper calls out "inference using hardware-enabled
 //! half-precision (or lower) floating point formats" as an optimization the
 //! engine must consider. This module provides the two standard reduced
-//! formats and their dot-product kernels; the kernel ladder bench measures
-//! their speed/recall trade-off.
+//! formats, their pairwise dot-product kernels, and the *panel* kernels
+//! ([`dot_block_f16`], [`dot_block_int8`]) that score one f32/int8 query
+//! against a row-major block of quantized rows — the quantized siblings of
+//! `cx_vector::block::dot_block`, consumed by `cx_vector`'s
+//! `QuantizedArena`. The kernel ladder bench measures the speed/recall
+//! trade-off per tier.
 
 use serde::{Deserialize, Serialize};
+
+/// A storage/scoring precision tier for embedding panels.
+///
+/// The optimizer picks a tier per semantic scan: lower tiers shrink
+/// bytes-per-row (f32 4 B → f16 2 B → int8 1 B) and speed up panel scoring
+/// at a bounded score error, trading recall tolerance for data movement —
+/// the paper's Section VI half-precision opportunity made a plan property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QuantTier {
+    /// Full precision: exact blocked kernels.
+    #[default]
+    F32,
+    /// IEEE binary16 rows; absolute score error ≲ 1e-3 on unit vectors.
+    F16,
+    /// Symmetric per-row int8; absolute score error ≲ 1.2e-2 on unit
+    /// vectors.
+    Int8,
+}
+
+impl QuantTier {
+    /// Short name for EXPLAIN output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuantTier::F32 => "f32",
+            QuantTier::F16 => "f16",
+            QuantTier::Int8 => "int8",
+        }
+    }
+
+    /// Storage bytes per vector element at this tier.
+    pub fn bytes_per_value(&self) -> usize {
+        match self {
+            QuantTier::F32 => 4,
+            QuantTier::F16 => 2,
+            QuantTier::Int8 => 1,
+        }
+    }
+}
 
 /// Converts an `f32` to IEEE-754 binary16 bits (round-to-nearest-even),
 /// handling subnormals, infinities and NaN.
@@ -138,26 +180,174 @@ impl QuantizedVector {
     }
 
     /// Approximate dot product with an f32 query.
+    ///
+    /// Both arms run the 4-wide unrolled ladder of
+    /// `cx_vector::kernels::dot_unrolled` (independent partial sums, fixed
+    /// reduction tree, sequential tail) so the accumulation shape
+    /// auto-vectorizes and matches the panel kernels' per-row order.
     pub fn dot(&self, query: &[f32]) -> f32 {
         match self {
-            QuantizedVector::F16(d) => d
-                .iter()
-                .zip(query)
-                .map(|(&b, &q)| f16_to_f32(b) * q)
-                .sum(),
+            QuantizedVector::F16(d) => dot_f16(d, query),
             QuantizedVector::Int8 { data, scale } => {
-                let s: f32 = data.iter().zip(query).map(|(&x, &q)| x as f32 * q).sum();
+                let mut acc = [0.0f32; 4];
+                let chunks = data.len().min(query.len()) / 4;
+                for c in 0..chunks {
+                    let base = c * 4;
+                    for i in 0..4 {
+                        acc[i] += data[base + i] as f32 * query[base + i];
+                    }
+                }
+                let mut s = reduce4(&acc);
+                for i in chunks * 4..data.len().min(query.len()) {
+                    s += data[i] as f32 * query[i];
+                }
                 s * scale
             }
         }
     }
 }
 
+#[inline]
+fn reduce4(acc: &[f32; 4]) -> f32 {
+    // The panel kernels reuse this exact reduction tree per row.
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// 4-wide unrolled dot of f16 row bits against an f32 query.
+#[inline]
+fn dot_f16(row: &[u16], query: &[f32]) -> f32 {
+    let dim = row.len().min(query.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = dim / 4;
+    for c in 0..chunks {
+        let base = c * 4;
+        for i in 0..4 {
+            acc[i] += f16_to_f32(row[base + i]) * query[base + i];
+        }
+    }
+    let mut s = reduce4(&acc);
+    for i in chunks * 4..dim {
+        s += f16_to_f32(row[i]) * query[i];
+    }
+    s
+}
+
+/// 4-wide unrolled integer accumulation of two int8 vectors.
+#[inline]
+fn acc_int8(a: &[i8], b: &[i8]) -> i32 {
+    let dim = a.len().min(b.len());
+    let mut acc = [0i32; 4];
+    let chunks = dim / 4;
+    for c in 0..chunks {
+        let base = c * 4;
+        for i in 0..4 {
+            acc[i] += a[base + i] as i32 * b[base + i] as i32;
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..dim {
+        s += a[i] as i32 * b[i] as i32;
+    }
+    s
+}
+
 /// Dot product between two int8 vectors with scales (integer accumulate,
-/// the kernel shape TPU-class hardware runs natively).
+/// the kernel shape TPU-class hardware runs natively). The accumulator is
+/// exact (i32), so any evaluation order gives bit-identical results; the
+/// 4-wide unroll exists purely so LLVM widens it to SIMD.
 pub fn dot_int8(a: &[i8], a_scale: f32, b: &[i8], b_scale: f32) -> f32 {
-    let acc: i32 = a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum();
-    acc as f32 * a_scale * b_scale
+    acc_int8(a, b) as f32 * a_scale * b_scale
+}
+
+/// Quantizes an f32 query to symmetric int8 (scale = max|x| / 127), the
+/// query-side companion of [`QuantizedVector::to_int8`] for the int8 panel
+/// kernel.
+pub fn quantize_query_int8(q: &[f32]) -> (Vec<i8>, f32) {
+    match QuantizedVector::to_int8(q) {
+        QuantizedVector::Int8 { data, scale } => (data, scale),
+        _ => unreachable!("to_int8 returns Int8"),
+    }
+}
+
+/// Scores `query` against `out.len()` f16 rows stored row-major in `block`
+/// at `stride` half-floats per row: `out[r] = dot(query, dequant(row_r))`.
+///
+/// Per-row accumulation order is exactly [`QuantizedVector::dot`]'s f16
+/// arm (4-wide partial sums, fixed reduction tree, sequential tail), so
+/// panel scores are bit-identical to the pairwise quantized call.
+///
+/// # Panics
+/// Panics if `stride < query.len()` or `block` is too short for
+/// `out.len()` rows.
+pub fn dot_block_f16(query: &[f32], block: &[u16], stride: usize, out: &mut [f32]) {
+    let dim = query.len();
+    let rows = out.len();
+    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
+    if rows == 0 {
+        return;
+    }
+    assert!(
+        block.len() >= (rows - 1) * stride + dim,
+        "block of {} halfs too short for {rows} rows at stride {stride}",
+        block.len()
+    );
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot_f16(&block[r * stride..r * stride + dim], query);
+    }
+}
+
+/// Integer panel kernel: accumulates `query · row_r` in exact i32 for
+/// `out.len()` int8 rows stored row-major at `stride` bytes per row.
+/// Callers apply scales afterwards (`acc as f32 * q_scale * row_scale`,
+/// the order of [`dot_int8`]).
+///
+/// Four rows are processed per pass so the quantized query chunk is loaded
+/// once and reused; integer addition is exact, so results are bit-identical
+/// to pairwise [`dot_int8`] accumulation regardless of schedule.
+///
+/// # Panics
+/// Panics if `stride < query.len()` or `block` is too short for
+/// `out.len()` rows.
+pub fn dot_block_int8(query: &[i8], block: &[i8], stride: usize, out: &mut [i32]) {
+    let dim = query.len();
+    let rows = out.len();
+    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
+    if rows == 0 {
+        return;
+    }
+    assert!(
+        block.len() >= (rows - 1) * stride + dim,
+        "block of {} bytes too short for {rows} rows at stride {stride}",
+        block.len()
+    );
+    const MICRO: usize = 4;
+    let mut r = 0;
+    while r + MICRO <= rows {
+        let mut acc = [[0i32; 4]; MICRO];
+        let rows4: [&[i8]; MICRO] =
+            std::array::from_fn(|k| &block[(r + k) * stride..(r + k) * stride + dim]);
+        let chunks = dim / 4;
+        for c in 0..chunks {
+            let base = c * 4;
+            for (k, row) in rows4.iter().enumerate() {
+                for i in 0..4 {
+                    acc[k][i] += query[base + i] as i32 * row[base + i] as i32;
+                }
+            }
+        }
+        for (k, row) in rows4.iter().enumerate() {
+            let mut s = (acc[k][0] + acc[k][1]) + (acc[k][2] + acc[k][3]);
+            for i in chunks * 4..dim {
+                s += query[i] as i32 * row[i] as i32;
+            }
+            out[r + k] = s;
+        }
+        r += MICRO;
+    }
+    while r < rows {
+        out[r] = acc_int8(query, &block[r * stride..r * stride + dim]);
+        r += 1;
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +435,104 @@ mod tests {
         let q = QuantizedVector::to_int8(&[0.0, 0.0]);
         assert_eq!(q.dequantize(), vec![0.0, 0.0]);
         assert_eq!(q.dot(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn tier_labels_and_bytes() {
+        assert_eq!(QuantTier::default(), QuantTier::F32);
+        assert_eq!(QuantTier::F16.label(), "f16");
+        assert_eq!(
+            [QuantTier::F32, QuantTier::F16, QuantTier::Int8].map(|t| t.bytes_per_value()),
+            [4, 2, 1]
+        );
+    }
+
+    /// Deterministic pseudo-random f32 in roughly [-0.6, 0.6].
+    fn val(i: usize, salt: u64) -> f32 {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+        ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    }
+
+    #[test]
+    fn f16_panel_bit_identical_to_pairwise_dot() {
+        // Odd dims exercise the 4-wide tail; stride > dim exercises padding.
+        for (dim, stride) in [(1, 8), (5, 8), (8, 8), (13, 16), (100, 104)] {
+            let q: Vec<f32> = (0..dim).map(|i| val(i, 1)).collect();
+            let rows = 9;
+            let mut block = vec![0u16; rows * stride];
+            let mut pairwise = Vec::new();
+            for r in 0..rows {
+                let v: Vec<f32> = (0..dim).map(|i| val(r * dim + i, 2)).collect();
+                let QuantizedVector::F16(bits) = QuantizedVector::to_f16(&v) else {
+                    unreachable!()
+                };
+                block[r * stride..r * stride + dim].copy_from_slice(&bits);
+                pairwise.push(QuantizedVector::F16(bits).dot(&q));
+            }
+            let mut out = vec![f32::NAN; rows];
+            dot_block_f16(&q, &block, stride, &mut out);
+            for r in 0..rows {
+                assert_eq!(out[r].to_bits(), pairwise[r].to_bits(), "dim {dim} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_panel_accumulators_are_exact() {
+        for (dim, stride) in [(1, 8), (7, 8), (8, 8), (29, 32), (100, 104)] {
+            let qf: Vec<f32> = (0..dim).map(|i| val(i, 3)).collect();
+            let (q, q_scale) = quantize_query_int8(&qf);
+            // Cross the 4-row micro-kernel boundary.
+            let rows = 11;
+            let mut block = vec![0i8; rows * stride];
+            let mut scales = vec![0.0f32; rows];
+            for r in 0..rows {
+                let v: Vec<f32> = (0..dim).map(|i| val(r * dim + i, 4)).collect();
+                let QuantizedVector::Int8 { data, scale } = QuantizedVector::to_int8(&v) else {
+                    unreachable!()
+                };
+                block[r * stride..r * stride + dim].copy_from_slice(&data);
+                scales[r] = scale;
+            }
+            let mut acc = vec![0i32; rows];
+            dot_block_int8(&q, &block, stride, &mut acc);
+            for r in 0..rows {
+                let row = &block[r * stride..r * stride + dim];
+                let exact: i32 = q.iter().zip(row).map(|(&x, &y)| x as i32 * y as i32).sum();
+                assert_eq!(acc[r], exact, "dim {dim} row {r}");
+                // Scaled score matches the pairwise kernel to the bit.
+                let scaled = acc[r] as f32 * q_scale * scales[r];
+                assert_eq!(
+                    scaled.to_bits(),
+                    dot_int8(&q, q_scale, row, scales[r]).to_bits(),
+                    "dim {dim} row {r} scaled"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_kernels_handle_empty_and_short_inputs() {
+        let mut out_f = [0.0f32; 0];
+        dot_block_f16(&[1.0, 2.0], &[], 2, &mut out_f);
+        let mut out_i = [0i32; 0];
+        dot_block_int8(&[1, 2], &[], 2, &mut out_i);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_f16_block_panics() {
+        let mut out = [0.0f32; 3];
+        dot_block_f16(&[1.0; 4], &[0u16; 8], 4, &mut out);
+    }
+
+    #[test]
+    fn quantize_query_roundtrip() {
+        let q = [0.5f32, -1.0, 0.25];
+        let (data, scale) = quantize_query_int8(&q);
+        assert_eq!(data.len(), 3);
+        for (x, &d) in q.iter().zip(&data) {
+            assert!((x - d as f32 * scale).abs() <= scale * 0.5 + 1e-6);
+        }
     }
 }

@@ -7,7 +7,8 @@
 //! are first-class terms, not UDF black boxes.
 
 use crate::cardinality::estimate_rows;
-use crate::context::OptimizerContext;
+use crate::context::{OptimizerConfig, OptimizerContext};
+use cx_embed::QuantTier;
 use cx_exec::logical::LogicalPlan;
 
 /// Per-row scan cost.
@@ -34,6 +35,51 @@ const SORT_CMP: f64 = 12.0;
 const INDEX_PROBE_FRACTION: f64 = 0.05;
 /// Per-value index build cost.
 const INDEX_BUILD_VALUE: f64 = 120.0;
+
+/// Absolute cosine-score error bound of f16 panels on unit vectors.
+pub const F16_SCORE_ERROR: f64 = 1e-3;
+/// Absolute cosine-score error bound of int8 panels on unit vectors.
+pub const INT8_SCORE_ERROR: f64 = 1.2e-2;
+/// Pair count below which quantizing a panel never pays for its build.
+const QUANT_MIN_PAIRS: f64 = 65_536.0;
+/// Per-value cost of quantizing one build-side row.
+const QUANT_VALUE: f64 = 6.0;
+
+/// Picks the storage tier for a semantic scan expected to evaluate
+/// `est_pairs` similarity pairs: the cheapest tier whose documented score
+/// error stays within the configured `recall_tolerance`. Small scans stay
+/// f32 — quantizing the panel costs more than it saves below
+/// [`QUANT_MIN_PAIRS`].
+pub fn select_quant_tier(config: &OptimizerConfig, est_pairs: f64) -> QuantTier {
+    if !config.quantization || est_pairs < QUANT_MIN_PAIRS {
+        return QuantTier::F32;
+    }
+    if config.recall_tolerance >= INT8_SCORE_ERROR {
+        QuantTier::Int8
+    } else if config.recall_tolerance >= F16_SCORE_ERROR {
+        QuantTier::F16
+    } else {
+        QuantTier::F32
+    }
+}
+
+/// Per-pair similarity cost at a storage tier.
+///
+/// The factors track bytes-per-element (f32 4 B → f16 2 B → int8 1 B),
+/// i.e. the data-movement economy of Section VI: at the cardinalities
+/// where quantization is admitted ([`QUANT_MIN_PAIRS`]+) panels exceed
+/// cache and the scan is bandwidth-bound, so moved bytes — not per-element
+/// ALU work — dominate. (On hardware without native f16 the *small*-panel
+/// latency story differs: software f16 conversion is ALU-heavy, which is
+/// one more reason the floor keeps small scans at f32.)
+fn sim_pair_cost(tier: QuantTier) -> f64 {
+    SIM_PAIR
+        * match tier {
+            QuantTier::F32 => 1.0,
+            QuantTier::F16 => 0.55,
+            QuantTier::Int8 => 0.4,
+        }
+}
 
 /// Estimates the total execution cost of `plan` (inclusive of children).
 pub fn estimate_cost(plan: &LogicalPlan, ctx: &OptimizerContext) -> f64 {
@@ -66,13 +112,18 @@ pub fn node_cost(plan: &LogicalPlan, ctx: &OptimizerContext) -> f64 {
         }
         LogicalPlan::SemanticFilter { input, .. } => {
             let distinct = distinct_estimate(input, ctx);
+            // Always exact f32: a single-probe scan reads the panel once,
+            // so quantizing it (read + converted write) never amortizes —
+            // the physical planner makes the same call.
             distinct * EMBED_VALUE + estimate_rows(input, ctx) * SIM_PAIR
         }
         LogicalPlan::SemanticJoin { left, right, .. } => {
             let dl = distinct_estimate(left, ctx);
             let dr = distinct_estimate(right, ctx);
             let embed = (dl + dr) * EMBED_VALUE;
-            let scan_pairs = dl * dr * SIM_PAIR;
+            let tier = select_quant_tier(&ctx.config, dl * dr);
+            let quantize = if tier == QuantTier::F32 { 0.0 } else { dr * QUANT_VALUE };
+            let scan_pairs = quantize + dl * dr * sim_pair_cost(tier);
             if ctx.config.semantic_index_selection {
                 let index = dr * INDEX_BUILD_VALUE + dl * dr * INDEX_PROBE_FRACTION * SIM_PAIR;
                 embed + scan_pairs.min(index)
@@ -226,5 +277,49 @@ mod tests {
         let small = scan("s", 100, &mut c);
         let large = scan("L", 100_000, &mut c);
         assert!(estimate_cost(&large, &c) > estimate_cost(&small, &c));
+    }
+
+    #[test]
+    fn tier_selection_follows_tolerance_and_scale() {
+        let mut config = OptimizerConfig::all();
+        // Default tolerance 0.0: always exact.
+        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::F32);
+        // Tolerance admits f16, then int8.
+        config.recall_tolerance = 2e-3;
+        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::F16);
+        config.recall_tolerance = 5e-2;
+        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::Int8);
+        // Small scans never quantize: build cost dominates.
+        assert_eq!(select_quant_tier(&config, 1_000.0), QuantTier::F32);
+        // Feature switch wins over tolerance.
+        config.quantization = false;
+        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::F32);
+    }
+
+    #[test]
+    fn recall_tolerance_lowers_semantic_join_cost() {
+        let mut exact = ctx();
+        exact.config.semantic_index_selection = false;
+        let mut quant = ctx();
+        quant.config.semantic_index_selection = false;
+        quant.config.recall_tolerance = 5e-2;
+        let l1 = scan("lq", 20_000, &mut exact);
+        let r1 = scan("rq", 20_000, &mut exact);
+        scan("lq", 20_000, &mut quant);
+        scan("rq", 20_000, &mut quant);
+        let join = LogicalPlan::SemanticJoin {
+            left: Box::new(l1),
+            right: Box::new(r1),
+            spec: SemanticJoinSpec {
+                left_column: "k".into(),
+                right_column: "k".into(),
+                model: "m".into(),
+                threshold: 0.9,
+                score_column: "sim".into(),
+            },
+        };
+        // int8 panels scale the kernel term by ~0.4, so the quantized plan
+        // must be visibly cheaper at equal cardinalities.
+        assert!(node_cost(&join, &quant) < 0.9 * node_cost(&join, &exact));
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::cardinality::estimate_rows;
 use crate::context::OptimizerContext;
+use crate::cost::select_quant_tier;
 use cx_exec::logical::LogicalPlan;
 use cx_exec::operators::{
     DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec,
@@ -83,6 +84,11 @@ pub fn create_physical_plan(
             Arc::new(NestedLoopJoinExec::new(l, r, None)?)
         }
         LogicalPlan::SemanticFilter { input, column, target, model, threshold } => {
+            // The filter scores one target against the panel exactly once,
+            // so quantizing (a full read + converted write of the panel)
+            // can never amortize — the planner always keeps it exact f32.
+            // `SemanticFilterExec::with_quant_tier` remains for callers
+            // that reuse a panel across probes.
             let child = create_physical_plan(input, ctx, env)?;
             let cache = ctx
                 .cache_for(model)
@@ -103,22 +109,34 @@ pub fn create_physical_plan(
                 // and bit-identical to pairwise prenormalized scoring.
                 SemanticJoinStrategy::Blocked
             };
+            // Storage tier for the blocked scan: quantized panels when the
+            // configured recall tolerance and pair count admit them. Index
+            // strategies verify in f32 and ignore the tier, so only the
+            // Blocked scan gets one (keeps EXPLAIN honest).
+            let tier = if matches!(strategy, SemanticJoinStrategy::Blocked) {
+                select_quant_tier(&ctx.config, dl * dr)
+            } else {
+                cx_embed::QuantTier::F32
+            };
             let l = create_physical_plan(left, ctx, env)?;
             let r = create_physical_plan(right, ctx, env)?;
             let cache = ctx
                 .cache_for(&spec.model)
                 .ok_or_else(|| Error::InvalidArgument(format!("unknown model: {}", spec.model)))?;
-            Arc::new(SemanticJoinExec::new(
-                l,
-                r,
-                &spec.left_column,
-                &spec.right_column,
-                spec.threshold,
-                &spec.score_column,
-                strategy,
-                cache,
-                ctx.config.parallelism,
-            )?)
+            Arc::new(
+                SemanticJoinExec::new(
+                    l,
+                    r,
+                    &spec.left_column,
+                    &spec.right_column,
+                    spec.threshold,
+                    &spec.score_column,
+                    strategy,
+                    cache,
+                    ctx.config.parallelism,
+                )?
+                .with_quant_tier(tier),
+            )
         }
         LogicalPlan::SemanticGroupBy { input, column, model, threshold, aggs } => {
             let child = create_physical_plan(input, ctx, env)?;
@@ -233,6 +251,74 @@ mod tests {
         // Executes and matches at least the identical strings.
         let out = collect_table(op.as_ref()).unwrap();
         assert!(out.num_rows() >= 4, "got {}", out.num_rows());
+    }
+
+    #[test]
+    fn semantic_join_quantizes_when_tolerance_and_scale_admit() {
+        // A wide table (100k rows) whose estimated pair count clears the
+        // quantization floor, with int8-level recall tolerance configured.
+        let rows = 100_000i64;
+        let table = Table::from_columns(
+            Schema::new(vec![Field::new("k", DataType::Utf8)]),
+            vec![Column::from_strings((0..rows).map(|i| format!("k{i}")))],
+        )
+        .unwrap();
+        let mut env = PhysicalPlannerEnv::new();
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(Arc::new(HashNGramModel::with_params("m", 16, 1, 3, 4, 1024)));
+        let mut ctx = OptimizerContext::new(registry, OptimizerConfig::all());
+        ctx.config.recall_tolerance = 5e-2;
+        ctx.config.semantic_index_selection = false; // force the blocked scan
+        ctx.stats
+            .insert("big".to_string(), TableStats::compute(&table).unwrap());
+        env.register_table("big", Arc::new(table));
+        let scan_big = LogicalPlan::Scan {
+            source: "big".into(),
+            schema: Arc::new(Schema::new(vec![Field::new("k", DataType::Utf8)])),
+        };
+        let plan = LogicalPlan::SemanticJoin {
+            left: Box::new(scan_big.clone()),
+            right: Box::new(scan_big),
+            spec: SemanticJoinSpec {
+                left_column: "k".into(),
+                right_column: "k".into(),
+                model: "m".into(),
+                threshold: 0.9,
+                score_column: "sim".into(),
+            },
+        };
+        let op = create_physical_plan(&plan, &mut ctx, &env).unwrap();
+        assert!(op.name().contains("quant=int8"), "{}", op.name());
+
+        // Without tolerance the same plan stays exact.
+        let mut exact_ctx = OptimizerContext::new(
+            Arc::new({
+                let r = ModelRegistry::new();
+                r.register(Arc::new(HashNGramModel::with_params("m", 16, 1, 3, 4, 1024)));
+                r
+            }),
+            OptimizerConfig::all(),
+        );
+        exact_ctx.config.semantic_index_selection = false;
+        exact_ctx.stats = ctx.stats.clone();
+        let op = create_physical_plan(&plan, &mut exact_ctx, &env).unwrap();
+        assert!(!op.name().contains("quant="), "{}", op.name());
+    }
+
+    #[test]
+    fn small_semantic_filter_stays_exact() {
+        let (env, mut ctx) = env_and_ctx();
+        ctx.config.recall_tolerance = 5e-2;
+        let plan = LogicalPlan::SemanticFilter {
+            input: Box::new(scan()),
+            column: "k".into(),
+            target: "boots".into(),
+            model: "m".into(),
+            threshold: 0.9,
+        };
+        let op = create_physical_plan(&plan, &mut ctx, &env).unwrap();
+        // 4-row input: far below the quantization floor.
+        assert!(!op.name().contains("quant="), "{}", op.name());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use cx_exec::{ChunkStream, PhysicalOperator};
 use cx_storage::{Bitmap, DataType, Error, Result, Schema};
 use cx_vector::block::cosine_block_threshold;
 use cx_vector::kernels::norm;
-use cx_vector::VectorArena;
+use cx_vector::{QuantTier, QuantizedArena, VectorArena};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -19,6 +19,9 @@ pub struct SemanticFilterExec {
     column_index: usize,
     target: String,
     threshold: f32,
+    /// Panel storage precision for the per-chunk distinct scan (F32 =
+    /// exact).
+    quant: QuantTier,
     cache: Arc<EmbeddingCache>,
 }
 
@@ -50,8 +53,22 @@ impl SemanticFilterExec {
             column_index,
             target: target.into(),
             threshold,
+            quant: QuantTier::F32,
             cache,
         })
+    }
+
+    /// Sets the panel storage tier for the distinct-value scan. `F16`/
+    /// `Int8` score quantized panels ([`QuantizedArena`]) instead of f32
+    /// rows, trading a bounded score error for bytes-per-row.
+    pub fn with_quant_tier(mut self, tier: QuantTier) -> Self {
+        self.quant = tier;
+        self
+    }
+
+    /// The configured panel storage tier.
+    pub fn quant_tier(&self) -> QuantTier {
+        self.quant
     }
 
     /// The embedding cache backing this operator (for hit/miss inspection).
@@ -62,10 +79,15 @@ impl SemanticFilterExec {
 
 impl PhysicalOperator for SemanticFilterExec {
     fn name(&self) -> String {
+        let quant = match self.quant {
+            QuantTier::F32 => String::new(),
+            tier => format!(", quant={}", tier.label()),
+        };
         format!(
-            "SemanticFilter [~ '{}', cos>={}, model={}]",
+            "SemanticFilter [~ '{}', cos>={}{}, model={}]",
             self.target,
             self.threshold,
+            quant,
             self.cache.model().name()
         )
     }
@@ -81,10 +103,17 @@ impl PhysicalOperator for SemanticFilterExec {
     fn execute(&self) -> Result<ChunkStream> {
         let target_vec = self.cache.get(&self.target);
         let target_norm = norm(&target_vec);
+        // Quantized tiers score unit vectors, so normalize the target once.
+        let target_unit: Vec<f32> = if target_norm > 0.0 {
+            target_vec.iter().map(|x| x / target_norm).collect()
+        } else {
+            target_vec.to_vec()
+        };
         let stream = self.input.execute()?;
         let cache = self.cache.clone();
         let column_index = self.column_index;
         let threshold = self.threshold;
+        let quant = self.quant;
         Ok(Box::new(stream.map(move |chunk| {
             let chunk = chunk?;
             let col = chunk.column(column_index)?;
@@ -92,8 +121,9 @@ impl PhysicalOperator for SemanticFilterExec {
 
             // Deduplicate the chunk's values, embed the distinct set into a
             // contiguous arena, then score target-vs-panel with one blocked
-            // threshold scan (scores match the pairwise cosine_with_norms
-            // kernel bit-for-bit).
+            // threshold scan. At F32 the scores match the pairwise
+            // cosine_with_norms kernel bit-for-bit; at F16/Int8 the panel
+            // is quantized and scores carry the tier's bounded error.
             let mut value_id: HashMap<&str, usize> = HashMap::new();
             let mut distinct: Vec<&str> = Vec::new();
             for (i, v) in values.iter().enumerate() {
@@ -105,17 +135,37 @@ impl PhysicalOperator for SemanticFilterExec {
                 }
             }
             let arena = VectorArena::from_texts(&cache, &distinct);
-            let view = arena.as_block();
             let mut passes = vec![false; distinct.len()];
-            cosine_block_threshold(
-                &target_vec,
-                target_norm,
-                view.data,
-                view.stride,
-                view.norms,
-                threshold,
-                |r, _| passes[r] = true,
-            );
+            match quant {
+                QuantTier::F32 => {
+                    let view = arena.as_block();
+                    cosine_block_threshold(
+                        &target_vec,
+                        target_norm,
+                        view.data,
+                        view.stride,
+                        view.norms,
+                        threshold,
+                        |r, _| passes[r] = true,
+                    );
+                }
+                tier if target_norm == 0.0 => {
+                    // Zero target: cosine scores every row 0.0, whatever
+                    // the tier.
+                    let _ = tier;
+                    if 0.0 >= threshold {
+                        passes.fill(true);
+                    }
+                }
+                tier => {
+                    let panel = QuantizedArena::from_arena(&arena.normalized(), tier);
+                    for (r, &score) in panel.scores(&target_unit).iter().enumerate() {
+                        if score >= threshold {
+                            passes[r] = true;
+                        }
+                    }
+                }
+            }
 
             let mask = Bitmap::from_bools(values.iter().enumerate().map(|(i, v)| {
                 // NULL never matches.
@@ -178,6 +228,28 @@ mod tests {
             SemanticFilterExec::new(items_scan(), "name", "boots", 0.999, model_cache()).unwrap();
         let out = collect_table(&filter).unwrap();
         assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn quantized_tiers_agree_on_well_separated_clusters() {
+        let exact = {
+            let f = SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, model_cache())
+                .unwrap();
+            collect_table(&f).unwrap()
+        };
+        for tier in [QuantTier::F16, QuantTier::Int8] {
+            let filter =
+                SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, model_cache())
+                    .unwrap()
+                    .with_quant_tier(tier);
+            assert_eq!(filter.quant_tier(), tier);
+            assert!(filter.name().contains(tier.label()), "{}", filter.name());
+            let out = collect_table(&filter).unwrap();
+            let names = |t: &Table| -> Vec<String> {
+                t.column_by_name("name").unwrap().utf8_values().unwrap().to_vec()
+            };
+            assert_eq!(names(&out), names(&exact), "{tier:?}");
+        }
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //!
 //! Distinct join-key values are deduplicated before embedding and flow
 //! from the embedding cache straight into a contiguous [`VectorArena`]
-//! ([`VectorArena::from_texts`]), so model inference cost scales with
-//! distinct values and the probe loop streams over contiguous rows.
+//! ([`VectorArena::from_texts`]) — the arena is the single vector currency:
+//! scan strategies tile it, index strategies build from it directly, and a
+//! configured quantization tier ([`SemanticJoinExec::with_quant_tier`])
+//! re-encodes the build side as a [`QuantizedArena`] so the probe scans
+//! f16/int8 panels, trading a bounded score error for bytes-per-row.
 
 use cx_embed::EmbeddingCache;
 use cx_exec::{parallel::parallel_map_ranges, ChunkStream, PhysicalOperator};
@@ -33,7 +36,7 @@ use cx_vector::ivf::IvfParams;
 use cx_vector::lsh::LshParams;
 use cx_vector::{
     kernels::{cosine_with_norms, dot_unrolled},
-    IvfIndex, LshIndex, VectorArena, VectorIndex, VectorStore,
+    IvfIndex, LshIndex, QuantTier, QuantizedArena, VectorArena, VectorIndex,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +86,8 @@ pub struct SemanticJoinExec {
     right_key: usize,
     threshold: f32,
     strategy: SemanticJoinStrategy,
+    /// Build-side storage precision for the blocked scan (F32 = exact).
+    quant: QuantTier,
     cache: Arc<EmbeddingCache>,
     /// Worker threads for the probe phase (1 = serial).
     parallelism: usize,
@@ -136,12 +141,29 @@ impl SemanticJoinExec {
             right_key,
             threshold,
             strategy,
+            quant: QuantTier::F32,
             cache,
             parallelism: parallelism.max(1),
             schema,
             pairs_evaluated: AtomicU64::new(0),
             matches_found: AtomicU64::new(0),
         })
+    }
+
+    /// Sets the build-side storage tier for the blocked scan. `F16`/`Int8`
+    /// score quantized panels ([`QuantizedArena`]) instead of f32 rows —
+    /// 2–4× fewer bytes per candidate at a bounded score error (≲1e-3 /
+    /// ≲1.2e-2 on unit vectors) — so callers with recall tolerance trade
+    /// exactness for memory bandwidth. Only the `Blocked` strategy
+    /// consults the tier; index strategies verify in f32.
+    pub fn with_quant_tier(mut self, tier: QuantTier) -> Self {
+        self.quant = tier;
+        self
+    }
+
+    /// The configured build-side storage tier.
+    pub fn quant_tier(&self) -> QuantTier {
+        self.quant
     }
 
     /// Exact similarity evaluations performed so far (across executions).
@@ -186,10 +208,15 @@ fn distinct_values(chunk: &Chunk, key: usize) -> Result<(Vec<String>, Vec<Vec<u3
 
 impl PhysicalOperator for SemanticJoinExec {
     fn name(&self) -> String {
+        let quant = match self.quant {
+            QuantTier::F32 => String::new(),
+            tier => format!(", quant={}", tier.label()),
+        };
         format!(
-            "SemanticJoin [cos>={}, strategy={}, model={}]",
+            "SemanticJoin [cos>={}, strategy={}{}, model={}]",
             self.threshold,
             self.strategy.label(),
+            quant,
             self.cache.model().name()
         )
     }
@@ -221,24 +248,14 @@ impl PhysicalOperator for SemanticJoinExec {
         let (right_vals, right_rows) = distinct_values(&right, self.right_key)?;
 
         // Embed distinct values through the cache straight into contiguous
-        // storage (no per-string Arc materialization on the batch path):
-        // scan strategies get the padded arena the blocked kernels want,
-        // index strategies get the unpadded store their builders consume —
-        // each side is embedded exactly once either way.
-        let right_side = match self.strategy {
-            SemanticJoinStrategy::Lsh(_) | SemanticJoinStrategy::Ivf(_) => {
-                let refs: Vec<&str> = right_vals.iter().map(String::as_str).collect();
-                RightSide::Store(VectorStore::from_flat(
-                    self.cache.dim(),
-                    self.cache.get_batch(&refs),
-                ))
-            }
-            _ => RightSide::Arena(VectorArena::from_texts(&self.cache, &right_vals)),
-        };
+        // arena storage (no per-string Arc materialization on the batch
+        // path). The arena is the one vector currency: scan strategies
+        // tile it and the index builders consume it directly.
+        let right_arena = VectorArena::from_texts(&self.cache, &right_vals);
         let left_arena = VectorArena::from_texts(&self.cache, &left_vals);
 
         // Value-level matching under the chosen strategy.
-        let matches = self.match_values(&left_arena, &right_side)?;
+        let matches = self.match_values(&left_arena, &right_arena)?;
         self.matches_found
             .fetch_add(matches.len() as u64, Ordering::Relaxed);
 
@@ -272,22 +289,6 @@ impl PhysicalOperator for SemanticJoinExec {
     }
 }
 
-/// Right-side embedding storage, shaped per strategy: padded arena for the
-/// scan strategies, unpadded store for the index builders.
-enum RightSide {
-    Arena(VectorArena),
-    Store(VectorStore),
-}
-
-impl RightSide {
-    fn is_empty(&self) -> bool {
-        match self {
-            RightSide::Arena(a) => a.is_empty(),
-            RightSide::Store(s) => s.is_empty(),
-        }
-    }
-}
-
 impl SemanticJoinExec {
     /// Value-level matching: `(left value id, right value id, score)`.
     ///
@@ -297,9 +298,9 @@ impl SemanticJoinExec {
     fn match_values(
         &self,
         left: &VectorArena,
-        right_side: &RightSide,
+        right: &VectorArena,
     ) -> Result<Vec<(usize, usize, f32)>> {
-        if left.is_empty() || right_side.is_empty() {
+        if left.is_empty() || right.is_empty() {
             return Ok(Vec::new());
         }
         let threshold = self.threshold;
@@ -309,25 +310,29 @@ impl SemanticJoinExec {
             NestedLoop(&'a VectorArena),
             PreNorm { left: VectorArena, right: VectorArena },
             Blocked { left: VectorArena, right: VectorArena },
+            Quantized { left: VectorArena, right: QuantizedArena },
             Index(Box<dyn VectorIndex>),
         }
-        let probe = match (self.strategy, right_side) {
-            (SemanticJoinStrategy::NestedLoop, RightSide::Arena(right)) => {
-                Probe::NestedLoop(right)
-            }
-            (SemanticJoinStrategy::PreNormalized, RightSide::Arena(right)) => {
+        let probe = match self.strategy {
+            SemanticJoinStrategy::NestedLoop => Probe::NestedLoop(right),
+            SemanticJoinStrategy::PreNormalized => {
                 Probe::PreNorm { left: left.normalized(), right: right.normalized() }
             }
-            (SemanticJoinStrategy::Blocked, RightSide::Arena(right)) => {
-                Probe::Blocked { left: left.normalized(), right: right.normalized() }
+            SemanticJoinStrategy::Blocked => match self.quant {
+                QuantTier::F32 => {
+                    Probe::Blocked { left: left.normalized(), right: right.normalized() }
+                }
+                tier => Probe::Quantized {
+                    left: left.normalized(),
+                    right: QuantizedArena::from_arena(&right.normalized(), tier),
+                },
+            },
+            SemanticJoinStrategy::Lsh(params) => {
+                Probe::Index(Box::new(LshIndex::build(right, params)))
             }
-            (SemanticJoinStrategy::Lsh(params), RightSide::Store(store)) => {
-                Probe::Index(Box::new(LshIndex::build(store, params)))
+            SemanticJoinStrategy::Ivf(params) => {
+                Probe::Index(Box::new(IvfIndex::build(right, params)))
             }
-            (SemanticJoinStrategy::Ivf(params), RightSide::Store(store)) => {
-                Probe::Index(Box::new(IvfIndex::build(store, params)))
-            }
-            _ => unreachable!("right-side storage shaped by strategy in execute()"),
         };
 
         // Scans one contiguous span of left values, returning its local
@@ -379,6 +384,21 @@ impl SemanticJoinExec {
                         }
                     }
                     seen += (span.len() * rn.len()) as u64;
+                }
+                Probe::Quantized { left: ln, right: rq } => {
+                    // One quantized-panel kernel call per probe; the
+                    // f16/int8 panel moves 2–4× fewer bytes than the f32
+                    // arena at a bounded score error.
+                    let mut scores = vec![0.0f32; rq.len()];
+                    for lv in span {
+                        rq.scores_into(ln.row(lv), &mut scores);
+                        for (rv, &score) in scores.iter().enumerate() {
+                            if score >= threshold {
+                                local.push((lv, rv, score));
+                            }
+                        }
+                        seen += rq.len() as u64;
+                    }
                 }
                 Probe::Index(index) => {
                     // `seen` stays 0 here: per-span deltas of the shared
@@ -582,6 +602,58 @@ mod tests {
         );
         assert_eq!(lsh.num_rows(), exact.num_rows());
         assert_eq!(ivf.num_rows(), exact.num_rows());
+    }
+
+    #[test]
+    fn quantized_tiers_agree_on_well_separated_clusters() {
+        // Cluster separation is far wider than the f16/int8 score error
+        // bounds, so the quantized blocked scans must find exactly the
+        // exact scan's pairs (with scores within the tier bound).
+        let exact = join_with(SemanticJoinStrategy::Blocked, 1);
+        for (tier, bound) in [(QuantTier::F16, 1e-3f64), (QuantTier::Int8, 1.5e-2)] {
+            let join = SemanticJoinExec::new(
+                products(),
+                catalog(),
+                "name",
+                "label",
+                0.85,
+                "sim",
+                SemanticJoinStrategy::Blocked,
+                cache(),
+                1,
+            )
+            .unwrap()
+            .with_quant_tier(tier);
+            assert_eq!(join.quant_tier(), tier);
+            assert!(join.name().contains(tier.label()), "{}", join.name());
+            let out = collect_table(&join).unwrap();
+            assert_eq!(out.num_rows(), exact.num_rows(), "{tier:?}");
+            let (a, b) = (
+                exact.column_by_name("sim").unwrap().f64_values().unwrap().to_vec(),
+                out.column_by_name("sim").unwrap().f64_values().unwrap().to_vec(),
+            );
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= bound, "{tier:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_tier_is_default_and_unlabeled() {
+        let join = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "name",
+            "label",
+            0.85,
+            "sim",
+            SemanticJoinStrategy::Blocked,
+            cache(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(join.quant_tier(), QuantTier::F32);
+        assert!(!join.name().contains("quant="), "{}", join.name());
     }
 
     #[test]

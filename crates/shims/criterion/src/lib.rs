@@ -10,9 +10,31 @@
 //! HTML reports, no outlier analysis.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished measurement, kept so benches can emit machine-readable
+/// reports (e.g. `BENCH_*.json`) after their groups run.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full id (`group/function/parameter`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (process-wide).
+pub fn take_results() -> Vec<BenchRecord> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
 
 /// Benchmark identifier: `group/function/parameter`.
 pub struct BenchmarkId {
@@ -142,12 +164,20 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         match bencher.result {
-            Some(ref r) => println!(
-                "{id:<48} time: [{} {} {}]",
-                fmt_ns(r.min),
-                fmt_ns(r.median),
-                fmt_ns(r.max)
-            ),
+            Some(ref r) => {
+                println!(
+                    "{id:<48} time: [{} {} {}]",
+                    fmt_ns(r.min),
+                    fmt_ns(r.median),
+                    fmt_ns(r.max)
+                );
+                RESULTS.lock().expect("results lock").push(BenchRecord {
+                    id: id.to_string(),
+                    median_ns: r.median,
+                    min_ns: r.min,
+                    max_ns: r.max,
+                });
+            }
             None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
         }
     }
@@ -271,6 +301,23 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn records_results_for_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("rec");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        group.bench_function("f", |b| b.iter(|| black_box(2u64 * 3)));
+        group.finish();
+        let recorded = take_results();
+        let r = recorded.iter().find(|r| r.id == "rec/f").expect("recorded");
+        assert!(r.median_ns > 0.0 && r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        // Drained: a second take returns nothing new.
+        assert!(take_results().iter().all(|r| r.id != "rec/f"));
     }
 
     #[test]

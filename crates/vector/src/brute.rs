@@ -22,12 +22,20 @@ pub struct BruteForceIndex {
 }
 
 impl BruteForceIndex {
-    /// Builds the index (normalizes a copy of the store into arena layout).
-    pub fn build(store: &VectorStore) -> Self {
+    /// Builds the index from an arena (normalizes a copy; the input arena
+    /// is the universal vector currency and is typically filled straight
+    /// from the embedding cache).
+    pub fn build(arena: &VectorArena) -> Self {
         BruteForceIndex {
-            arena: VectorArena::from_store(store).normalized(),
+            arena: arena.normalized(),
             stats: IndexStats::default(),
         }
+    }
+
+    /// Convenience builder for store-based callers: copies `store` into
+    /// arena layout first.
+    pub fn build_from_store(store: &VectorStore) -> Self {
+        Self::build(&VectorArena::from_store(store))
     }
 
     fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
@@ -114,7 +122,7 @@ mod tests {
 
     #[test]
     fn threshold_search() {
-        let idx = BruteForceIndex::build(&store());
+        let idx = BruteForceIndex::build_from_store(&store());
         let out = idx.search_threshold(&[1.0, 0.0, 0.0, 0.0], 0.9);
         assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
         assert!(out[0].score >= out[1].score);
@@ -123,7 +131,7 @@ mod tests {
 
     #[test]
     fn topk_search() {
-        let idx = BruteForceIndex::build(&store());
+        let idx = BruteForceIndex::build_from_store(&store());
         let out = idx.search_topk(&[1.0, 0.0, 0.0, 0.0], 3);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].id, 0);
@@ -137,7 +145,7 @@ mod tests {
         let mut s = VectorStore::new(2);
         s.push(&[10.0, 0.0]);
         s.push(&[0.0, 0.2]);
-        let idx = BruteForceIndex::build(&s);
+        let idx = BruteForceIndex::build_from_store(&s);
         // Scaled query matches direction, not magnitude.
         let out = idx.search_threshold(&[5.0, 0.0], 0.99);
         assert_eq!(out.len(), 1);
@@ -147,7 +155,7 @@ mod tests {
 
     #[test]
     fn stats_count_full_scans() {
-        let idx = BruteForceIndex::build(&store());
+        let idx = BruteForceIndex::build_from_store(&store());
         idx.search_threshold(&[1.0, 0.0, 0.0, 0.0], 0.5);
         idx.search_topk(&[1.0, 0.0, 0.0, 0.0], 1);
         assert_eq!(idx.stats().searches(), 2);
@@ -156,7 +164,7 @@ mod tests {
 
     #[test]
     fn empty_store() {
-        let idx = BruteForceIndex::build(&VectorStore::new(3));
+        let idx = BruteForceIndex::build_from_store(&VectorStore::new(3));
         assert!(idx.is_empty());
         assert!(idx.search_threshold(&[1.0, 0.0, 0.0], 0.5).is_empty());
     }
@@ -170,7 +178,7 @@ mod tests {
         for _ in 0..(3 * TILE + 5) {
             s.push(&rng.unit_vector(24));
         }
-        let idx = BruteForceIndex::build(&s);
+        let idx = BruteForceIndex::build_from_store(&s);
         let q = rng.unit_vector(24);
         let qn = {
             let n = norm(&q);

@@ -9,12 +9,15 @@
 //! each inverted list occupies one contiguous arena block. A probe then
 //! scores its whole cell with one blocked-kernel call
 //! ([`dot_block_threshold`]) instead of chasing ids row by row — the same
-//! batch-at-a-time shape as the rest of the semantic hot path.
+//! batch-at-a-time shape as the rest of the semantic hot path. The k-means
+//! build loop is blocked too: each assign step scores row tiles against
+//! the padded centroid panel with [`scores_matrix`], so training is a
+//! sequence of GEMM-shaped scans rather than per-pair kernel calls.
 
-use crate::arena::VectorArena;
-use crate::block::{dot_block, dot_block_threshold, TILE};
+use crate::arena::{VectorArena, ROW_ALIGN_FLOATS};
+use crate::block::{dot_block, dot_block_threshold, scores_matrix, TILE};
 use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
-use crate::kernels::{cosine_prenormalized, norm};
+use crate::kernels::norm;
 use crate::store::VectorStore;
 use crate::topk::TopK;
 use cx_embed::rng::SplitMix64;
@@ -47,31 +50,72 @@ pub struct IvfIndex {
     ids: Vec<u32>,
     /// `nlist + 1` prefix offsets into `arena`/`ids`.
     offsets: Vec<usize>,
-    /// `nlist × dim` centroid matrix (unit-normalized, row-major).
+    /// `nlist × cstride` centroid matrix (unit-normalized, row-major,
+    /// kernel-padded like arena rows).
     centroids: Vec<f32>,
+    /// Floats between consecutive centroid rows.
+    cstride: usize,
     params: IvfParams,
     stats: IndexStats,
 }
 
+/// Writes the nearest-centroid id of every `data` row into `out`, scoring
+/// row tiles against the whole centroid panel with [`scores_matrix`] —
+/// the k-means assign step as one GEMM-shaped blocked scan per tile
+/// instead of a per-(row, centroid) pairwise loop. Scores (and therefore
+/// argmax ties, broken toward the lower cell id) are bit-identical to the
+/// pairwise kernel.
+fn assign_cells(data: &VectorArena, centroids: &[f32], cstride: usize, nlist: usize, out: &mut [u32]) {
+    let n = data.len();
+    let dim = data.dim();
+    let mut scores = vec![0.0f32; TILE * nlist];
+    for t0 in (0..n).step_by(TILE) {
+        let tile = data.block(t0..(t0 + TILE).min(n));
+        scores_matrix(
+            tile.data,
+            tile.stride,
+            tile.rows,
+            dim,
+            centroids,
+            cstride,
+            nlist,
+            &mut scores[..tile.rows * nlist],
+        );
+        for r in 0..tile.rows {
+            let row_scores = &scores[r * nlist..(r + 1) * nlist];
+            let mut best = 0usize;
+            let mut best_score = f32::NEG_INFINITY;
+            for (c, &s) in row_scores.iter().enumerate() {
+                if s > best_score {
+                    best_score = s;
+                    best = c;
+                }
+            }
+            out[t0 + r] = best as u32;
+        }
+    }
+}
+
 impl IvfIndex {
-    /// Builds the index over `store` with `params`. `nlist` is capped at
+    /// Builds the index over `arena` with `params`. `nlist` is capped at
     /// the number of vectors.
-    pub fn build(store: &VectorStore, params: IvfParams) -> Self {
+    pub fn build(arena: &VectorArena, params: IvfParams) -> Self {
         assert!(params.nlist > 0, "nlist must be positive");
         assert!(params.nprobe > 0, "nprobe must be positive");
-        let store = store.normalized();
-        let dim = store.dim();
-        let n = store.len();
+        let data = arena.normalized();
+        let dim = data.dim();
+        let n = data.len();
         let nlist = params.nlist.min(n.max(1));
+        let cstride = dim.next_multiple_of(ROW_ALIGN_FLOATS);
 
         // Deterministic k-means++-lite init: evenly strided picks, which is
         // reproducible and good enough for a coarse quantizer.
-        let mut centroids = vec![0.0f32; nlist * dim];
+        let mut centroids = vec![0.0f32; nlist * cstride];
         if n > 0 {
-            let stride = (n / nlist).max(1);
+            let pick_stride = (n / nlist).max(1);
             for c in 0..nlist {
-                let src = store.row((c * stride) % n);
-                centroids[c * dim..(c + 1) * dim].copy_from_slice(src);
+                let src = data.row((c * pick_stride) % n);
+                centroids[c * cstride..c * cstride + dim].copy_from_slice(src);
             }
         }
         let mut rng = SplitMix64::new(params.seed);
@@ -79,17 +123,15 @@ impl IvfIndex {
         let mut assignment = vec![0u32; n];
         let iterations = if n == 0 { 0 } else { params.iterations };
         for _ in 0..iterations {
-            // Assign.
-            for (i, row) in store.iter() {
-                assignment[i] = nearest_centroid(&centroids, dim, nlist, row) as u32;
-            }
+            // Assign: tiled blocked scan over the centroid panel.
+            assign_cells(&data, &centroids, cstride, nlist, &mut assignment);
             // Update.
             let mut sums = vec![0.0f64; nlist * dim];
             let mut counts = vec![0u32; nlist];
-            for (i, row) in store.iter() {
-                let c = assignment[i] as usize;
+            for (i, &cell) in assignment.iter().enumerate() {
+                let c = cell as usize;
                 counts[c] += 1;
-                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
                     *s += x as f64;
                 }
             }
@@ -97,11 +139,11 @@ impl IvfIndex {
                 if counts[c] == 0 {
                     // Re-seed empty cells with a random existing vector.
                     let pick = rng.next_range(n.max(1) as u64) as usize;
-                    centroids[c * dim..(c + 1) * dim].copy_from_slice(store.row(pick));
+                    centroids[c * cstride..c * cstride + dim].copy_from_slice(data.row(pick));
                     continue;
                 }
                 let inv = 1.0 / counts[c] as f64;
-                let dst = &mut centroids[c * dim..(c + 1) * dim];
+                let dst = &mut centroids[c * cstride..c * cstride + dim];
                 for (d, s) in dst.iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
                     *d = (*s * inv) as f32;
                 }
@@ -117,12 +159,11 @@ impl IvfIndex {
 
         // Final assignment, then regroup vectors cell-contiguously so each
         // inverted list is one blocked-kernel scan.
-        let mut cell_of = vec![0usize; n];
+        let mut cell_of = vec![0u32; n];
+        assign_cells(&data, &centroids, cstride, nlist, &mut cell_of);
         let mut counts = vec![0usize; nlist];
-        for (i, row) in store.iter() {
-            let c = nearest_centroid(&centroids, dim, nlist, row);
-            cell_of[i] = c;
-            counts[c] += 1;
+        for &c in &cell_of {
+            counts[c as usize] += 1;
         }
         let mut offsets = vec![0usize; nlist + 1];
         for c in 0..nlist {
@@ -132,15 +173,15 @@ impl IvfIndex {
         let mut arena = VectorArena::with_capacity(dim, n);
         let mut cursor = offsets.clone();
         // Two passes keep ids and rows aligned: ids first (ordered by id
-        // within each cell because store iteration is in id order)…
+        // within each cell because rows are visited in id order)…
         for i in 0..n {
-            let slot = cursor[cell_of[i]];
+            let slot = cursor[cell_of[i] as usize];
             ids[slot] = i as u32;
-            cursor[cell_of[i]] += 1;
+            cursor[cell_of[i] as usize] += 1;
         }
         // …then rows pushed in final arena order.
         for &id in &ids {
-            arena.push(store.row(id as usize));
+            arena.push(data.row(id as usize));
         }
 
         IvfIndex {
@@ -148,14 +189,21 @@ impl IvfIndex {
             ids,
             offsets,
             centroids,
+            cstride,
             params: IvfParams { nlist, ..params },
             stats: IndexStats::default(),
         }
     }
 
     /// Builds with default parameters.
-    pub fn build_default(store: &VectorStore) -> Self {
-        Self::build(store, IvfParams::default())
+    pub fn build_default(arena: &VectorArena) -> Self {
+        Self::build(arena, IvfParams::default())
+    }
+
+    /// Convenience builder for store-based callers: copies `store` into
+    /// arena layout first.
+    pub fn build_from_store(store: &VectorStore, params: IvfParams) -> Self {
+        Self::build(&VectorArena::from_store(store), params)
     }
 
     /// The parameters the index was built with (nlist possibly capped).
@@ -174,15 +222,14 @@ impl IvfIndex {
     }
 
     /// The `nprobe` cells nearest to `q`, by centroid cosine — itself a
-    /// blocked scan over the contiguous centroid matrix.
+    /// blocked scan over the contiguous (padded) centroid matrix.
     fn probe_cells(&self, q: &[f32]) -> Vec<usize> {
-        let dim = self.arena.dim();
         let nlist = self.num_cells();
         let mut topk = TopK::new(self.params.nprobe.min(nlist));
         let mut scores = [0.0f32; TILE];
         for c0 in (0..nlist).step_by(TILE) {
             let c1 = (c0 + TILE).min(nlist);
-            dot_block(q, &self.centroids[c0 * dim..], dim, &mut scores[..c1 - c0]);
+            dot_block(q, &self.centroids[c0 * self.cstride..], self.cstride, &mut scores[..c1 - c0]);
             for (k, &score) in scores[..c1 - c0].iter().enumerate() {
                 topk.push(c0 + k, score);
             }
@@ -198,20 +245,6 @@ impl IvfIndex {
         }
         query.iter().map(|x| x / n).collect()
     }
-}
-
-#[inline]
-fn nearest_centroid(centroids: &[f32], dim: usize, nlist: usize, v: &[f32]) -> usize {
-    let mut best = 0usize;
-    let mut best_score = f32::NEG_INFINITY;
-    for c in 0..nlist {
-        let score = cosine_prenormalized(v, &centroids[c * dim..(c + 1) * dim]);
-        if score > best_score {
-            best_score = score;
-            best = c;
-        }
-    }
-    best
 }
 
 impl VectorIndex for IvfIndex {
@@ -284,10 +317,10 @@ mod tests {
     use super::*;
     use crate::brute::BruteForceIndex;
 
-    fn clustered_store(n: usize, c: usize, dim: usize, seed: u64) -> VectorStore {
+    fn clustered_arena(n: usize, c: usize, dim: usize, seed: u64) -> VectorArena {
         let mut rng = SplitMix64::new(seed);
         let centroids: Vec<Vec<f32>> = (0..c).map(|_| rng.unit_vector(dim)).collect();
-        let mut store = VectorStore::new(dim);
+        let mut store = VectorArena::new(dim);
         for i in 0..n {
             let centroid = &centroids[i % c];
             let noise = rng.unit_vector(dim);
@@ -303,7 +336,7 @@ mod tests {
 
     #[test]
     fn recall_against_brute_force() {
-        let store = clustered_store(600, 12, 48, 21);
+        let store = clustered_arena(600, 12, 48, 21);
         let ivf = IvfIndex::build(
             &store,
             IvfParams { nlist: 24, nprobe: 6, iterations: 8, seed: 5 },
@@ -328,7 +361,7 @@ mod tests {
 
     #[test]
     fn probes_fewer_than_full_scan() {
-        let store = clustered_store(1000, 20, 48, 33);
+        let store = clustered_arena(1000, 20, 48, 33);
         let ivf = IvfIndex::build(
             &store,
             IvfParams { nlist: 32, nprobe: 4, iterations: 6, seed: 5 },
@@ -341,7 +374,7 @@ mod tests {
 
     #[test]
     fn nlist_capped_by_store_size() {
-        let store = clustered_store(10, 2, 16, 1);
+        let store = clustered_arena(10, 2, 16, 1);
         let ivf = IvfIndex::build(
             &store,
             IvfParams { nlist: 100, nprobe: 100, iterations: 3, seed: 1 },
@@ -354,7 +387,7 @@ mod tests {
 
     #[test]
     fn every_vector_lands_in_exactly_one_cell() {
-        let store = clustered_store(200, 4, 16, 9);
+        let store = clustered_arena(200, 4, 16, 9);
         let ivf = IvfIndex::build_default(&store);
         let mut all: Vec<u32> = (0..ivf.num_cells())
             .flat_map(|c| ivf.cell_ids(c).iter().copied())
@@ -365,7 +398,7 @@ mod tests {
 
     #[test]
     fn cell_storage_is_contiguous_and_aligned_with_ids() {
-        let store = clustered_store(150, 6, 24, 2);
+        let store = clustered_arena(150, 6, 24, 2);
         let ivf = IvfIndex::build_default(&store);
         let normalized = store.normalized();
         for c in 0..ivf.num_cells() {
@@ -378,7 +411,7 @@ mod tests {
 
     #[test]
     fn deterministic_builds() {
-        let store = clustered_store(150, 5, 24, 13);
+        let store = clustered_arena(150, 5, 24, 13);
         let a = IvfIndex::build_default(&store);
         let b = IvfIndex::build_default(&store);
         assert_eq!(
@@ -389,7 +422,7 @@ mod tests {
 
     #[test]
     fn empty_store_searches_cleanly() {
-        let ivf = IvfIndex::build_default(&VectorStore::new(8));
+        let ivf = IvfIndex::build_default(&VectorArena::new(8));
         assert!(ivf.search_threshold(&[0.5; 8], 0.5).is_empty());
         assert!(ivf.search_topk(&[0.5; 8], 3).is_empty());
     }

@@ -1,24 +1,52 @@
 //! Vector similarity infrastructure for semantic operators.
 //!
 //! The paper's semantic select/join/group-by reduce to distance computations
-//! in a latent vector space (Section IV), so this crate provides:
+//! in a latent vector space (Section IV). [`VectorArena`] is the universal
+//! vector currency of that path: strings embed straight into padded,
+//! kernel-aligned rows, every scorer consumes arena panels, and every
+//! index builder builds from `&VectorArena` — no pairwise round-trips:
+//!
+//! ```text
+//!   EmbeddingCache::get_batch_into          (strings → padded rows, 1 copy)
+//!                  │
+//!                  ▼
+//!            VectorArena ───── quantize ────► QuantizedArena (f16 / int8)
+//!                  │                                 │
+//!        blocked kernels (crate::block)      quantized panel kernels
+//!     dot_block / dot_block_threshold /     (cx_embed::quant::dot_block_f16,
+//!     cosine_block_threshold / scores_matrix          dot_block_int8)
+//!                  │                                 │
+//!                  ├────────────────┬────────────────┘
+//!                  ▼                ▼
+//!        semantic operators    index builders
+//!     (SemanticJoin/Filter,  (BruteForceIndex scan,
+//!      tier picked by the     IvfIndex k-means + probes,
+//!      optimizer per scan)    LshIndex signatures + verify)
+//! ```
+//!
+//! Modules:
 //!
 //! * [`kernels`] — the pairwise distance-kernel ladder (scalar, unrolled,
-//!   norm-precomputed, quantized) whose rungs correspond to the "tight code
-//!   / CPU-specific instructions" optimizations of Figure 4,
+//!   norm-precomputed) whose rungs correspond to the "tight code /
+//!   CPU-specific instructions" optimizations of Figure 4,
 //! * [`block`] — the batched rung above it: one query scored against a
 //!   row-major panel of candidates ([`dot_block`]), panels against panels
 //!   ([`scores_matrix`]), with threshold-aware early-exit variants,
 //! * [`VectorStore`] — a contiguous row-major matrix of embeddings with
-//!   cached norms (the "prefetch/materialize" optimization),
-//! * [`VectorArena`] — the padded, kernel-aligned arena the blocked
-//!   kernels scan, fillable straight from an embedding cache,
+//!   cached norms (the "prefetch/materialize" optimization; kept for
+//!   serialization-friendly storage, convertible to an arena),
+//! * [`VectorArena`] — the padded arena above, fillable straight from an
+//!   embedding cache,
+//! * [`QuantizedArena`] — its f16/int8 sibling (Section VI's
+//!   half-precision opportunity): 2–4× fewer bytes per row at a bounded
+//!   score error, scored by the quantized panel kernels,
 //! * [`topk`] — bounded top-k collection,
 //! * [`BruteForceIndex`] — exact threshold/top-k scan,
-//! * [`LshIndex`] — random-hyperplane locality-sensitive hashing,
+//! * [`LshIndex`] — random-hyperplane locality-sensitive hashing (blocked
+//!   signature build and probe verification),
 //! * [`IvfIndex`] — inverted-file index with a k-means coarse quantizer
-//!   (the "index-based access for similarity search [20]" the optimizer
-//!   must cost, per Section IV).
+//!   trained by blocked assign steps (the "index-based access for
+//!   similarity search [20]" the optimizer must cost, per Section IV).
 //!
 //! All indexes implement [`VectorIndex`] so the physical planner can swap
 //! them per cost model.
@@ -30,10 +58,13 @@ pub mod index;
 pub mod ivf;
 pub mod kernels;
 pub mod lsh;
+pub mod qarena;
 pub mod store;
 pub mod topk;
 
 pub use arena::{RowBlock, VectorArena};
+pub use cx_embed::quant::QuantTier;
+pub use qarena::QuantizedArena;
 pub use block::{cosine_block_threshold, dot_block, dot_block_threshold, scores_matrix};
 pub use brute::BruteForceIndex;
 pub use index::{IndexStats, SearchResult, VectorIndex};

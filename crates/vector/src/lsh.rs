@@ -7,9 +7,21 @@
 //! high-similarity pairs collide with high probability while the index
 //! prunes the vast dissimilar majority — the index-based access path the
 //! paper says the optimizer must cost (Section IV).
+//!
+//! The index is arena-native end to end. Vectors live in a normalized
+//! [`VectorArena`] (no [`VectorStore`] copy); hyperplanes form one padded
+//! panel, so build-time signatures come from [`scores_matrix`] tiles (row
+//! tile × every plane of every table in one GEMM-shaped call) and a query's
+//! signatures from a single [`dot_block`] over the plane panel. Probe-list
+//! verification gathers the colliding rows into a contiguous scratch panel
+//! and scores them with one [`dot_block`] call per query — never a
+//! per-candidate pairwise loop — with scores bit-identical to the pairwise
+//! prenormalized kernel.
 
+use crate::arena::{VectorArena, ROW_ALIGN_FLOATS};
+use crate::block::{dot_block, scores_matrix, TILE};
 use crate::index::{sort_results, IndexStats, SearchResult, VectorIndex};
-use crate::kernels::{cosine_prenormalized, dot_unrolled, norm};
+use crate::kernels::norm;
 use crate::store::VectorStore;
 use crate::topk::TopK;
 use cx_embed::rng::SplitMix64;
@@ -34,9 +46,13 @@ impl Default for LshParams {
 
 /// Multi-table random-hyperplane LSH index.
 pub struct LshIndex {
-    store: VectorStore,
-    /// `tables × bits` hyperplanes, each of dimension `dim`, flat.
+    /// Normalized vectors in padded arena layout.
+    arena: VectorArena,
+    /// `tables × bits` hyperplanes as one padded panel: plane `p` occupies
+    /// `planes[p * pstride .. p * pstride + dim]`.
     planes: Vec<f32>,
+    /// Floats between consecutive plane rows.
+    pstride: usize,
     params: LshParams,
     /// One bucket map per table: signature → row ids.
     buckets: Vec<HashMap<u64, Vec<u32>>>,
@@ -44,30 +60,51 @@ pub struct LshIndex {
 }
 
 impl LshIndex {
-    /// Builds the index over `store` with `params`.
-    pub fn build(store: &VectorStore, params: LshParams) -> Self {
+    /// Builds the index over `arena` with `params`.
+    pub fn build(arena: &VectorArena, params: LshParams) -> Self {
         assert!(params.bits > 0 && params.bits <= 64, "bits must be in 1..=64");
         assert!(params.tables > 0, "at least one table required");
-        let store = store.normalized();
-        let dim = store.dim();
+        let data = arena.normalized();
+        let dim = data.dim();
+        let pstride = dim.next_multiple_of(ROW_ALIGN_FLOATS);
         let mut rng = SplitMix64::new(params.seed);
         let total_planes = params.tables * params.bits;
-        let mut planes = Vec::with_capacity(total_planes * dim);
-        for _ in 0..total_planes {
-            planes.extend(rng.unit_vector(dim));
+        let mut planes = vec![0.0f32; total_planes * pstride];
+        for p in 0..total_planes {
+            planes[p * pstride..p * pstride + dim].copy_from_slice(&rng.unit_vector(dim));
         }
 
+        // Batched signature build: score row tiles against the whole plane
+        // panel at once, then split each row's sign pattern into per-table
+        // signatures.
         let mut buckets: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); params.tables];
-        for (id, row) in store.iter() {
-            for (t, table) in buckets.iter_mut().enumerate() {
-                let sig = signature(&planes, dim, params.bits, t, row);
-                table.entry(sig).or_default().push(id as u32);
+        let n = data.len();
+        let mut scores = vec![0.0f32; TILE * total_planes];
+        for t0 in (0..n).step_by(TILE) {
+            let tile = data.block(t0..(t0 + TILE).min(n));
+            scores_matrix(
+                tile.data,
+                tile.stride,
+                tile.rows,
+                dim,
+                &planes,
+                pstride,
+                total_planes,
+                &mut scores[..tile.rows * total_planes],
+            );
+            for r in 0..tile.rows {
+                let dots = &scores[r * total_planes..(r + 1) * total_planes];
+                for (t, table) in buckets.iter_mut().enumerate() {
+                    let sig = signature_from_dots(&dots[t * params.bits..(t + 1) * params.bits]);
+                    table.entry(sig).or_default().push((t0 + r) as u32);
+                }
             }
         }
 
         LshIndex {
-            store,
+            arena: data,
             planes,
+            pstride,
             params,
             buckets,
             stats: IndexStats::default(),
@@ -75,8 +112,14 @@ impl LshIndex {
     }
 
     /// Builds with default parameters.
-    pub fn build_default(store: &VectorStore) -> Self {
-        Self::build(store, LshParams::default())
+    pub fn build_default(arena: &VectorArena) -> Self {
+        Self::build(arena, LshParams::default())
+    }
+
+    /// Convenience builder for store-based callers: copies `store` into
+    /// arena layout first.
+    pub fn build_from_store(store: &VectorStore, params: LshParams) -> Self {
+        Self::build(&VectorArena::from_store(store), params)
     }
 
     /// The parameters the index was built with.
@@ -85,11 +128,15 @@ impl LshIndex {
     }
 
     /// Collects unique candidate ids colliding with `query` in any table.
+    /// All `tables × bits` hyperplane tests run as one blocked call.
     fn candidates(&self, query: &[f32]) -> Vec<u32> {
-        let dim = self.store.dim();
+        let total_planes = self.params.tables * self.params.bits;
+        let mut dots = vec![0.0f32; total_planes];
+        dot_block(query, &self.planes, self.pstride, &mut dots);
         let mut seen: Vec<u32> = Vec::new();
         for (t, table) in self.buckets.iter().enumerate() {
-            let sig = signature(&self.planes, dim, self.params.bits, t, query);
+            let sig =
+                signature_from_dots(&dots[t * self.params.bits..(t + 1) * self.params.bits]);
             if let Some(ids) = table.get(&sig) {
                 seen.extend_from_slice(ids);
             }
@@ -99,8 +146,23 @@ impl LshIndex {
         seen
     }
 
+    /// Gathers the candidate rows into a contiguous scratch panel and
+    /// scores them with one blocked call: `out[k] = dot(q, row(ids[k]))`,
+    /// bit-identical to the pairwise prenormalized kernel.
+    fn score_candidates(&self, q: &[f32], ids: &[u32]) -> Vec<f32> {
+        let stride = self.arena.stride();
+        let dim = self.arena.dim();
+        let mut panel = vec![0.0f32; ids.len() * stride];
+        for (k, &id) in ids.iter().enumerate() {
+            panel[k * stride..k * stride + dim].copy_from_slice(self.arena.row(id as usize));
+        }
+        let mut scores = vec![0.0f32; ids.len()];
+        dot_block(q, &panel, stride, &mut scores);
+        scores
+    }
+
     fn normalized_query(&self, query: &[f32]) -> Vec<f32> {
-        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        assert_eq!(query.len(), self.arena.dim(), "query dimension mismatch");
         let n = norm(query);
         if n == 0.0 {
             return query.to_vec();
@@ -109,14 +171,13 @@ impl LshIndex {
     }
 }
 
-/// Computes the `bits`-bit signature of `v` under table `t`'s hyperplanes.
+/// Packs hyperplane dot signs into a signature (bit `b` set iff
+/// `dots[b] >= 0`).
 #[inline]
-fn signature(planes: &[f32], dim: usize, bits: usize, table: usize, v: &[f32]) -> u64 {
+fn signature_from_dots(dots: &[f32]) -> u64 {
     let mut sig = 0u64;
-    let base = table * bits;
-    for b in 0..bits {
-        let plane = &planes[(base + b) * dim..(base + b + 1) * dim];
-        if dot_unrolled(plane, v) >= 0.0 {
+    for (b, &d) in dots.iter().enumerate() {
+        if d >= 0.0 {
             sig |= 1 << b;
         }
     }
@@ -129,16 +190,16 @@ impl VectorIndex for LshIndex {
     }
 
     fn len(&self) -> usize {
-        self.store.len()
+        self.arena.len()
     }
 
     fn search_threshold(&self, query: &[f32], threshold: f32) -> Vec<SearchResult> {
         let q = self.normalized_query(query);
         let candidates = self.candidates(&q);
         self.stats.record_search(candidates.len());
+        let scores = self.score_candidates(&q, &candidates);
         let mut out = Vec::new();
-        for &id in &candidates {
-            let score = cosine_prenormalized(&q, self.store.row(id as usize));
+        for (&id, &score) in candidates.iter().zip(&scores) {
             if score >= threshold {
                 out.push(SearchResult { id: id as usize, score });
             }
@@ -151,9 +212,10 @@ impl VectorIndex for LshIndex {
         let q = self.normalized_query(query);
         let candidates = self.candidates(&q);
         self.stats.record_search(candidates.len());
+        let scores = self.score_candidates(&q, &candidates);
         let mut topk = TopK::new(k);
-        for &id in &candidates {
-            topk.push(id as usize, cosine_prenormalized(&q, self.store.row(id as usize)));
+        for (&id, &score) in candidates.iter().zip(&scores) {
+            topk.push(id as usize, score);
         }
         topk.into_sorted()
             .into_iter()
@@ -171,7 +233,7 @@ impl VectorIndex for LshIndex {
             .iter()
             .map(|t| t.values().map(|v| v.len() * 4 + 16).sum::<usize>())
             .sum();
-        self.store.memory_bytes() + self.planes.len() * 4 + buckets
+        self.arena.memory_bytes() + self.planes.len() * 4 + buckets
     }
 
     fn is_exact(&self) -> bool {
@@ -184,11 +246,11 @@ mod tests {
     use super::*;
     use crate::brute::BruteForceIndex;
 
-    /// A store of `n` vectors in `c` tight clusters.
-    fn clustered_store(n: usize, c: usize, dim: usize, seed: u64) -> VectorStore {
+    /// An arena of `n` vectors in `c` tight clusters.
+    fn clustered_arena(n: usize, c: usize, dim: usize, seed: u64) -> VectorArena {
         let mut rng = SplitMix64::new(seed);
         let centroids: Vec<Vec<f32>> = (0..c).map(|_| rng.unit_vector(dim)).collect();
-        let mut store = VectorStore::new(dim);
+        let mut arena = VectorArena::new(dim);
         for i in 0..n {
             let centroid = &centroids[i % c];
             let noise = rng.unit_vector(dim);
@@ -197,20 +259,20 @@ mod tests {
                 .zip(&noise)
                 .map(|(c, n)| c + 0.25 * n)
                 .collect();
-            store.push(&v);
+            arena.push(&v);
         }
-        store
+        arena
     }
 
     #[test]
     fn high_recall_on_near_duplicates() {
-        let store = clustered_store(500, 10, 64, 3);
-        let lsh = LshIndex::build_default(&store);
-        let exact = BruteForceIndex::build(&store);
+        let arena = clustered_arena(500, 10, 64, 3);
+        let lsh = LshIndex::build_default(&arena);
+        let exact = BruteForceIndex::build(&arena);
         let mut found = 0usize;
         let mut expected = 0usize;
         for probe in 0..50 {
-            let q = store.row(probe).to_vec();
+            let q = arena.row(probe).to_vec();
             let truth = exact.search_threshold(&q, 0.9);
             let approx = lsh.search_threshold(&q, 0.9);
             let approx_ids: std::collections::HashSet<usize> =
@@ -224,9 +286,9 @@ mod tests {
 
     #[test]
     fn prunes_candidates() {
-        let store = clustered_store(1000, 20, 64, 5);
-        let lsh = LshIndex::build_default(&store);
-        lsh.search_threshold(store.row(0), 0.9);
+        let arena = clustered_arena(1000, 20, 64, 5);
+        let lsh = LshIndex::build_default(&arena);
+        lsh.search_threshold(arena.row(0), 0.9);
         // Examined far fewer than the full store.
         assert!(
             lsh.stats().candidates_examined() < 600,
@@ -237,18 +299,18 @@ mod tests {
 
     #[test]
     fn no_false_positives_below_threshold() {
-        let store = clustered_store(200, 5, 32, 9);
-        let lsh = LshIndex::build_default(&store);
-        for r in lsh.search_threshold(store.row(3), 0.95) {
+        let arena = clustered_arena(200, 5, 32, 9);
+        let lsh = LshIndex::build_default(&arena);
+        for r in lsh.search_threshold(arena.row(3), 0.95) {
             assert!(r.score >= 0.95);
         }
     }
 
     #[test]
     fn topk_subset_of_candidates() {
-        let store = clustered_store(300, 6, 32, 11);
-        let lsh = LshIndex::build_default(&store);
-        let out = lsh.search_topk(store.row(0), 5);
+        let arena = clustered_arena(300, 6, 32, 11);
+        let lsh = LshIndex::build_default(&arena);
+        let out = lsh.search_topk(arena.row(0), 5);
         assert!(out.len() <= 5);
         // Self-match is the best result.
         assert_eq!(out[0].id, 0);
@@ -257,18 +319,42 @@ mod tests {
 
     #[test]
     fn deterministic_builds() {
-        let store = clustered_store(100, 4, 16, 1);
-        let a = LshIndex::build_default(&store);
-        let b = LshIndex::build_default(&store);
+        let arena = clustered_arena(100, 4, 16, 1);
+        let a = LshIndex::build_default(&arena);
+        let b = LshIndex::build_default(&arena);
         assert_eq!(
-            a.search_threshold(store.row(7), 0.8),
-            b.search_threshold(store.row(7), 0.8)
+            a.search_threshold(arena.row(7), 0.8),
+            b.search_threshold(arena.row(7), 0.8)
+        );
+    }
+
+    #[test]
+    fn blocked_probe_scores_match_pairwise_kernel_bitwise() {
+        use crate::kernels::cosine_prenormalized;
+        let arena = clustered_arena(200, 4, 24, 7);
+        let lsh = LshIndex::build_default(&arena);
+        let q = lsh.normalized_query(arena.row(5));
+        for r in lsh.search_threshold(arena.row(5), 0.3) {
+            let exact = cosine_prenormalized(&q, lsh.arena.row(r.id));
+            assert_eq!(r.score.to_bits(), exact.to_bits(), "id {}", r.id);
+        }
+    }
+
+    #[test]
+    fn store_and_arena_builds_agree() {
+        let arena = clustered_arena(120, 4, 16, 2);
+        let store = arena.to_store();
+        let a = LshIndex::build_default(&arena);
+        let b = LshIndex::build_from_store(&store, LshParams::default());
+        assert_eq!(
+            a.search_threshold(arena.row(3), 0.8),
+            b.search_threshold(arena.row(3), 0.8)
         );
     }
 
     #[test]
     #[should_panic(expected = "bits must be in 1..=64")]
     fn invalid_bits_panics() {
-        LshIndex::build(&VectorStore::new(4), LshParams { bits: 0, tables: 1, seed: 1 });
+        LshIndex::build(&VectorArena::new(4), LshParams { bits: 0, tables: 1, seed: 1 });
     }
 }

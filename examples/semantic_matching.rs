@@ -6,7 +6,7 @@
 
 use cx_embed::EmbeddingModel;
 use cx_embed::ClusteredTextModel;
-use cx_vector::{BruteForceIndex, VectorIndex, VectorStore};
+use cx_vector::{BruteForceIndex, VectorArena, VectorIndex};
 use std::sync::Arc;
 
 fn main() {
@@ -15,11 +15,13 @@ fn main() {
     let space = Arc::new(cx_datagen::build_space(&specs, 100, 42));
     let model = ClusteredTextModel::new("table1-model", space.clone(), 7);
 
-    let mut store = VectorStore::new(model.dim());
+    // The arena is the index builders' native input: padded rows the
+    // blocked kernels scan directly.
+    let mut arena = VectorArena::with_capacity(model.dim(), words.len());
     for w in &words {
-        store.push(&model.embed(w));
+        arena.push(&model.embed(w));
     }
-    let index = BruteForceIndex::build(&store);
+    let index = BruteForceIndex::build(&arena);
 
     println!("TABLE I — context-rich text labels the model matches\n");
     println!("{:<10} | {:<55} | precision", "category", "semantic matches (top-4)");

@@ -1,12 +1,15 @@
 //! Property-based tests on core data-structure invariants: bitmaps,
 //! columns, kernels, top-k, quantization, indexes, and expression folding.
 
-use cx_embed::{f16_to_f32, f32_to_f16, QuantizedVector};
+use cx_embed::{
+    dot_block_int8, dot_int8, f16_to_f32, f32_to_f16, quantize_query_int8, QuantTier,
+    QuantizedVector,
+};
 use cx_expr::{eval, fold_constants, BinOp, Expr};
 use cx_storage::{Bitmap, Chunk, Column, DataType, Field, Scalar, Schema};
 use cx_vector::block::{cosine_block_threshold, dot_block, dot_block_threshold, scores_matrix};
 use cx_vector::kernels::{cosine, cosine_with_norms, dot, dot_unrolled, l2_distance, norm};
-use cx_vector::{BruteForceIndex, LshIndex, TopK, VectorArena, VectorIndex, VectorStore};
+use cx_vector::{BruteForceIndex, LshIndex, QuantizedArena, TopK, VectorArena, VectorIndex};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -274,6 +277,143 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Quantized panel kernels vs pairwise quantized kernels and f32 panels
+// ---------------------------------------------------------------------------
+
+/// A padded arena of random rows; one row zeroed when any exist. Dims
+/// include non-multiples of 8 (both kernels' tail paths).
+fn quantizable_arena(dim: usize, rows: usize, seed: u64) -> VectorArena {
+    let mut rng = cx_embed::rng::SplitMix64::new(seed);
+    let mut arena = VectorArena::new(dim);
+    for _ in 0..rows {
+        arena.push(&(0..dim).map(|_| rng.next_f32_symmetric()).collect::<Vec<_>>());
+    }
+    if rows > 0 {
+        // Rebuild with a zero row in a seed-dependent slot.
+        let z = seed as usize % rows;
+        let mut with_zero = VectorArena::new(dim);
+        for r in 0..rows {
+            if r == z {
+                with_zero.push(&vec![0.0; dim]);
+            } else {
+                with_zero.push(arena.row(r));
+            }
+        }
+        return with_zero;
+    }
+    arena
+}
+
+proptest! {
+    /// The int8 panel kernel is bit-identical to the pairwise `dot_int8`
+    /// ladder: integer accumulation is exact, and the scale multiply order
+    /// matches.
+    #[test]
+    fn int8_panel_bit_identical_to_pairwise(
+        dim in 1usize..130,
+        rows in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let arena = quantizable_arena(dim, rows, seed);
+        let mut rng = cx_embed::rng::SplitMix64::new(seed ^ 0xABCD);
+        let qf: Vec<f32> = (0..dim).map(|_| rng.next_f32_symmetric()).collect();
+        let (qi, q_scale) = quantize_query_int8(&qf);
+
+        // Kernel level: raw i32 accumulators equal the scalar sum exactly.
+        let panel = QuantizedArena::from_arena(&arena, QuantTier::Int8);
+        let stride = panel.stride();
+        let mut rows_i8 = vec![0i8; arena.len() * stride];
+        let mut scales = vec![0.0f32; arena.len()];
+        for r in 0..arena.len() {
+            let QuantizedVector::Int8 { data, scale } = QuantizedVector::to_int8(arena.row(r))
+            else { unreachable!() };
+            rows_i8[r * stride..r * stride + dim].copy_from_slice(&data);
+            scales[r] = scale;
+        }
+        let mut acc = vec![0i32; arena.len()];
+        dot_block_int8(&qi, &rows_i8, stride, &mut acc);
+        for r in 0..arena.len() {
+            let row = &rows_i8[r * stride..r * stride + dim];
+            let exact: i32 = qi.iter().zip(row).map(|(&x, &y)| x as i32 * y as i32).sum();
+            prop_assert_eq!(acc[r], exact, "row {} accumulator", r);
+        }
+
+        // Arena level: scores equal pairwise dot_int8 to the bit.
+        let got = panel.scores(&qf);
+        for r in 0..arena.len() {
+            let row = &rows_i8[r * stride..r * stride + dim];
+            let want = dot_int8(&qi, q_scale, row, scales[r]);
+            prop_assert_eq!(got[r].to_bits(), want.to_bits(), "row {} score", r);
+        }
+    }
+
+    /// f16 and int8 panel scores stay within their documented absolute
+    /// error bounds of the f32 blocked kernel. Bounds are computed from
+    /// the actual values (triangle inequality over per-element
+    /// quantization error), so they hold for every generated case
+    /// including zero vectors and tail dims.
+    #[test]
+    fn quantized_panels_within_error_bounds_of_f32(
+        dim in 1usize..130,
+        rows in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let arena = quantizable_arena(dim, rows, seed);
+        let mut rng = cx_embed::rng::SplitMix64::new(seed ^ 0x5EED);
+        let q: Vec<f32> = (0..dim).map(|_| rng.next_f32_symmetric()).collect();
+        let view = arena.as_block();
+        let mut exact = vec![0.0f32; rows];
+        dot_block(&q, view.data, view.stride, &mut exact);
+
+        // f16: |x - f16(x)| <= 2^-11 |x| in the normal range (plus a tiny
+        // absolute term for subnormal flushing), so
+        // |Δdot| <= Σ |q_i| (2^-11 |x_i| + 6.2e-5) + f32 rounding slack.
+        let f16_panel = QuantizedArena::from_arena(&arena, QuantTier::F16);
+        let got = f16_panel.scores(&q);
+        for r in 0..rows {
+            let row = arena.row(r);
+            let bound: f32 = q
+                .iter()
+                .zip(row)
+                .map(|(qi, xi)| qi.abs() * (xi.abs() * 4.9e-4 + 6.2e-5))
+                .sum::<f32>()
+                + 1e-5 * (1.0 + exact[r].abs());
+            prop_assert!(
+                (got[r] - exact[r]).abs() <= bound,
+                "f16 row {}: {} vs {} (bound {})", r, got[r], exact[r], bound
+            );
+        }
+
+        // int8: both sides quantized symmetrically. With s_a = max|a|/127,
+        // |a_i - â_i| <= s_a/2, so
+        // |Δdot| <= Σ (|q_i| s_x/2 + |x_i| s_q/2 + s_q s_x/4) + slack.
+        let (_, s_q) = quantize_query_int8(&q);
+        let int8_panel = QuantizedArena::from_arena(&arena, QuantTier::Int8);
+        let got = int8_panel.scores(&q);
+        for r in 0..rows {
+            let row = arena.row(r);
+            let max_x = row.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+            let s_x = if max_x > 0.0 { max_x / 127.0 } else { 0.0 };
+            let bound: f32 = q
+                .iter()
+                .zip(row)
+                .map(|(qi, xi)| 0.51 * (qi.abs() * s_x + xi.abs() * s_q) + s_q * s_x)
+                .sum::<f32>()
+                + 1e-5 * (1.0 + exact[r].abs());
+            prop_assert!(
+                (got[r] - exact[r]).abs() <= bound,
+                "int8 row {}: {} vs {} (bound {})", r, got[r], exact[r], bound
+            );
+        }
+
+        // Zero rows score exactly zero at every tier.
+        let z = seed as usize % rows;
+        prop_assert_eq!(f16_panel.scores(&q)[z], 0.0);
+        prop_assert_eq!(int8_panel.scores(&q)[z], 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Index correctness: approximate ⊆ exact, no false positives
 // ---------------------------------------------------------------------------
 
@@ -283,12 +423,12 @@ proptest! {
     #[test]
     fn lsh_results_are_subset_of_brute_force(seed in any::<u64>()) {
         let mut rng = cx_embed::rng::SplitMix64::new(seed);
-        let mut store = VectorStore::new(16);
+        let mut arena = VectorArena::new(16);
         for _ in 0..120 {
-            store.push(&rng.unit_vector(16));
+            arena.push(&rng.unit_vector(16));
         }
-        let brute = BruteForceIndex::build(&store);
-        let lsh = LshIndex::build_default(&store);
+        let brute = BruteForceIndex::build(&arena);
+        let lsh = LshIndex::build_default(&arena);
         let q = rng.unit_vector(16);
         let exact: std::collections::HashSet<usize> =
             brute.search_threshold(&q, 0.8).iter().map(|r| r.id).collect();

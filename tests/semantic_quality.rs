@@ -4,7 +4,7 @@
 use cx_datagen::{generate_dirty, table1_clusters, DirtyConfig};
 use cx_embed::{ClusteredTextModel, EmbeddingCache, EmbeddingModel};
 use cx_semantic::{consolidate, pairwise_metrics};
-use cx_vector::{BruteForceIndex, VectorIndex, VectorStore};
+use cx_vector::{BruteForceIndex, VectorArena, VectorIndex};
 use std::sync::Arc;
 
 fn table1_model() -> (ClusteredTextModel, Vec<String>) {
@@ -20,11 +20,11 @@ fn table1_model() -> (ClusteredTextModel, Vec<String>) {
 fn table1_semantic_matches_have_full_precision() {
     let (model, words) = table1_model();
     let space = model.space();
-    let mut store = VectorStore::new(model.dim());
+    let mut arena = VectorArena::new(model.dim());
     for w in &words {
-        store.push(&model.embed(w));
+        arena.push(&model.embed(w));
     }
-    let index = BruteForceIndex::build(&store);
+    let index = BruteForceIndex::build(&arena);
 
     for category in ["dog", "cat", "shoes", "jacket"] {
         let query = model.embed(category);
@@ -52,11 +52,11 @@ fn table1_semantic_matches_have_full_precision() {
 fn table1_parent_categories_span_children() {
     let (model, words) = table1_model();
     let space = model.space();
-    let mut store = VectorStore::new(model.dim());
+    let mut arena = VectorArena::new(model.dim());
     for w in &words {
-        store.push(&model.embed(w));
+        arena.push(&model.embed(w));
     }
-    let index = BruteForceIndex::build(&store);
+    let index = BruteForceIndex::build(&arena);
 
     for (parent, children) in [("animal", ["dog", "cat"]), ("clothes", ["shoes", "jacket"])] {
         let got = index.search_topk(&model.embed(parent), 5);
