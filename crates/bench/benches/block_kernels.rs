@@ -122,8 +122,10 @@ fn bench_block_kernels(c: &mut Criterion) {
                 black_box(acc)
             })
         });
-        let f16_panel = QuantizedArena::from_arena(&build_norm, QuantTier::F16);
-        let int8_panel = QuantizedArena::from_arena(&build_norm, QuantTier::Int8);
+        let f16_panel = QuantizedArena::from_arena(&build_norm, QuantTier::F16)
+            .expect("f16 is a quantized tier");
+        let int8_panel = QuantizedArena::from_arena(&build_norm, QuantTier::Int8)
+            .expect("int8 is a quantized tier");
         group.bench_with_input(BenchmarkId::new("dot_block_f16", dim), &dim, |bench, _| {
             bench.iter(|| {
                 f16_panel.scores_into(&qn_vec, &mut out);

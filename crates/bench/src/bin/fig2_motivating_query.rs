@@ -104,7 +104,7 @@ fn main() {
 
     let mut reference_rows = None;
     for (name, config) in levels {
-        let engine = build_engine(&data, EngineConfig { optimizer: config });
+        let engine = build_engine(&data, EngineConfig { optimizer: config, ..EngineConfig::default() });
         let cache = engine.embedding_cache("shop-model").unwrap();
         cache.clear();
         cache.model().stats().reset();

@@ -1,0 +1,286 @@
+//! SERVING THROUGHPUT — 8 concurrent clients through `cx_serve` vs a
+//! naive serial `Engine::execute` loop.
+//!
+//! The workload is a 20-query mix (relational lookups, semantic filters at
+//! several thresholds/targets, a semantic join, a semantic group-by —
+//! with repeats, the way parameterized production traffic repeats) over a
+//! shop-like corpus. Each of the 8 clients replays the full mix `replays`
+//! times through one shared [`Server`]; the baseline replays the identical
+//! 8×`replays` sequence through a bare engine, serially. Both sides start
+//! with cold caches — the server's advantage is structural (plan-cache +
+//! result-memo hits after the first replay, batched cross-client embedding
+//! warm-up, thread concurrency), not a warm-up artifact.
+//!
+//! Emits `BENCH_serve.json`: QPS, p50/p95 per-query latency for both
+//! sides, the speedup, and the server's plan-cache/batcher counters.
+//!
+//! Usage: `cargo run --release -p cx-bench --bin serve_throughput`
+//!   env `SERVE_N`        corpus rows          (default 2000)
+//!   env `SERVE_CLIENTS`  concurrent clients   (default 8)
+//!   env `SERVE_REPLAYS`  mix replays/client   (default 3)
+
+use context_engine::{Engine, EngineConfig, Query};
+use cx_datagen::{generate_corpus, synthetic_clusters, CorpusConfig};
+use cx_embed::ClusteredTextModel;
+use cx_exec::logical::{AggFunc, AggSpec};
+use cx_expr::{col, lit};
+use cx_serve::{ServeConfig, Server};
+use cx_storage::{Column, DataType, Field, Schema, Table};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A fresh engine over `n` shop rows (cold caches).
+fn build_engine(n: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let space = Arc::new(cx_datagen::build_space(&clusters, 100, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("fasttext-like", space, 7)));
+
+    let names = generate_corpus(
+        &cx_datagen::vocab::all_words(&clusters),
+        CorpusConfig { size: n, zipf_s: 1.0, max_words: 2, seed: 11 },
+    );
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..n).map(|i| 5.0 + (i % 200) as f64).collect()),
+        ],
+    )
+    .expect("products table");
+    engine.register_table("products", products).expect("register products");
+
+    // A small label relation for the join leg of the mix.
+    let labels: Vec<String> = cx_datagen::vocab::all_words(&clusters)
+        .iter()
+        .take(64)
+        .cloned()
+        .collect();
+    let label_table = Table::from_columns(
+        Schema::new(vec![Field::new("label", DataType::Utf8)]),
+        vec![Column::from_strings(labels)],
+    )
+    .expect("labels table");
+    engine.register_table("labels", label_table).expect("register labels");
+    engine
+}
+
+/// The 20-query mix. Parameterized repeats mirror production traffic: the
+/// same shapes at a handful of parameter points, over and over.
+fn query_mix(engine: &Engine, targets: &[String]) -> Vec<Query> {
+    let sem_filter = |target: &str, threshold| {
+        engine
+            .table("products")
+            .expect("products")
+            .semantic_filter("name", target, "fasttext-like", threshold)
+            .aggregate(&[], vec![AggSpec::count_star("n")])
+    };
+    let lookup = |limit| {
+        engine
+            .table("products")
+            .expect("products")
+            .filter(col("price").gt(lit(100.0)))
+            .sort(&[("price", false)])
+            .limit(limit)
+    };
+    let join = |threshold| {
+        engine
+            .table("products")
+            .expect("products")
+            .filter(col("price").lt(lit(50.0)))
+            .semantic_join(
+                engine.table("labels").expect("labels"),
+                "name",
+                "label",
+                "fasttext-like",
+                threshold,
+            )
+            .aggregate(&[], vec![AggSpec::count_star("matches")])
+    };
+    let group = || {
+        engine
+            .table("products")
+            .expect("products")
+            .filter(col("price").gt(lit(150.0)))
+            .semantic_group_by(
+                "name",
+                "fasttext-like",
+                0.85,
+                vec![AggSpec::new(AggFunc::Avg, "price", "avg_price")],
+            )
+    };
+    vec![
+        lookup(10),
+        sem_filter(&targets[0], 0.8),
+        join(0.9),
+        sem_filter(&targets[1], 0.8),
+        lookup(10), // repeat
+        sem_filter(&targets[0], 0.8), // repeat
+        group(),
+        sem_filter(&targets[2], 0.75),
+        join(0.9), // repeat
+        lookup(25),
+        sem_filter(&targets[1], 0.8), // repeat
+        sem_filter(&targets[3], 0.8),
+        group(), // repeat
+        join(0.95),
+        sem_filter(&targets[0], 0.75),
+        lookup(10), // repeat
+        sem_filter(&targets[2], 0.75), // repeat
+        join(0.9), // repeat
+        sem_filter(&targets[3], 0.8), // repeat
+        group(), // repeat
+    ]
+}
+
+struct Side {
+    total_secs: f64,
+    latencies: Vec<Duration>,
+}
+
+impl Side {
+    fn qps(&self) -> f64 {
+        self.latencies.len() as f64 / self.total_secs
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+}
+
+fn main() {
+    let n = env_usize("SERVE_N", 2000);
+    let clients = env_usize("SERVE_CLIENTS", 8);
+    let replays = env_usize("SERVE_REPLAYS", 3);
+
+    // Target words that exist in the model's semantic space.
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let targets: Vec<String> = clusters.iter().take(4).map(|c| c.name.clone()).collect();
+
+    println!("SERVING THROUGHPUT — {clients} concurrent clients vs serial loop");
+    println!("corpus: {n} rows, 20-query mix, {replays} replays/client, cold caches both\n");
+
+    // ---- baseline: serial Engine::execute over the identical sequence ----
+    let serial = {
+        let engine = build_engine(n);
+        let mix = query_mix(&engine, &targets);
+        let mut latencies = Vec::with_capacity(clients * replays * mix.len());
+        let start = Instant::now();
+        for _ in 0..clients * replays {
+            for q in &mix {
+                let t = Instant::now();
+                let r = engine.execute(q).expect("serial execute");
+                std::hint::black_box(r.table.num_rows());
+                latencies.push(t.elapsed());
+            }
+        }
+        Side { total_secs: start.elapsed().as_secs_f64(), latencies }
+    };
+    println!(
+        "serial engine loop : {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  ({} queries in {:.2}s)",
+        serial.qps(),
+        serial.percentile(0.5),
+        serial.percentile(0.95),
+        serial.latencies.len(),
+        serial.total_secs
+    );
+
+    // ---- served: `clients` threads through one shared Server ----
+    let engine = build_engine(n);
+    let server = Server::new(engine, ServeConfig::default());
+    let barrier = Arc::new(Barrier::new(clients));
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                let targets = targets.clone();
+                s.spawn(move || {
+                    let session = server.session();
+                    let mix = query_mix(server.engine(), &targets);
+                    let mut local = Vec::with_capacity(replays * mix.len());
+                    barrier.wait();
+                    for _ in 0..replays {
+                        for q in &mix {
+                            let t = Instant::now();
+                            let r = session.execute(q).expect("served execute");
+                            std::hint::black_box(r.table.num_rows());
+                            local.push(t.elapsed());
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    let served = Side { total_secs: start.elapsed().as_secs_f64(), latencies };
+    println!(
+        "cx_serve ({clients} clients): {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  ({} queries in {:.2}s)",
+        served.qps(),
+        served.percentile(0.5),
+        served.percentile(0.95),
+        served.latencies.len(),
+        served.total_secs
+    );
+
+    let speedup = served.qps() / serial.qps();
+    let plan = server.plan_cache_stats();
+    let result_hits = server.stats().result_cache_hits;
+    let batcher = server.batcher("fasttext-like").expect("batcher").stats();
+    println!("\nspeedup: {speedup:.2}x qps (acceptance: >= 2x)");
+    println!(
+        "plan cache: {} hits / {} misses (hit rate {:.1}%), result memo: {} hits",
+        plan.hits,
+        plan.misses,
+        100.0 * plan.hit_rate(),
+        result_hits,
+    );
+    println!(
+        "embed batcher: {} batches / {} texts, {} coalesced texts, max submitters {}",
+        batcher.batches, batcher.batched_texts, batcher.texts_coalesced, batcher.max_batch_submitters
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"serve\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"serial\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"result_memo_hits\": {}}},\n  \"embed_batcher\": {{\"batches\": {}, \"batched_texts\": {}, \"texts_coalesced\": {}, \"max_batch_submitters\": {}}}\n}}\n",
+        served.latencies.len(),
+        served.qps(),
+        served.percentile(0.5),
+        served.percentile(0.95),
+        served.total_secs,
+        serial.qps(),
+        serial.percentile(0.5),
+        serial.percentile(0.95),
+        serial.total_secs,
+        speedup,
+        plan.hits,
+        plan.misses,
+        plan.hit_rate(),
+        result_hits,
+        batcher.batches,
+        batcher.batched_texts,
+        batcher.texts_coalesced,
+        batcher.max_batch_submitters,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}

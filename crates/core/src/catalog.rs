@@ -6,6 +6,7 @@ use cx_storage::{Result, Table, TableStats};
 use cx_vision::{ImageStore, ObjectDetector};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cap on sampled values kept per string column for semantic selectivity
@@ -27,6 +28,11 @@ pub struct Catalog {
     kbs: RwLock<HashMap<String, Arc<KnowledgeBase>>>,
     image_stores: RwLock<HashMap<String, Arc<ImageStore>>>,
     models: Arc<ModelRegistry>,
+    /// Bumped on every registration (tables, KBs, images, models). Cached
+    /// plans are valid only for the version they were built against:
+    /// re-registering a table changes both its contents and its statistics,
+    /// so a plan cache keyed on this version self-invalidates.
+    version: AtomicU64,
 }
 
 impl Catalog {
@@ -57,7 +63,18 @@ impl Catalog {
             sample_map.insert(key, sample);
         }
         self.tables.write().insert(name, Arc::new(table));
+        // Release pairs with the Acquire in `version()`: a reader that
+        // observes the new version also observes the registration writes
+        // above, so a plan tagged with a version can never have been built
+        // from older catalog state than that version names.
+        self.version.fetch_add(1, Ordering::Release);
         Ok(())
+    }
+
+    /// The catalog's change version (see the field docs). Acquire pairs
+    /// with the Release bump in the registration paths.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     /// Registers a knowledge base; its `(label, category)` export becomes
@@ -90,6 +107,7 @@ impl Catalog {
     /// Registers a representation model.
     pub fn register_model(&self, model: Arc<dyn EmbeddingModel>) {
         self.models.register(model);
+        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// Resolves a table.
@@ -165,6 +183,26 @@ mod tests {
         let samples = c.samples_snapshot();
         assert_eq!(samples[&("t".to_string(), "name".to_string())].len(), 2);
         assert!(!samples.contains_key(&("t".to_string(), "id".to_string())));
+    }
+
+    #[test]
+    fn version_bumps_on_every_registration() {
+        let c = Catalog::new();
+        assert_eq!(c.version(), 0);
+        c.register_table("t", table()).unwrap();
+        let v1 = c.version();
+        assert!(v1 > 0);
+        // Re-registering (contents/stats change) bumps again.
+        c.register_table("t", table()).unwrap();
+        assert!(c.version() > v1);
+        let v2 = c.version();
+        c.register_model(Arc::new(cx_embed::HashNGramModel::new(1)));
+        assert!(c.version() > v2);
+        let v3 = c.version();
+        let mut kb = KnowledgeBase::new();
+        kb.assert_is_a("boots", "shoes");
+        c.register_kb("kb", kb).unwrap();
+        assert!(c.version() > v3);
     }
 
     #[test]

@@ -22,11 +22,18 @@ use std::time::Instant;
 pub struct EngineConfig {
     /// Optimizer feature switches (Figure 4's ladder toggles live here).
     pub optimizer: OptimizerConfig,
+    /// Entry bound for the per-model embedding caches (`None` =
+    /// unbounded, the experiment-friendly default). Long-lived servers set
+    /// this so the caches CLOCK-evict instead of growing without limit.
+    pub embedding_cache_capacity: Option<usize>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { optimizer: OptimizerConfig::all() }
+        EngineConfig {
+            optimizer: OptimizerConfig::all(),
+            embedding_cache_capacity: None,
+        }
     }
 }
 
@@ -34,7 +41,10 @@ impl EngineConfig {
     /// A configuration with every optimization disabled (the "first tool at
     /// their disposal" baseline of Section V).
     pub fn unoptimized() -> Self {
-        EngineConfig { optimizer: OptimizerConfig::none() }
+        EngineConfig {
+            optimizer: OptimizerConfig::none(),
+            ..EngineConfig::default()
+        }
     }
 }
 
@@ -49,6 +59,20 @@ pub struct QueryResult {
     /// Optimizer's row estimate for the result (plan-quality signal).
     pub estimated_rows: f64,
     /// Optimizer's cost estimate for the executed plan (abstract ns).
+    pub estimated_cost: f64,
+}
+
+/// An optimized logical plan plus the optimizer's by-products, ready to
+/// lower with [`Engine::lower_plan`] — the unit a serving layer caches.
+pub struct PlannedQuery {
+    /// The optimized logical plan.
+    pub plan: cx_exec::logical::LogicalPlan,
+    /// Names of optimizer rules that fired.
+    pub rules_fired: Vec<String>,
+    /// Optimizer's row estimate for the result.
+    pub estimated_rows: f64,
+    /// Optimizer's cost estimate (abstract ns) — also the admission-control
+    /// currency of `cx_serve`.
     pub estimated_cost: f64,
 }
 
@@ -128,9 +152,19 @@ impl Engine {
             return Some(c.clone());
         }
         let m = self.catalog.models().get(model)?;
-        let cache = Arc::new(EmbeddingCache::new(m));
+        let cache = Arc::new(match self.config.embedding_cache_capacity {
+            Some(cap) => EmbeddingCache::with_capacity(m, cap),
+            None => EmbeddingCache::new(m),
+        });
         self.caches.write().insert(model.to_string(), cache.clone());
         Some(cache)
+    }
+
+    /// The catalog's change version — bumped by every registration. Plans
+    /// built against an older version are stale (see
+    /// [`crate::Catalog::version`]).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
     }
 
     fn optimizer_context(&self) -> OptimizerContext {
@@ -155,6 +189,35 @@ impl Engine {
         env
     }
 
+    /// Runs logical optimization (not lowering or execution) in `ctx`.
+    fn optimize_in(&self, ctx: &OptimizerContext, query: &Query) -> PlannedQuery {
+        let optimizer = Optimizer::new(ctx);
+        let (plan, rules_fired) = optimizer.optimize(query.plan(), ctx);
+        let estimated_rows = estimate_rows(&plan, ctx);
+        let estimated_cost = estimate_cost(&plan, ctx);
+        PlannedQuery { plan, rules_fired, estimated_rows, estimated_cost }
+    }
+
+    /// Optimizes `query` without lowering or executing it. The returned
+    /// [`PlannedQuery`] can be lowered with [`Self::lower_plan`] — a
+    /// serving layer caches the pair and skips both steps on repeats.
+    pub fn optimize_query(&self, query: &Query) -> PlannedQuery {
+        let ctx = self.optimizer_context();
+        self.optimize_in(&ctx, query)
+    }
+
+    /// Lowers an (optimized) logical plan into an executable operator
+    /// tree. The tree is `Send + Sync` and re-executable: every
+    /// `execute()` call re-runs it against the tables captured here.
+    pub fn lower_plan(
+        &self,
+        plan: &cx_exec::logical::LogicalPlan,
+    ) -> Result<Arc<dyn PhysicalOperator>> {
+        let mut ctx = self.optimizer_context();
+        let env = self.planner_env();
+        create_physical_plan(plan, &mut ctx, &env)
+    }
+
     /// Optimizes and builds the physical plan without executing (returns
     /// the operator tree plus the rule trace).
     pub fn plan(&self, query: &Query) -> Result<(Arc<dyn PhysicalOperator>, Vec<String>)> {
@@ -170,19 +233,16 @@ impl Engine {
     pub fn execute(&self, query: &Query) -> Result<QueryResult> {
         let start = Instant::now();
         let mut ctx = self.optimizer_context();
-        let optimizer = Optimizer::new(&ctx);
-        let (optimized, rules_fired) = optimizer.optimize(query.plan(), &ctx);
-        let estimated_rows = estimate_rows(&optimized, &ctx);
-        let estimated_cost = estimate_cost(&optimized, &ctx);
+        let planned = self.optimize_in(&ctx, query);
         let env = self.planner_env();
-        let physical = create_physical_plan(&optimized, &mut ctx, &env)?;
+        let physical = create_physical_plan(&planned.plan, &mut ctx, &env)?;
         let table = collect_table(physical.as_ref())?;
         Ok(QueryResult {
             table,
             elapsed: start.elapsed(),
-            rules_fired,
-            estimated_rows,
-            estimated_cost,
+            rules_fired: planned.rules_fired,
+            estimated_rows: planned.estimated_rows,
+            estimated_cost: planned.estimated_cost,
         })
     }
 
@@ -367,6 +427,55 @@ mod tests {
     fn unknown_table_errors() {
         let engine = Engine::new(EngineConfig::default());
         assert!(engine.table("missing").is_err());
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        // The serving layer shares one `Arc<Engine>` across worker
+        // threads; this is the compile-time audit that everything the
+        // engine holds (catalog, caches, model registry) stays shareable.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<crate::Catalog>();
+        assert_send_sync::<QueryResult>();
+        assert_send_sync::<PlannedQuery>();
+    }
+
+    #[test]
+    fn optimize_then_lower_matches_execute() {
+        let engine = engine_with_data();
+        let q = engine
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.75)
+            .sort(&[("product_id", true)]);
+        let direct = engine.execute(&q).unwrap();
+        let planned = engine.optimize_query(&q);
+        assert_eq!(planned.rules_fired, direct.rules_fired);
+        assert_eq!(planned.estimated_cost, direct.estimated_cost);
+        let physical = engine.lower_plan(&planned.plan).unwrap();
+        let table = cx_exec::collect_table(physical.as_ref()).unwrap();
+        assert_eq!(table.num_rows(), direct.table.num_rows());
+        // Lowered plans are re-executable: run it again.
+        let again = cx_exec::collect_table(physical.as_ref()).unwrap();
+        assert_eq!(again.num_rows(), direct.table.num_rows());
+    }
+
+    #[test]
+    fn bounded_engine_caches_evict() {
+        let config = EngineConfig {
+            embedding_cache_capacity: Some(2),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config);
+        engine.register_model(Arc::new(HashNGramModel::new(42)));
+        let cache = engine.embedding_cache("hash-ngram").unwrap();
+        assert_eq!(cache.capacity(), Some(2));
+        for t in ["a", "b", "c", "d"] {
+            cache.get(t);
+        }
+        assert!(cache.len() <= 2);
+        assert!(cache.evictions() > 0);
     }
 
     #[test]

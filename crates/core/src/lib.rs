@@ -53,6 +53,6 @@ pub mod hardware_bridge;
 pub mod query;
 
 pub use catalog::Catalog;
-pub use engine::{Engine, EngineConfig, QueryResult};
+pub use engine::{Engine, EngineConfig, PlannedQuery, QueryResult};
 pub use hardware_bridge::{plan_on_topology, HardwareReport};
 pub use query::Query;

@@ -437,6 +437,220 @@ impl LogicalPlan {
     pub fn node_count(&self) -> usize {
         1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
     }
+
+    /// A stable structural fingerprint of this plan.
+    ///
+    /// Two plans fingerprint equal iff they are structurally identical —
+    /// same operators, in the same tree shape, with the same parameters
+    /// (sources, predicates, thresholds bit-for-bit, models, limits). The
+    /// hash is FNV-1a, not `DefaultHasher`, so the value is deterministic
+    /// across processes and platforms: it can key a serving layer's plan
+    /// cache and survive restarts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv1a) {
+        match self {
+            LogicalPlan::Scan { source, schema } => {
+                h.tag(1);
+                h.str(source);
+                h.u64(schema.len() as u64);
+                for f in schema.fields() {
+                    h.str(&f.name);
+                    h.str(&f.data_type.to_string());
+                }
+            }
+            LogicalPlan::Filter { predicate, .. } => {
+                h.tag(2);
+                hash_expr(h, predicate);
+            }
+            LogicalPlan::Project { exprs, .. } => {
+                h.tag(3);
+                h.u64(exprs.len() as u64);
+                for (e, name) in exprs {
+                    hash_expr(h, e);
+                    h.str(name);
+                }
+            }
+            LogicalPlan::Join { on, join_type, .. } => {
+                h.tag(4);
+                h.str(&join_type.to_string());
+                h.u64(on.len() as u64);
+                for (l, r) in on {
+                    h.str(l);
+                    h.str(r);
+                }
+            }
+            LogicalPlan::CrossJoin { .. } => h.tag(5),
+            LogicalPlan::SemanticFilter { column, target, model, threshold, .. } => {
+                h.tag(6);
+                h.str(column);
+                h.str(target);
+                h.str(model);
+                h.u64(threshold.to_bits() as u64);
+            }
+            LogicalPlan::SemanticJoin { spec, .. } => {
+                h.tag(7);
+                h.str(&spec.left_column);
+                h.str(&spec.right_column);
+                h.str(&spec.model);
+                h.u64(spec.threshold.to_bits() as u64);
+                h.str(&spec.score_column);
+            }
+            LogicalPlan::SemanticGroupBy { column, model, threshold, aggs, .. } => {
+                h.tag(8);
+                h.str(column);
+                h.str(model);
+                h.u64(threshold.to_bits() as u64);
+                hash_aggs(h, aggs);
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                h.tag(9);
+                h.u64(group_by.len() as u64);
+                for g in group_by {
+                    h.str(g);
+                }
+                hash_aggs(h, aggs);
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                h.tag(10);
+                h.u64(keys.len() as u64);
+                for k in keys {
+                    h.str(&k.column);
+                    h.u64(k.ascending as u64);
+                }
+            }
+            LogicalPlan::Limit { n, .. } => {
+                h.tag(11);
+                h.u64(*n as u64);
+            }
+            LogicalPlan::Distinct { .. } => h.tag(12),
+            LogicalPlan::Union { inputs } => {
+                h.tag(13);
+                h.u64(inputs.len() as u64);
+            }
+        }
+        for child in self.children() {
+            child.fingerprint_into(h);
+        }
+    }
+}
+
+/// Hashes an expression structurally — NOT via `Display`, which erases
+/// literal types (`Int64(2)` and `Float64(2.0)` both print `2`, yet divide
+/// differently) and leaves strings unescaped. Every variant and literal
+/// type gets its own tag, and strings are length-prefixed, so two
+/// expressions hash equal only if they are structurally identical.
+fn hash_expr(h: &mut Fnv1a, expr: &cx_expr::Expr) {
+    use cx_expr::{BinOp, Expr};
+    match expr {
+        Expr::Column(name) => {
+            h.tag(1);
+            h.str(name);
+        }
+        Expr::Literal(scalar) => {
+            h.tag(2);
+            match scalar {
+                cx_storage::Scalar::Null => h.tag(1),
+                cx_storage::Scalar::Bool(b) => {
+                    h.tag(2);
+                    h.u64(*b as u64);
+                }
+                cx_storage::Scalar::Int64(v) => {
+                    h.tag(3);
+                    h.u64(*v as u64);
+                }
+                cx_storage::Scalar::Float64(v) => {
+                    h.tag(4);
+                    h.u64(v.to_bits());
+                }
+                cx_storage::Scalar::Utf8(s) => {
+                    h.tag(5);
+                    h.str(s);
+                }
+                cx_storage::Scalar::Timestamp(v) => {
+                    h.tag(6);
+                    h.u64(*v as u64);
+                }
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            h.tag(3);
+            h.u64(match op {
+                BinOp::Eq => 1,
+                BinOp::NotEq => 2,
+                BinOp::Lt => 3,
+                BinOp::LtEq => 4,
+                BinOp::Gt => 5,
+                BinOp::GtEq => 6,
+                BinOp::And => 7,
+                BinOp::Or => 8,
+                BinOp::Add => 9,
+                BinOp::Sub => 10,
+                BinOp::Mul => 11,
+                BinOp::Div => 12,
+            });
+            hash_expr(h, left);
+            hash_expr(h, right);
+        }
+        Expr::Not(inner) => {
+            h.tag(4);
+            hash_expr(h, inner);
+        }
+        Expr::IsNull(inner) => {
+            h.tag(5);
+            hash_expr(h, inner);
+        }
+    }
+}
+
+/// Hashes aggregate specs into a fingerprint.
+fn hash_aggs(h: &mut Fnv1a, aggs: &[AggSpec]) {
+    h.u64(aggs.len() as u64);
+    for a in aggs {
+        h.str(&a.func.to_string());
+        h.str(a.column.as_deref().unwrap_or(""));
+        h.str(&a.alias);
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher: process- and platform-stable, unlike
+/// `std::collections::hash_map::DefaultHasher` (randomly seeded).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Length-prefixed string hash (so `("ab","c")` ≠ `("a","bc")`).
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    /// Node-kind discriminant.
+    fn tag(&mut self, t: u64) {
+        self.u64(t);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl fmt::Display for LogicalPlan {
@@ -600,6 +814,76 @@ mod tests {
         assert!(bad.output_field(&products().schema().unwrap()).is_err());
         let missing = AggSpec::new(AggFunc::Sum, "nope", "x");
         assert!(missing.output_field(&products().schema().unwrap()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_structural() {
+        let build = |threshold: f32, limit: usize| LogicalPlan::Limit {
+            n: limit,
+            input: Box::new(LogicalPlan::SemanticFilter {
+                input: Box::new(products()),
+                column: "name".into(),
+                target: "clothes".into(),
+                model: "m".into(),
+                threshold,
+            }),
+        };
+        // Identical plans fingerprint equal (and deterministically).
+        assert_eq!(build(0.9, 5).fingerprint(), build(0.9, 5).fingerprint());
+        // Any parameter change is a different fingerprint.
+        assert_ne!(build(0.9, 5).fingerprint(), build(0.8, 5).fingerprint());
+        assert_ne!(build(0.9, 5).fingerprint(), build(0.9, 6).fingerprint());
+        // Different source tables differ too.
+        assert_ne!(products().fingerprint(), labels().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_literal_types() {
+        // `price / 2` (Int64, truncating) vs `price / 2.0` (Float64, real
+        // division) both *display* as "(price / 2)" — the fingerprint must
+        // not conflate them, or a plan cache would serve wrong results.
+        let by = |e: Expr| LogicalPlan::Project {
+            exprs: vec![(e, "half".to_string())],
+            input: Box::new(products()),
+        };
+        assert_ne!(
+            by(col("price").div(lit(2i64))).fingerprint(),
+            by(col("price").div(lit(2.0))).fingerprint()
+        );
+        // Unescaped-string ambiguity: a literal containing quote syntax
+        // must not collide with the literal it prints like.
+        let f = |s: &str| LogicalPlan::Filter {
+            predicate: col("name").eq(lit(s)),
+            input: Box::new(products()),
+        };
+        assert_ne!(f("a' OR '1").fingerprint(), f("a").fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_tree_shape() {
+        let filter = col("price").gt(lit(20.0));
+        let filter_then_limit = LogicalPlan::Limit {
+            n: 3,
+            input: Box::new(LogicalPlan::Filter {
+                predicate: filter.clone(),
+                input: Box::new(products()),
+            }),
+        };
+        let limit_then_filter = LogicalPlan::Filter {
+            predicate: filter,
+            input: Box::new(LogicalPlan::Limit { n: 3, input: Box::new(products()) }),
+        };
+        assert_ne!(filter_then_limit.fingerprint(), limit_then_filter.fingerprint());
+        // Join operand order matters.
+        let ab = LogicalPlan::CrossJoin {
+            left: Box::new(products()),
+            right: Box::new(labels()),
+        };
+        let ba = LogicalPlan::CrossJoin {
+            left: Box::new(labels()),
+            right: Box::new(products()),
+        };
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
     }
 
     #[test]

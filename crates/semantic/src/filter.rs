@@ -158,7 +158,8 @@ impl PhysicalOperator for SemanticFilterExec {
                     }
                 }
                 tier => {
-                    let panel = QuantizedArena::from_arena(&arena.normalized(), tier);
+                    let panel = QuantizedArena::from_arena(&arena.normalized(), tier)
+                        .map_err(|e| Error::InvalidArgument(e.to_string()))?;
                     for (r, &score) in panel.scores(&target_unit).iter().enumerate() {
                         if score >= threshold {
                             passes[r] = true;

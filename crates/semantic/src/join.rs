@@ -324,7 +324,8 @@ impl SemanticJoinExec {
                 }
                 tier => Probe::Quantized {
                     left: left.normalized(),
-                    right: QuantizedArena::from_arena(&right.normalized(), tier),
+                    right: QuantizedArena::from_arena(&right.normalized(), tier)
+                        .map_err(|e| Error::InvalidArgument(e.to_string()))?,
                 },
             },
             SemanticJoinStrategy::Lsh(params) => {

@@ -1,0 +1,198 @@
+//! Admission control: a cost-weighted semaphore over query execution.
+//!
+//! Every query enters execution through [`CostGate::acquire`] with its
+//! optimizer cost estimate (`cx_optimizer::estimate_cost`'s abstract ns) as
+//! the weight. The gate admits queries while the sum of in-flight cost
+//! stays under capacity, otherwise callers block until enough cost
+//! retires — heavyweight scans queue behind each other instead of
+//! thrashing one machine, while cheap lookups keep flowing (a cheap query
+//! only waits while the gate is genuinely full).
+//!
+//! Admission is **FIFO**: each caller takes a ticket and is admitted in
+//! arrival order. The head of the line blocks followers until it fits —
+//! deliberate head-of-line blocking, because the alternative (letting
+//! cheap queries overtake) starves heavy queries indefinitely under a
+//! steady stream of cheap traffic. A query costlier than the whole
+//! capacity is admitted when the gate is otherwise empty (it would never
+//! fit; running it alone is the best the server can do).
+//!
+//! Uses `std::sync::{Mutex, Condvar}` rather than the workspace's
+//! `parking_lot` shim because blocking admission needs a condition
+//! variable, which the shim does not carry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Aggregate admission counters (see [`CostGate`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdmissionStats {
+    /// Queries admitted so far.
+    pub admitted: u64,
+    /// Queries that had to block before admission.
+    pub waited: u64,
+    /// Cost currently executing.
+    pub in_use: f64,
+    /// Queries currently executing.
+    pub active: u64,
+}
+
+#[derive(Default)]
+struct Gate {
+    in_use: f64,
+    active: u64,
+    /// Next ticket to hand out (arrival order).
+    next_ticket: u64,
+    /// Ticket currently at the head of the admission line.
+    now_serving: u64,
+}
+
+/// A cost-weighted admission semaphore.
+pub struct CostGate {
+    capacity: f64,
+    gate: Mutex<Gate>,
+    cv: Condvar,
+    admitted: AtomicU64,
+    waited: AtomicU64,
+}
+
+/// An admitted query's slot; releases its cost on drop.
+pub struct Permit<'a> {
+    gate: &'a CostGate,
+    cost: f64,
+}
+
+impl CostGate {
+    /// A gate admitting up to `capacity` total estimated cost at once
+    /// (non-finite or non-positive capacities mean "unlimited").
+    pub fn new(capacity: f64) -> Self {
+        let capacity = if capacity.is_finite() && capacity > 0.0 {
+            capacity
+        } else {
+            f64::INFINITY
+        };
+        CostGate {
+            capacity,
+            gate: Mutex::new(Gate::default()),
+            cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Blocks until it is this caller's turn (FIFO) *and* `cost` fits,
+    /// then returns the RAII permit.
+    pub fn acquire(&self, cost: f64) -> Permit<'_> {
+        let cost = if cost.is_finite() { cost.max(1.0) } else { self.capacity };
+        let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = gate.next_ticket;
+        gate.next_ticket += 1;
+        let mut blocked = false;
+        // FIFO: wait for our turn, then for room. An oversized query
+        // (cost > capacity) passes once the gate is empty: `active > 0`
+        // keeps the loop from spinning forever on it.
+        while gate.now_serving != ticket
+            || (gate.active > 0 && gate.in_use + cost > self.capacity)
+        {
+            blocked = true;
+            gate = self.cv.wait(gate).unwrap_or_else(|e| e.into_inner());
+        }
+        gate.now_serving += 1;
+        gate.in_use += cost;
+        gate.active += 1;
+        drop(gate);
+        // Wake the next ticket in line (it may also fit right now).
+        self.cv.notify_all();
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if blocked {
+            self.waited.fetch_add(1, Ordering::Relaxed);
+        }
+        Permit { gate: self, cost }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            waited: self.waited.load(Ordering::Relaxed),
+            in_use: gate.in_use,
+            active: gate.active,
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut gate = self.gate.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.in_use = (gate.in_use - self.cost).max(0.0);
+        gate.active = gate.active.saturating_sub(1);
+        drop(gate);
+        self.gate.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_within_capacity_without_blocking() {
+        let gate = CostGate::new(100.0);
+        let a = gate.acquire(40.0);
+        let b = gate.acquire(40.0);
+        let s = gate.stats();
+        assert_eq!(s.active, 2);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.waited, 0);
+        drop(a);
+        drop(b);
+        assert_eq!(gate.stats().active, 0);
+        assert_eq!(gate.stats().in_use, 0.0);
+    }
+
+    #[test]
+    fn oversized_query_admitted_when_alone() {
+        let gate = CostGate::new(10.0);
+        let p = gate.acquire(1e9);
+        assert_eq!(gate.stats().active, 1);
+        drop(p);
+    }
+
+    #[test]
+    fn over_capacity_blocks_until_release() {
+        let gate = Arc::new(CostGate::new(100.0));
+        let order = Arc::new(AtomicUsize::new(0));
+        let first = gate.acquire(80.0);
+        let t = {
+            let gate = gate.clone();
+            let order = order.clone();
+            std::thread::spawn(move || {
+                let _p = gate.acquire(80.0); // must wait for `first`
+                order.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        // Give the second query time to reach the gate, then release.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(order.load(Ordering::SeqCst), 0, "second query jumped the gate");
+        drop(first);
+        t.join().unwrap();
+        assert_eq!(order.load(Ordering::SeqCst), 1);
+        assert_eq!(gate.stats().waited, 1);
+        assert_eq!(gate.stats().admitted, 2);
+    }
+
+    #[test]
+    fn zero_capacity_means_unlimited() {
+        let gate = CostGate::new(0.0);
+        let _a = gate.acquire(1e18);
+        let _b = gate.acquire(1e18);
+        assert_eq!(gate.stats().active, 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! `cx_serve` — the concurrent query-serving subsystem.
+//!
+//! The engine crates below this one answer *one* query fast; a production
+//! deployment answers *many at once*, from many users, over the same data.
+//! This crate is that layer. It shares a single [`context_engine::Engine`]
+//! (which is `Send + Sync`: catalog, model registry, and embedding caches
+//! are all lock-protected shared state) across any number of threads and
+//! adds the three mechanisms one-shot execution lacks:
+//!
+//! * **[`PlanCache`]** — repeated and parameterized-identical queries skip
+//!   logical optimization *and* physical planning. Keyed by
+//!   [`LogicalPlan::fingerprint`] ⊕ [`config_fingerprint`], invalidated by
+//!   catalog version, LRU-bounded. Each cached plan also memoizes its
+//!   result table ([`ServeConfig::cache_results`]): the engine is
+//!   deterministic and the entry is pinned to one catalog version, so an
+//!   exact replay is the same table and skips execution outright.
+//! * **[`EmbedBatcher`]** — a cross-query embedding batch scheduler:
+//!   concurrent queries' embed working sets are deduplicated into one
+//!   pending queue and flushed (on size or deadline) with single
+//!   [`cx_embed::EmbeddingCache::get_batch_into`] calls, so N concurrent
+//!   semantic scans over overlapping corpora pay one model pass.
+//! * **[`CostGate`]** — admission control: a cost-weighted semaphore on
+//!   `cx_optimizer::estimate_cost`, bounding the total estimated work
+//!   executing at once.
+//!
+//! ```
+//! use context_engine::{Engine, EngineConfig};
+//! use cx_embed::HashNGramModel;
+//! use cx_serve::{ServeConfig, Server};
+//! use cx_storage::{Column, DataType, Field, Schema, Table};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::new(EngineConfig::default()));
+//! engine.register_model(Arc::new(HashNGramModel::new(42)));
+//! let names = Table::from_columns(
+//!     Schema::new(vec![Field::new("name", DataType::Utf8)]),
+//!     vec![Column::from_strings(["boots", "mug", "boots"])],
+//! ).unwrap();
+//! engine.register_table("products", names).unwrap();
+//!
+//! let server = Server::new(engine, ServeConfig::default());
+//! let query = server.table("products").unwrap()
+//!     .semantic_filter("name", "boots", "hash-ngram", 0.99);
+//! // First execution optimizes, lowers, caches; the repeat is a plan hit.
+//! let cold = server.execute(&query).unwrap();
+//! let warm = server.execute(&query).unwrap();
+//! assert_eq!(cold.table.num_rows(), 2);
+//! assert!(!cold.plan_cache_hit && warm.plan_cache_hit);
+//! ```
+//!
+//! [`LogicalPlan::fingerprint`]: cx_exec::logical::LogicalPlan::fingerprint
+
+pub mod admission;
+pub mod batcher;
+pub mod plan_cache;
+pub mod server;
+
+pub use admission::{AdmissionStats, CostGate, Permit};
+pub use batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
+pub use plan_cache::{config_fingerprint, CachedPlan, PlanCache, PlanCacheStats};
+pub use server::{ServeConfig, ServeResult, Server, ServerStats, Session};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use context_engine::{Engine, EngineConfig};
+    use cx_embed::ClusteredTextModel;
+    use cx_expr::{col, lit};
+    use cx_storage::{Column, DataType, Field, Schema, Table};
+    use std::sync::Arc;
+
+    fn engine_with_data() -> Arc<Engine> {
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let specs = cx_datagen::table1_clusters();
+        let space = Arc::new(cx_datagen::build_space(&specs, 64, 42));
+        engine.register_model(Arc::new(ClusteredTextModel::new("m", space, 7)));
+        let products = Table::from_columns(
+            Schema::new(vec![
+                Field::new("product_id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ]),
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4, 5]),
+                Column::from_strings(["boots", "parka", "kitten", "sneakers", "coat"]),
+                Column::from_f64(vec![30.0, 80.0, 10.0, 55.0, 25.0]),
+            ],
+        )
+        .unwrap();
+        engine.register_table("products", products).unwrap();
+        let mut kb = cx_kb::KnowledgeBase::new();
+        for item in ["boots", "sneakers", "oxfords"] {
+            kb.assert_is_a(item, "shoes");
+        }
+        for item in ["parka", "coat", "windbreaker"] {
+            kb.assert_is_a(item, "jacket");
+        }
+        kb.assert_is_a("shoes", "clothes");
+        kb.assert_is_a("jacket", "clothes");
+        engine.register_kb("kb", kb).unwrap();
+        engine
+    }
+
+    #[test]
+    fn served_results_match_direct_execution() {
+        let engine = engine_with_data();
+        let server = Server::new(engine.clone(), ServeConfig::default());
+        let q = server
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.75)
+            .filter(col("price").gt(lit(20.0)))
+            .sort(&[("product_id", true)]);
+        let direct = engine.execute(&q).unwrap();
+        let served = server.execute(&q).unwrap();
+        assert_eq!(served.table.num_rows(), direct.table.num_rows());
+        for r in 0..direct.table.num_rows() {
+            assert_eq!(served.table.row(r).unwrap(), direct.table.row(r).unwrap());
+        }
+        assert_eq!(served.rules_fired, direct.rules_fired);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_differs_on_params() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let q = |threshold| {
+            server
+                .table("products")
+                .unwrap()
+                .semantic_filter("name", "clothes", "m", threshold)
+        };
+        assert!(!server.execute(&q(0.75)).unwrap().plan_cache_hit);
+        assert!(server.execute(&q(0.75)).unwrap().plan_cache_hit);
+        // A different parameter is a different fingerprint.
+        assert!(!server.execute(&q(0.8)).unwrap().plan_cache_hit);
+        let stats = server.plan_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 2);
+    }
+
+    #[test]
+    fn catalog_change_invalidates_cached_plans() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let q = server
+            .table("products")
+            .unwrap()
+            .filter(col("price").gt(lit(20.0)));
+        server.execute(&q).unwrap();
+        assert!(server.execute(&q).unwrap().plan_cache_hit);
+        // Re-register the table: contents (and stats) may have changed.
+        let replacement = Table::from_columns(
+            Schema::new(vec![
+                Field::new("product_id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ]),
+            vec![
+                Column::from_i64(vec![9]),
+                Column::from_strings(["anvil"]),
+                Column::from_f64(vec![99.0]),
+            ],
+        )
+        .unwrap();
+        server.engine().register_table("products", replacement).unwrap();
+        let after = server.execute(&q).unwrap();
+        assert!(!after.plan_cache_hit, "stale plan served after catalog change");
+        assert_eq!(after.table.num_rows(), 1);
+        assert!(server.plan_cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn warming_runs_through_the_batcher() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let q = server
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.75);
+        server.execute(&q).unwrap();
+        let stats = server.batcher("m").unwrap().stats();
+        // The 5 product names + the target went through batched warming.
+        assert!(stats.batches >= 1, "{stats:?}");
+        assert!(stats.batched_texts >= 6, "{stats:?}");
+        // And execution found them cached: the model embedded each distinct
+        // string exactly once.
+        let cache = server.engine().embedding_cache("m").unwrap();
+        assert_eq!(cache.model().stats().invocations(), 6);
+    }
+
+    #[test]
+    fn sessions_share_the_server() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let a = server.session();
+        let b = server.session();
+        assert_ne!(a.id(), b.id());
+        let q = server.table("kb").unwrap().filter(col("category").eq(lit("clothes")));
+        a.execute(&q).unwrap();
+        b.execute(&q).unwrap();
+        assert_eq!(a.queries(), 1);
+        assert_eq!(b.queries(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.sessions, 2);
+        // Second execution hit the first session's cached plan.
+        assert!(stats.plan_cache.hits >= 1);
+        let report = server.report();
+        assert!(report.contains("plan cache"));
+        assert!(report.contains("operator metrics"));
+    }
+
+    #[test]
+    fn result_memo_serves_replays_without_reexecuting() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let q = server
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", 0.75)
+            .sort(&[("product_id", true)]);
+        let first = server.execute(&q).unwrap();
+        assert!(!first.result_cache_hit);
+        let replay = server.execute(&q).unwrap();
+        assert!(replay.result_cache_hit && replay.plan_cache_hit);
+        assert_eq!(replay.table.num_rows(), first.table.num_rows());
+        for r in 0..first.table.num_rows() {
+            assert_eq!(replay.table.row(r).unwrap(), first.table.row(r).unwrap());
+        }
+        // The replay skipped admission entirely.
+        assert_eq!(server.admission_stats().admitted, 1);
+        assert_eq!(server.stats().result_cache_hits, 1);
+        // Catalog changes invalidate the memo along with the plan.
+        let t = Table::from_columns(
+            Schema::new(vec![
+                Field::new("product_id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ]),
+            vec![
+                Column::from_i64(vec![1]),
+                Column::from_strings(["parka"]),
+                Column::from_f64(vec![1.0]),
+            ],
+        )
+        .unwrap();
+        server.engine().register_table("products", t).unwrap();
+        let after = server.execute(&q).unwrap();
+        assert!(!after.result_cache_hit);
+        assert_eq!(after.table.num_rows(), 1);
+    }
+
+    #[test]
+    fn admission_gate_sees_every_query() {
+        // Result memo disabled so both executions actually run.
+        let config = ServeConfig {
+            admission_capacity: 1e12,
+            cache_results: false,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(engine_with_data(), config);
+        let q = server.table("products").unwrap().limit(2);
+        server.execute(&q).unwrap();
+        server.execute(&q).unwrap();
+        let stats = server.admission_stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.active, 0);
+        assert_eq!(stats.in_use, 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The plan cache: optimized + lowered plans keyed by query fingerprint.
+//!
+//! Optimization is real work for context-rich queries — rule rewrites to
+//! fixpoint plus sampling-based selectivity probes that *embed sample
+//! values*. A server replaying the same (or parameterized-identical)
+//! queries should pay that once. Entries are keyed by
+//! [`LogicalPlan::fingerprint`] ⊕ a fingerprint of the
+//! [`OptimizerConfig`], and each entry pins the catalog version it was
+//! built against: any registration (table, KB, image store, model) bumps
+//! the version and lazily invalidates every older entry on its next
+//! lookup.
+//!
+//! The cached unit is the *lowered* physical operator tree (re-executable,
+//! `Send + Sync`) plus the optimizer by-products, so a hit skips both
+//! optimization and physical planning.
+//!
+//! [`LogicalPlan::fingerprint`]: cx_exec::logical::LogicalPlan::fingerprint
+
+use cx_exec::logical::LogicalPlan;
+use cx_exec::PhysicalOperator;
+use cx_optimizer::OptimizerConfig;
+use cx_storage::Table;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One cached, ready-to-execute plan.
+pub struct CachedPlan {
+    /// The lowered operator tree (re-executable; every `execute()` re-runs
+    /// it against the tables captured at lowering time).
+    pub physical: Arc<dyn PhysicalOperator>,
+    /// The optimized logical plan (EXPLAIN / debugging).
+    pub optimized: LogicalPlan,
+    /// Optimizer rule trace.
+    pub rules_fired: Vec<String>,
+    /// Optimizer row estimate.
+    pub estimated_rows: f64,
+    /// Optimizer cost estimate (admission-control weight).
+    pub estimated_cost: f64,
+    /// Catalog version this plan was built against.
+    pub catalog_version: u64,
+    /// Memoized result of executing this plan. Sound because the engine is
+    /// deterministic and the plan is pinned to one catalog version: the
+    /// same fingerprint over the same catalog produces the same table, so
+    /// replayed traffic is served without re-executing. Lives and dies
+    /// with the plan entry (LRU eviction, version invalidation). `None`
+    /// until the first execution completes, or always when the server
+    /// disables result caching.
+    pub result: Mutex<Option<Arc<Table>>>,
+}
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries dropped because the catalog moved past them.
+    pub invalidations: u64,
+    /// Entries dropped by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits over lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+/// A bounded, version-checked map from plan fingerprints to cached plans.
+pub struct PlanCache {
+    capacity: usize,
+    state: Mutex<(HashMap<u64, Slot>, u64)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache bounded to `capacity` plans (clamped to at least 1);
+    /// least-recently-used plans are evicted past that.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            state: Mutex::new((HashMap::new(), 0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, treating entries from a catalog version other than
+    /// `catalog_version` as stale (dropped and counted as invalidations).
+    pub fn get(&self, key: u64, catalog_version: u64) -> Option<Arc<CachedPlan>> {
+        let mut state = self.state.lock();
+        let (map, tick) = &mut *state;
+        match map.get_mut(&key) {
+            Some(slot) if slot.plan.catalog_version == catalog_version => {
+                *tick += 1;
+                slot.last_used = *tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.plan.clone())
+            }
+            Some(_) => {
+                map.remove(&key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the plan under `key`, evicting the
+    /// least-recently-used entry if full. Concurrent misses may race to
+    /// insert the same key; last writer wins, which is harmless — both
+    /// plans are equivalent by construction.
+    pub fn insert(&self, key: u64, plan: Arc<CachedPlan>) {
+        let mut state = self.state.lock();
+        let (map, tick) = &mut *state;
+        *tick += 1;
+        let replaced = map.insert(key, Slot { plan, last_used: *tick }).is_some();
+        if !replaced && map.len() > self.capacity {
+            // O(len) victim scan: plan caches hold dozens-to-hundreds of
+            // entries and eviction only runs when full, so a linked-list
+            // LRU would be complexity without a win.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k)
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.state.lock().0.len(),
+        }
+    }
+}
+
+/// A stable fingerprint of the optimizer configuration. Two engines whose
+/// configs fingerprint equal produce the same plan for the same query, so
+/// the plan-cache key is `plan.fingerprint() ^ config_fingerprint(...)`.
+pub fn config_fingerprint(config: &OptimizerConfig) -> u64 {
+    // FNV-1a over the feature switches and numeric knobs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let flags = [
+        config.constant_folding,
+        config.filter_pushdown,
+        config.predicate_cascade,
+        config.projection_pruning,
+        config.equijoin_extraction,
+        config.data_induced_predicates,
+        config.semantic_dip,
+        config.semantic_index_selection,
+        config.quantization,
+    ];
+    let mut packed = 0u64;
+    for (i, f) in flags.iter().enumerate() {
+        packed |= (*f as u64) << i;
+    }
+    eat(packed);
+    eat(config.recall_tolerance.to_bits());
+    eat(config.parallelism as u64);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_exec::TableScanExec;
+    use cx_storage::{Column, DataType, Field, Schema, Table};
+
+    fn plan(version: u64) -> Arc<CachedPlan> {
+        let table = Table::from_columns(
+            Schema::new(vec![Field::new("x", DataType::Int64)]),
+            vec![Column::from_i64(vec![1])],
+        )
+        .unwrap();
+        Arc::new(CachedPlan {
+            physical: Arc::new(TableScanExec::new(Arc::new(table))),
+            optimized: LogicalPlan::Scan {
+                source: "t".into(),
+                schema: Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)])),
+            },
+            rules_fired: vec![],
+            estimated_rows: 1.0,
+            estimated_cost: 2.0,
+            catalog_version: version,
+            result: Mutex::new(None),
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_version_invalidation() {
+        let cache = PlanCache::new(8);
+        assert!(cache.get(1, 0).is_none());
+        cache.insert(1, plan(0));
+        assert!(cache.get(1, 0).is_some());
+        // Catalog moved: the entry is stale.
+        assert!(cache.get(1, 1).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+        assert_eq!(s.len, 0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_past_capacity() {
+        let cache = PlanCache::new(2);
+        cache.insert(1, plan(0));
+        cache.insert(2, plan(0));
+        cache.get(1, 0); // 1 is now more recently used than 2
+        cache.insert(3, plan(0));
+        assert!(cache.get(1, 0).is_some());
+        assert!(cache.get(2, 0).is_none(), "LRU entry should be the victim");
+        assert!(cache.get(3, 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn config_fingerprint_distinguishes_configs() {
+        let all = OptimizerConfig::all();
+        let none = OptimizerConfig::none();
+        assert_eq!(config_fingerprint(&all), config_fingerprint(&all));
+        assert_ne!(config_fingerprint(&all), config_fingerprint(&none));
+        let mut tol = all;
+        tol.recall_tolerance = 5e-2;
+        assert_ne!(config_fingerprint(&all), config_fingerprint(&tol));
+    }
+}

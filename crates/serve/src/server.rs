@@ -1,0 +1,455 @@
+//! The concurrent query server: one shared engine, many sessions.
+//!
+//! [`Server`] wraps an `Arc<Engine>` and serves [`Server::execute`] from
+//! any number of threads. Per query it:
+//!
+//! 1. **warms embeddings** — the raw plan's semantic operators name the
+//!    (model, column) pairs the query will embed; their distinct values
+//!    are submitted to the per-model [`EmbedBatcher`], which coalesces
+//!    overlapping requests from concurrent queries into single batched
+//!    cache fills (warming runs *before* optimization so the optimizer's
+//!    sampling probes hit the cache too),
+//! 2. **resolves the plan** — a [`PlanCache`] lookup on
+//!    `LogicalPlan::fingerprint() ⊕ config_fingerprint(...)`, validated
+//!    against the catalog version; a miss optimizes + lowers once and
+//!    caches the re-executable operator tree,
+//! 3. **admits** — [`CostGate::acquire`] on the optimizer's cost estimate
+//!    bounds the total estimated cost executing at once,
+//! 4. **executes** — the cached physical tree runs wrapped in
+//!    [`InstrumentedExec`], so every execution accumulates per-operator
+//!    rows/time into the server-level [`ExecMetrics`] report.
+
+use crate::admission::{AdmissionStats, CostGate};
+use crate::batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
+use crate::plan_cache::{config_fingerprint, CachedPlan, PlanCache, PlanCacheStats};
+use context_engine::{Engine, Query};
+use cx_exec::logical::LogicalPlan;
+use cx_exec::metrics::InstrumentedExec;
+use cx_exec::{collect_table, ExecMetrics};
+use cx_storage::{Result, Table};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving-layer knobs (the engine keeps its own [`EngineConfig`]).
+///
+/// [`EngineConfig`]: context_engine::EngineConfig
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Plans kept by the plan cache (LRU past this).
+    pub plan_cache_capacity: usize,
+    /// Total estimated cost (abstract ns) admitted to execute at once.
+    /// Non-finite or ≤ 0 disables admission control.
+    pub admission_capacity: f64,
+    /// Embed-batcher flush size.
+    pub batch_max: usize,
+    /// Embed-batcher flush deadline.
+    pub batch_linger: Duration,
+    /// Cap on distinct values warmed per semantic column per query
+    /// (best-effort warming; columns past the cap embed inside the
+    /// operator as before).
+    pub warm_limit: usize,
+    /// Memoize each cached plan's result table and serve replays from it.
+    /// Sound under the same invariant as the plan cache itself (the engine
+    /// is deterministic; results are pinned to a catalog version and
+    /// invalidated with the plan). Disable for workloads whose result
+    /// tables are too large to keep `plan_cache_capacity` of them
+    /// resident.
+    pub cache_results: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            plan_cache_capacity: 128,
+            admission_capacity: 1e9,
+            batch_max: 256,
+            batch_linger: Duration::from_micros(500),
+            warm_limit: 65_536,
+            cache_results: true,
+        }
+    }
+}
+
+/// The outcome of one served query.
+pub struct ServeResult {
+    /// Materialized result rows. `Arc`-shared with the plan's result memo
+    /// so replays are zero-copy (`Arc<Table>` derefs to `Table`; clone the
+    /// inner table only if you need to mutate it).
+    pub table: Arc<Table>,
+    /// Wall time inside the server (warm + plan + admit + execute).
+    pub elapsed: Duration,
+    /// Optimizer rule trace (from the cached plan on hits).
+    pub rules_fired: Vec<String>,
+    /// Optimizer row estimate.
+    pub estimated_rows: f64,
+    /// Optimizer cost estimate (the admission weight used).
+    pub estimated_cost: f64,
+    /// Whether the plan came from the plan cache.
+    pub plan_cache_hit: bool,
+    /// Whether the result came from the plan's result memo (execution and
+    /// admission were skipped entirely).
+    pub result_cache_hit: bool,
+}
+
+/// Aggregate server counters.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Queries served.
+    pub queries: u64,
+    /// Sessions opened.
+    pub sessions: u64,
+    /// Queries answered from a cached plan's result memo.
+    pub result_cache_hits: u64,
+    /// Plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Admission counters.
+    pub admission: AdmissionStats,
+    /// Per-model embed-batcher counters, sorted by model name.
+    pub batchers: Vec<(String, BatcherStats)>,
+}
+
+/// A concurrent query-serving layer over one shared [`Engine`].
+pub struct Server {
+    engine: Arc<Engine>,
+    config: ServeConfig,
+    plan_cache: PlanCache,
+    gate: CostGate,
+    batchers: RwLock<HashMap<String, Arc<EmbedBatcher>>>,
+    metrics: ExecMetrics,
+    queries: AtomicU64,
+    sessions: AtomicU64,
+    result_hits: AtomicU64,
+}
+
+impl Server {
+    /// Wraps `engine` for concurrent serving under `config`.
+    pub fn new(engine: Arc<Engine>, config: ServeConfig) -> Arc<Self> {
+        Arc::new(Server {
+            plan_cache: PlanCache::new(config.plan_cache_capacity),
+            gate: CostGate::new(config.admission_capacity),
+            engine,
+            config,
+            batchers: RwLock::new(HashMap::new()),
+            metrics: ExecMetrics::new(),
+            queries: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared engine (register tables/models through it as usual; the
+    /// catalog version check keeps cached plans honest).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Opens a session handle. Sessions are cheap tagged views over the
+    /// shared server; one per client connection.
+    pub fn session(self: &Arc<Self>) -> Session {
+        let id = self.sessions.fetch_add(1, Ordering::Relaxed);
+        Session { server: self.clone(), id, queries: AtomicU64::new(0) }
+    }
+
+    /// Starts a query over table `name` (same surface as
+    /// [`Engine::table`]).
+    pub fn table(&self, name: &str) -> Result<Query> {
+        self.engine.table(name)
+    }
+
+    /// Serves one query; safe to call from any number of threads.
+    pub fn execute(&self, query: &Query) -> Result<ServeResult> {
+        let start = Instant::now();
+        let key = query.plan().fingerprint()
+            ^ config_fingerprint(&self.engine.config().optimizer);
+        let version = self.engine.catalog_version();
+        let (cached, hit) = match self.plan_cache.get(key, version) {
+            Some(cached) => (cached, true),
+            None => {
+                // First sight of this plan shape: warm its embedding
+                // working set through the batcher *before* optimizing, so
+                // the optimizer's sampling probes and the execution both
+                // hit the cache — and so concurrent first-timers coalesce
+                // into shared batches. Plan-cache hits skip this: their
+                // working set was warmed when the plan was first built,
+                // and execution re-embeds strays through the cache anyway.
+                self.warm_embeddings(query.plan());
+                let planned = self.engine.optimize_query(query);
+                let physical = self.engine.lower_plan(&planned.plan)?;
+                let cached = Arc::new(CachedPlan {
+                    physical,
+                    optimized: planned.plan,
+                    rules_fired: planned.rules_fired,
+                    estimated_rows: planned.estimated_rows,
+                    estimated_cost: planned.estimated_cost,
+                    catalog_version: version,
+                    result: parking_lot::Mutex::new(None),
+                });
+                self.plan_cache.insert(key, cached.clone());
+                (cached, false)
+            }
+        };
+
+        // Result memo: a replayed fingerprint over an unchanged catalog is
+        // the same table — skip admission and execution outright.
+        if self.config.cache_results {
+            let memo = cached.result.lock().clone();
+            if let Some(table) = memo {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.result_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ServeResult {
+                    table,
+                    elapsed: start.elapsed(),
+                    rules_fired: cached.rules_fired.clone(),
+                    estimated_rows: cached.estimated_rows,
+                    estimated_cost: cached.estimated_cost,
+                    plan_cache_hit: hit,
+                    result_cache_hit: true,
+                });
+            }
+        }
+
+        let _permit = self.gate.acquire(cached.estimated_cost);
+        let root = InstrumentedExec::new(cached.physical.clone(), &self.metrics);
+        let table = Arc::new(collect_table(&root)?);
+        if self.config.cache_results {
+            *cached.result.lock() = Some(table.clone());
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(ServeResult {
+            table,
+            elapsed: start.elapsed(),
+            rules_fired: cached.rules_fired.clone(),
+            estimated_rows: cached.estimated_rows,
+            estimated_cost: cached.estimated_cost,
+            plan_cache_hit: hit,
+            result_cache_hit: false,
+        })
+    }
+
+    /// The batcher for `model` (created on first use), or `None` for
+    /// models the engine does not know.
+    pub fn batcher(&self, model: &str) -> Option<Arc<EmbedBatcher>> {
+        if let Some(b) = self.batchers.read().get(model) {
+            return Some(b.clone());
+        }
+        let cache = self.engine.embedding_cache(model)?;
+        let mut map = self.batchers.write();
+        Some(
+            map.entry(model.to_string())
+                .or_insert_with(|| {
+                    Arc::new(EmbedBatcher::new(
+                        cache,
+                        BatcherConfig {
+                            max_batch: self.config.batch_max,
+                            linger: self.config.batch_linger,
+                        },
+                    ))
+                })
+                .clone(),
+        )
+    }
+
+    /// Plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Admission counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.gate.stats()
+    }
+
+    /// Full counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let mut batchers: Vec<(String, BatcherStats)> = self
+            .batchers
+            .read()
+            .iter()
+            .map(|(name, b)| (name.clone(), b.stats()))
+            .collect();
+        batchers.sort_by(|a, b| a.0.cmp(&b.0));
+        ServerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            result_cache_hits: self.result_hits.load(Ordering::Relaxed),
+            plan_cache: self.plan_cache.stats(),
+            admission: self.gate.stats(),
+            batchers,
+        }
+    }
+
+    /// Human-readable server report: serving counters plus the aggregated
+    /// per-operator execution metrics.
+    pub fn report(&self) -> String {
+        let s = self.stats();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "queries: {} across {} sessions\n",
+            s.queries, s.sessions
+        ));
+        out.push_str(&format!("result memo: {} hits\n", s.result_cache_hits));
+        out.push_str(&format!(
+            "plan cache: {} hits / {} misses (hit rate {:.1}%), {} cached, {} invalidated, {} evicted\n",
+            s.plan_cache.hits,
+            s.plan_cache.misses,
+            100.0 * s.plan_cache.hit_rate(),
+            s.plan_cache.len,
+            s.plan_cache.invalidations,
+            s.plan_cache.evictions,
+        ));
+        out.push_str(&format!(
+            "admission: {} admitted, {} waited (capacity {:.0}, in use {:.0})\n",
+            s.admission.admitted, s.admission.waited, self.gate.capacity(), s.admission.in_use,
+        ));
+        for (model, b) in &s.batchers {
+            out.push_str(&format!(
+                "embed batcher [{model}]: {} batches / {} texts (max batch {}, max submitters {}), \
+                 {} coalesced texts, {} already cached\n",
+                b.batches,
+                b.batched_texts,
+                b.max_batch_size,
+                b.max_batch_submitters,
+                b.texts_coalesced,
+                b.texts_already_cached,
+            ));
+        }
+        out.push_str("operator metrics:\n");
+        out.push_str(&self.metrics.report());
+        out
+    }
+
+    /// Submits every semantic operator's embedding working set to the
+    /// per-model batchers and blocks until the cache holds it. Best-effort
+    /// and purely a performance hint: anything missed (renamed columns,
+    /// post-filter subsets, capped columns) embeds inside the operator
+    /// exactly as before.
+    fn warm_embeddings(&self, plan: &LogicalPlan) {
+        let mut requests: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        collect_warm_requests(plan, self, &mut requests);
+        for (model, texts) in requests {
+            if let Some(batcher) = self.batcher(&model) {
+                batcher.warm(&texts);
+            }
+        }
+    }
+
+    /// Distinct string values of `column` across the base tables scanned
+    /// under `plan` — a (superset) estimate of what a semantic operator on
+    /// `column` will embed. `warm_limit` budgets each call separately
+    /// (`cap` is absolute: the `out` length this call may grow to), so one
+    /// huge column cannot consume a later column's budget.
+    fn column_values(&self, plan: &LogicalPlan, column: &str, out: &mut Vec<String>) {
+        let cap = out.len().saturating_add(self.config.warm_limit);
+        self.column_values_capped(plan, column, cap, out);
+    }
+
+    fn column_values_capped(
+        &self,
+        plan: &LogicalPlan,
+        column: &str,
+        cap: usize,
+        out: &mut Vec<String>,
+    ) {
+        if let LogicalPlan::Scan { source, schema } = plan {
+            let is_utf8 = schema
+                .field(column)
+                .map(|f| f.data_type == cx_storage::DataType::Utf8)
+                .unwrap_or(false);
+            if is_utf8 {
+                if let Some(table) = self.engine.catalog().table(source) {
+                    if let Ok(col) = table.column_by_name(column) {
+                        if let Ok(values) = col.utf8_values() {
+                            let mut seen: HashSet<&str> = HashSet::new();
+                            for v in values {
+                                if out.len() >= cap {
+                                    break;
+                                }
+                                if seen.insert(v.as_str()) {
+                                    out.push(v.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for child in plan.children() {
+            if out.len() >= cap {
+                break;
+            }
+            self.column_values_capped(child, column, cap, out);
+        }
+    }
+}
+
+/// Walks `plan` collecting, per model, the texts its semantic operators
+/// will embed.
+fn collect_warm_requests(
+    plan: &LogicalPlan,
+    server: &Server,
+    out: &mut BTreeMap<String, Vec<String>>,
+) {
+    match plan {
+        LogicalPlan::SemanticFilter { input, column, target, model, .. } => {
+            let dst = out.entry(model.clone()).or_default();
+            dst.push(target.clone());
+            server.column_values(input, column, dst);
+        }
+        LogicalPlan::SemanticJoin { left, right, spec } => {
+            let dst = out.entry(spec.model.clone()).or_default();
+            server.column_values(left, &spec.left_column, dst);
+            server.column_values(right, &spec.right_column, dst);
+        }
+        LogicalPlan::SemanticGroupBy { input, column, model, .. } => {
+            let dst = out.entry(model.clone()).or_default();
+            server.column_values(input, column, dst);
+        }
+        _ => {}
+    }
+    for child in plan.children() {
+        collect_warm_requests(child, server, out);
+    }
+}
+
+/// A per-client handle onto a shared [`Server`].
+pub struct Session {
+    server: Arc<Server>,
+    id: u64,
+    queries: AtomicU64,
+}
+
+impl Session {
+    /// This session's id (assigned in open order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The server this session talks to.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Starts a query over table `name`.
+    pub fn table(&self, name: &str) -> Result<Query> {
+        self.server.table(name)
+    }
+
+    /// Serves one query through the shared server.
+    pub fn execute(&self, query: &Query) -> Result<ServeResult> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.server.execute(query)
+    }
+
+    /// Queries served through this session.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}

@@ -64,7 +64,7 @@ pub mod topk;
 
 pub use arena::{RowBlock, VectorArena};
 pub use cx_embed::quant::QuantTier;
-pub use qarena::QuantizedArena;
+pub use qarena::{QuantizedArena, UnsupportedTier};
 pub use block::{cosine_block_threshold, dot_block, dot_block_threshold, scores_matrix};
 pub use brute::BruteForceIndex;
 pub use index::{IndexStats, SearchResult, VectorIndex};

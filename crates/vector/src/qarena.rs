@@ -23,6 +23,27 @@ use cx_embed::quant::{
     dot_block_f16, dot_block_int8, f32_to_f16, quantize_query_int8, QuantTier, QuantizedVector,
 };
 use cx_embed::EmbeddingCache;
+use std::fmt;
+
+/// Error for tiers a [`QuantizedArena`] cannot hold ([`QuantTier::F32`]:
+/// full precision lives in [`VectorArena`]).
+///
+/// A typed error — not a panic — so a mis-planned tier degrades to a
+/// failed query instead of aborting a long-lived server process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedTier(pub QuantTier);
+
+impl fmt::Display for UnsupportedTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantizedArena holds f16/int8 tiers; tier {:?} belongs in VectorArena",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedTier {}
 
 /// Tier-specific row storage.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,15 +70,15 @@ pub struct QuantizedArena {
 impl QuantizedArena {
     /// Quantizes every row of `arena` to `tier`.
     ///
-    /// # Panics
-    /// Panics if `tier` is [`QuantTier::F32`] — full precision lives in
-    /// [`VectorArena`]; this type only holds reduced tiers.
-    pub fn from_arena(arena: &VectorArena, tier: QuantTier) -> Self {
+    /// # Errors
+    /// Returns [`UnsupportedTier`] for [`QuantTier::F32`] — full precision
+    /// lives in [`VectorArena`]; this type only holds reduced tiers.
+    pub fn from_arena(arena: &VectorArena, tier: QuantTier) -> Result<Self, UnsupportedTier> {
         let dim = arena.dim();
         let stride = arena.stride();
         let rows = arena.len();
         let data = match tier {
-            QuantTier::F32 => panic!("QuantizedArena holds f16/int8 tiers; use VectorArena for f32"),
+            QuantTier::F32 => return Err(UnsupportedTier(tier)),
             QuantTier::F16 => {
                 let mut data = vec![0u16; rows * stride];
                 for r in 0..rows {
@@ -82,13 +103,21 @@ impl QuantizedArena {
                 QuantizedRows::Int8 { data, scales }
             }
         };
-        QuantizedArena { dim, stride, rows, data }
+        Ok(QuantizedArena { dim, stride, rows, data })
     }
 
     /// Embeds `texts` through `cache` into a padded f32 batch
     /// ([`VectorArena::from_texts`], i.e. [`EmbeddingCache::get_batch_into`])
     /// and quantizes it to `tier`.
-    pub fn from_texts<S: AsRef<str>>(cache: &EmbeddingCache, texts: &[S], tier: QuantTier) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`UnsupportedTier`] for [`QuantTier::F32`], like
+    /// [`Self::from_arena`].
+    pub fn from_texts<S: AsRef<str>>(
+        cache: &EmbeddingCache,
+        texts: &[S],
+        tier: QuantTier,
+    ) -> Result<Self, UnsupportedTier> {
         Self::from_arena(&VectorArena::from_texts(cache, texts), tier)
     }
 
@@ -200,8 +229,8 @@ mod tests {
     #[test]
     fn mirrors_source_layout_and_shrinks_memory() {
         let arena = random_arena(10, 13, 5);
-        let f16 = QuantizedArena::from_arena(&arena, QuantTier::F16);
-        let i8a = QuantizedArena::from_arena(&arena, QuantTier::Int8);
+        let f16 = QuantizedArena::from_arena(&arena, QuantTier::F16).unwrap();
+        let i8a = QuantizedArena::from_arena(&arena, QuantTier::Int8).unwrap();
         assert_eq!(f16.len(), 10);
         assert_eq!(f16.dim(), 13);
         assert_eq!(f16.stride(), arena.stride());
@@ -220,7 +249,7 @@ mod tests {
         let mut exact = vec![0.0f32; arena.len()];
         dot_block(&q, view.data, view.stride, &mut exact);
         for (tier, bound) in [(QuantTier::F16, 1e-3f32), (QuantTier::Int8, 1.2e-2)] {
-            let qa = QuantizedArena::from_arena(&arena, tier);
+            let qa = QuantizedArena::from_arena(&arena, tier).unwrap();
             let got = qa.scores(&q);
             for (r, (g, e)) in got.iter().zip(&exact).enumerate() {
                 assert!((g - e).abs() <= bound, "{tier:?} row {r}: {g} vs {e}");
@@ -231,7 +260,7 @@ mod tests {
     #[test]
     fn int8_scores_match_pairwise_quantized_dot_bitwise() {
         let arena = random_arena(9, 21, 3);
-        let qa = QuantizedArena::from_arena(&arena, QuantTier::Int8);
+        let qa = QuantizedArena::from_arena(&arena, QuantTier::Int8).unwrap();
         let mut rng = SplitMix64::new(8);
         let q = rng.unit_vector(21);
         let (qi, qs) = quantize_query_int8(&q);
@@ -252,7 +281,7 @@ mod tests {
         arena.push(&[0.0; 6]);
         arena.push(&[0.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
         for tier in [QuantTier::F16, QuantTier::Int8] {
-            let qa = QuantizedArena::from_arena(&arena, tier);
+            let qa = QuantizedArena::from_arena(&arena, tier).unwrap();
             let s = qa.scores(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
             assert_eq!(s[0], 0.0, "{tier:?}");
             assert!(s[1] > 0.0);
@@ -264,7 +293,7 @@ mod tests {
     fn from_texts_goes_through_cache_batch() {
         let cache = EmbeddingCache::new(Arc::new(HashNGramModel::new(2)));
         let texts = ["boots", "parka", "boots"];
-        let qa = QuantizedArena::from_texts(&cache, &texts, QuantTier::F16);
+        let qa = QuantizedArena::from_texts(&cache, &texts, QuantTier::F16).unwrap();
         assert_eq!(qa.len(), 3);
         assert_eq!(qa.dim(), cache.dim());
         // Duplicate strings still cost one model invocation each.
@@ -277,14 +306,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "f16/int8 tiers")]
-    fn f32_tier_rejected() {
-        QuantizedArena::from_arena(&VectorArena::new(4), QuantTier::F32);
+    fn f32_tier_rejected_with_typed_error() {
+        let err = QuantizedArena::from_arena(&VectorArena::new(4), QuantTier::F32).unwrap_err();
+        assert_eq!(err, UnsupportedTier(QuantTier::F32));
+        assert!(err.to_string().contains("f16/int8 tiers"));
+        assert!(QuantizedArena::from_texts(
+            &EmbeddingCache::new(std::sync::Arc::new(HashNGramModel::new(2))),
+            &["x"],
+            QuantTier::F32,
+        )
+        .is_err());
     }
 
     #[test]
     fn empty_arena_scores_cleanly() {
-        let qa = QuantizedArena::from_arena(&VectorArena::new(4), QuantTier::Int8);
+        let qa = QuantizedArena::from_arena(&VectorArena::new(4), QuantTier::Int8).unwrap();
         assert!(qa.is_empty());
         assert!(qa.scores(&[0.0; 4]).is_empty());
     }

@@ -22,8 +22,10 @@
 //! | [`vision`] | `cx-vision` | image store + simulated detection |
 //! | [`datagen`] | `cx-datagen` | deterministic workload generators |
 //! | [`engine`] | `context-engine` | the end-to-end engine |
+//! | [`serve`] | `cx-serve` | concurrent serving: plan cache, embed batching, admission |
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/serving.rs` for the concurrent serving layer.
 
 pub use context_engine as engine;
 pub use cx_datagen as datagen;
@@ -34,8 +36,10 @@ pub use cx_hardware as hardware;
 pub use cx_kb as kb;
 pub use cx_optimizer as optimizer;
 pub use cx_semantic as semantic;
+pub use cx_serve as serve;
 pub use cx_storage as storage;
 pub use cx_vector as vector;
 pub use cx_vision as vision;
 
-pub use context_engine::{Engine, EngineConfig, Query, QueryResult};
+pub use context_engine::{Engine, EngineConfig, PlannedQuery, Query, QueryResult};
+pub use cx_serve::{ServeConfig, ServeResult, Server, Session};

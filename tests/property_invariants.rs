@@ -320,7 +320,7 @@ proptest! {
         let (qi, q_scale) = quantize_query_int8(&qf);
 
         // Kernel level: raw i32 accumulators equal the scalar sum exactly.
-        let panel = QuantizedArena::from_arena(&arena, QuantTier::Int8);
+        let panel = QuantizedArena::from_arena(&arena, QuantTier::Int8).unwrap();
         let stride = panel.stride();
         let mut rows_i8 = vec![0i8; arena.len() * stride];
         let mut scales = vec![0.0f32; arena.len()];
@@ -368,7 +368,7 @@ proptest! {
         // f16: |x - f16(x)| <= 2^-11 |x| in the normal range (plus a tiny
         // absolute term for subnormal flushing), so
         // |Δdot| <= Σ |q_i| (2^-11 |x_i| + 6.2e-5) + f32 rounding slack.
-        let f16_panel = QuantizedArena::from_arena(&arena, QuantTier::F16);
+        let f16_panel = QuantizedArena::from_arena(&arena, QuantTier::F16).unwrap();
         let got = f16_panel.scores(&q);
         for r in 0..rows {
             let row = arena.row(r);
@@ -388,7 +388,7 @@ proptest! {
         // |a_i - â_i| <= s_a/2, so
         // |Δdot| <= Σ (|q_i| s_x/2 + |x_i| s_q/2 + s_q s_x/4) + slack.
         let (_, s_q) = quantize_query_int8(&q);
-        let int8_panel = QuantizedArena::from_arena(&arena, QuantTier::Int8);
+        let int8_panel = QuantizedArena::from_arena(&arena, QuantTier::Int8).unwrap();
         let got = int8_panel.scores(&q);
         for r in 0..rows {
             let row = arena.row(r);

@@ -1,0 +1,223 @@
+//! Concurrency stress test for `cx_serve`: N threads replaying the same
+//! query mix through one shared [`Server`] must produce results
+//! bit-identical to a serial [`Engine::execute`] loop, while the plan
+//! cache reports hits and the embed batcher coalesces concurrent
+//! requests.
+
+use context_analytics::expr::{col, lit};
+use context_analytics::{Engine, EngineConfig, Query, ServeConfig, Server};
+use cx_embed::ClusteredTextModel;
+use cx_exec::logical::{AggFunc, AggSpec};
+use cx_storage::{Column, DataType, Field, Schema, Table};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn fresh_engine() -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let specs = cx_datagen::table1_clusters();
+    let space = Arc::new(cx_datagen::build_space(&specs, 64, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("m", space, 7)));
+
+    let names = [
+        "boots", "parka", "kitten", "sneakers", "coat", "puppy", "oxfords", "windbreaker",
+        "loafers", "anorak", "tabby", "hound",
+    ];
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..names.len() as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..names.len()).map(|i| 10.0 + 7.5 * i as f64).collect()),
+        ],
+    )
+    .unwrap();
+    engine.register_table("products", products).unwrap();
+
+    let mut kb = cx_kb::KnowledgeBase::new();
+    for item in ["boots", "sneakers", "oxfords", "loafers"] {
+        kb.assert_is_a(item, "shoes");
+    }
+    for item in ["parka", "coat", "windbreaker", "anorak"] {
+        kb.assert_is_a(item, "jacket");
+    }
+    kb.assert_is_a("shoes", "clothes");
+    kb.assert_is_a("jacket", "clothes");
+    engine.register_kb("kb", kb).unwrap();
+    engine
+}
+
+/// The replayed mix: relational, semantic filter, semantic join, group-by —
+/// with deliberate repeats so a plan cache has something to hit.
+fn query_mix(engine: &Engine) -> Vec<Query> {
+    let sem_filter = |threshold| {
+        engine
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", "clothes", "m", threshold)
+            .sort(&[("product_id", true)])
+    };
+    let join = || {
+        let kb = engine
+            .table("kb")
+            .unwrap()
+            .filter(col("category").eq(lit("clothes")));
+        engine
+            .table("products")
+            .unwrap()
+            .semantic_join(kb, "name", "label", "m", 0.9)
+            .filter(col("price").gt(lit(20.0)))
+            .sort(&[("product_id", true), ("label", true)])
+    };
+    let agg = || {
+        engine
+            .table("products")
+            .unwrap()
+            .semantic_group_by(
+                "name",
+                "m",
+                0.85,
+                vec![
+                    AggSpec::count_star("items"),
+                    AggSpec::new(AggFunc::Avg, "price", "avg_price"),
+                ],
+            )
+            .sort(&[("cluster_id", true)])
+    };
+    vec![
+        sem_filter(0.75),
+        join(),
+        agg(),
+        sem_filter(0.75), // repeat → plan-cache hit
+        sem_filter(0.8),
+        join(), // repeat → plan-cache hit
+    ]
+}
+
+fn table_rows(table: &Table) -> Vec<Vec<cx_storage::Scalar>> {
+    (0..table.num_rows()).map(|r| table.row(r).unwrap()).collect()
+}
+
+#[test]
+fn concurrent_serving_is_bit_identical_to_serial_execution() {
+    // Reference: a serial engine, cold caches, plain `execute` loop.
+    let serial = fresh_engine();
+    let expected: Vec<_> = query_mix(&serial)
+        .iter()
+        .map(|q| table_rows(&serial.execute(q).unwrap().table))
+        .collect();
+
+    // Serving: a second cold engine behind a server. A generous linger
+    // plus a start barrier guarantees the 8 threads' warm requests land in
+    // the same flush window, so coalescing is deterministic.
+    let engine = fresh_engine();
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            batch_linger: Duration::from_millis(200),
+            batch_max: 4096,
+            ..ServeConfig::default()
+        },
+    );
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    let session = server.session();
+                    let mix = query_mix(server.engine());
+                    barrier.wait();
+                    mix.iter()
+                        .map(|q| table_rows(&session.execute(q).unwrap().table))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let got = handle.join().unwrap();
+            assert_eq!(got.len(), expected.len());
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert_eq!(g, e, "query {i} diverged from serial execution");
+            }
+        }
+    });
+
+    // Plan cache: every thread replays repeated queries; 8 threads × 6
+    // queries over 4 distinct fingerprints must hit.
+    let plan_stats = server.plan_cache_stats();
+    assert!(plan_stats.hits >= 1, "plan cache never hit: {plan_stats:?}");
+    assert_eq!(server.stats().queries, (threads * 6) as u64);
+
+    // Embed batcher: concurrent warm-ups coalesced — at least one flush
+    // served ≥ 2 distinct requests.
+    let batch_stats = server.batcher("m").unwrap().stats();
+    assert!(
+        batch_stats.max_batch_submitters >= 2,
+        "no flush served two concurrent requests: {batch_stats:?}"
+    );
+    assert!(batch_stats.coalesced_batches >= 1, "{batch_stats:?}");
+    assert!(batch_stats.texts_coalesced >= 1, "{batch_stats:?}");
+
+    // And the shared cache means the model embedded each distinct string
+    // once across all 48 served queries — same as the serial engine.
+    let model_calls = server
+        .engine()
+        .embedding_cache("m")
+        .unwrap()
+        .model()
+        .stats()
+        .invocations();
+    let serial_calls = serial.embedding_cache("m").unwrap().model().stats().invocations();
+    assert_eq!(model_calls, serial_calls, "server re-embedded cached strings");
+}
+
+#[test]
+fn admission_control_survives_a_thundering_herd() {
+    let engine = fresh_engine();
+    // A deliberately tiny admission capacity: queries must queue, finish,
+    // and release — no deadlock, no starvation.
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            admission_capacity: 1.0,
+            // The result memo would skip the gate on replays; this test is
+            // about the gate, so every query must execute.
+            cache_results: false,
+            ..ServeConfig::default()
+        },
+    );
+    let threads = 8;
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                barrier.wait();
+                let q = server
+                    .table("products")
+                    .unwrap()
+                    .semantic_filter("name", "clothes", "m", 0.75);
+                for _ in 0..20 {
+                    server.execute(&q).unwrap();
+                }
+            });
+        }
+    });
+    // Every query passed the gate and every permit was released — no
+    // deadlock, no leaked cost, even at a capacity that forces queueing
+    // whenever executions overlap. (Deterministic *blocking* behavior is
+    // covered by cx_serve's CostGate unit tests; whether these particular
+    // threads overlapped at the gate is scheduling luck, so it is not
+    // asserted here.)
+    let stats = server.admission_stats();
+    assert_eq!(stats.admitted, 20 * threads as u64);
+    assert_eq!(stats.active, 0);
+    assert_eq!(stats.in_use, 0.0);
+}
