@@ -1,0 +1,267 @@
+//! MQO THROUGHPUT — a same-table query storm where the plan cache cannot
+//! help, with multi-query scan sharing on vs off.
+//!
+//! Every query in the storm carries a **distinct literal** (its own
+//! semantic-filter target or its own join threshold), so fingerprints
+//! never repeat: the plan cache misses on every query, the result memo
+//! never fires, and PR 3's serving path executes every sweep solo. The
+//! only structure left to exploit is that all queries scan the *same
+//! table under the same model* — exactly what `cx_mqo` shares. Both
+//! sides run the identical storm over identical cold engines through the
+//! same `Server`; the baseline just has `ServeConfig::mqo` off.
+//!
+//! Emits `BENCH_mqo.json`: QPS and latency percentiles for both sides,
+//! the speedup (acceptance: ≥ 2×), and the scan-sharing counters.
+//!
+//! Usage: `cargo run --release -p cx-bench --bin mqo_throughput`
+//!   env `MQO_N`         corpus rows          (default 2000)
+//!   env `MQO_CLIENTS`   concurrent clients   (default 8)
+//!   env `MQO_REPLAYS`   storm replays/client (default 2)
+//!   env `MQO_LINGER_MS` scan-queue linger    (default 40; size it ≈ one
+//!                       round's optimize+queue spread so groups fill)
+
+use context_engine::{Engine, EngineConfig, Query};
+use cx_datagen::{generate_corpus, synthetic_clusters, CorpusConfig};
+use cx_embed::ClusteredTextModel;
+use cx_exec::logical::AggSpec;
+use cx_serve::{ServeConfig, Server};
+use cx_storage::{Column, DataType, Field, Schema, Table};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A fresh engine over `n` shop rows plus a label relation (cold caches).
+fn build_engine(n: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let space = Arc::new(cx_datagen::build_space(&clusters, 300, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("fasttext-like", space, 7)));
+
+    let vocab = cx_datagen::vocab::all_words(&clusters);
+    let names = generate_corpus(
+        &vocab,
+        CorpusConfig { size: n, zipf_s: 1.0, max_words: 2, seed: 11 },
+    );
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..n).map(|i| 5.0 + (i % 200) as f64).collect()),
+        ],
+    )
+    .expect("products table");
+    engine.register_table("products", products).expect("register products");
+
+    // A label relation sized so the join's build-panel sweep is the
+    // dominant per-query cost (the thing sharing amortizes).
+    let labels = generate_corpus(
+        &vocab,
+        CorpusConfig { size: n.max(256), zipf_s: 0.6, max_words: 2, seed: 23 },
+    );
+    let label_table = Table::from_columns(
+        Schema::new(vec![Field::new("label", DataType::Utf8)]),
+        vec![Column::from_strings(labels)],
+    )
+    .expect("labels table");
+    engine.register_table("labels", label_table).expect("register labels");
+    engine
+}
+
+/// Client `client`'s storm for one replay: 5 semantic joins and 2
+/// semantic filters, every literal globally unique (threshold stepped by
+/// a per-query epsilon, filter targets drawn without reuse), so no two
+/// queries in the whole run fingerprint equal.
+fn storm(engine: &Engine, vocab: &[String], client: usize, replay: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for q in 0..5 {
+        let gidx = (replay * 5 + q) * 64 + client; // unique per (client, replay, q)
+        let threshold = 0.93 + 1e-6 * gidx as f32;
+        queries.push(
+            engine
+                .table("products")
+                .expect("products")
+                .semantic_join(
+                    engine.table("labels").expect("labels"),
+                    "name",
+                    "label",
+                    "fasttext-like",
+                    threshold,
+                )
+                .aggregate(&[], vec![AggSpec::count_star("matches")]),
+        );
+        if q < 2 {
+            let target = &vocab[(client * 67 + replay * 5 + q) % vocab.len()];
+            let f_threshold = 0.8 + 1e-6 * gidx as f32;
+            queries.push(
+                engine
+                    .table("products")
+                    .expect("products")
+                    .semantic_filter("name", target, "fasttext-like", f_threshold)
+                    .aggregate(&[], vec![AggSpec::count_star("n")]),
+            );
+        }
+    }
+    queries
+}
+
+struct Side {
+    total_secs: f64,
+    latencies: Vec<Duration>,
+}
+
+impl Side {
+    fn qps(&self) -> f64 {
+        self.latencies.len() as f64 / self.total_secs
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+}
+
+/// Runs the full storm (all clients × replays) through `server`.
+fn run_storm(server: &Arc<Server>, clients: usize, replays: usize) -> Side {
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let vocab = cx_datagen::vocab::all_words(&clusters);
+    let barrier = Arc::new(Barrier::new(clients));
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                let vocab = vocab.clone();
+                s.spawn(move || {
+                    let session = server.session();
+                    let mut local = Vec::new();
+                    barrier.wait();
+                    for replay in 0..replays {
+                        for q in storm(server.engine(), &vocab, client, replay) {
+                            let t = Instant::now();
+                            let r = session.execute(&q).expect("storm query");
+                            std::hint::black_box(r.table.num_rows());
+                            local.push(t.elapsed());
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    Side { total_secs: start.elapsed().as_secs_f64(), latencies }
+}
+
+fn main() {
+    let n = env_usize("MQO_N", 2000);
+    let clients = env_usize("MQO_CLIENTS", 8);
+    let replays = env_usize("MQO_REPLAYS", 2);
+    let linger_ms = env_usize("MQO_LINGER_MS", 40);
+
+    println!("MQO THROUGHPUT — same-table storm, distinct literals per query");
+    println!(
+        "corpus: {n} rows, {clients} clients × {replays} replays × 7 queries, cold caches both\n"
+    );
+
+    // ---- baseline: the PR 3 serving path (everything but scan sharing) ----
+    let unshared = {
+        let server = Server::new(
+            build_engine(n),
+            ServeConfig { mqo: false, ..ServeConfig::default() },
+        );
+        run_storm(&server, clients, replays)
+    };
+    println!(
+        "cx_serve, mqo off : {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  ({} queries in {:.2}s)",
+        unshared.qps(),
+        unshared.percentile(0.5),
+        unshared.percentile(0.95),
+        unshared.latencies.len(),
+        unshared.total_secs
+    );
+
+    // ---- shared: identical storm with the scan queue on ----
+    let server = Server::new(
+        build_engine(n),
+        ServeConfig {
+            scan_linger: Duration::from_millis(linger_ms as u64),
+            ..ServeConfig::default()
+        },
+    );
+    let shared = run_storm(&server, clients, replays);
+    println!(
+        "cx_serve, mqo on  : {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  ({} queries in {:.2}s)",
+        shared.qps(),
+        shared.percentile(0.5),
+        shared.percentile(0.95),
+        shared.latencies.len(),
+        shared.total_secs
+    );
+
+    if std::env::var("MQO_REPORT").is_ok() {
+        println!("\n== shared-side server report ==\n{}", server.report());
+    }
+
+    let speedup = shared.qps() / unshared.qps();
+    let sharing = server.scan_sharing_stats();
+    let plan = server.plan_cache_stats();
+    println!("\nspeedup: {speedup:.2}x qps (acceptance: >= 2x)");
+    println!(
+        "plan cache on the shared side: {} hits / {} misses (distinct literals: the cache cannot help)",
+        plan.hits, plan.misses
+    );
+    println!(
+        "scan sharing: {} of {} queries coalesced into {} shared groups (max group {}), \
+         {} panel rows saved, {} pairs deduped, {} fallbacks",
+        sharing.shared_queries,
+        sharing.grouped_queries,
+        sharing.shared_groups,
+        sharing.max_group,
+        sharing.panel_rows_saved,
+        sharing.pairs_saved,
+        sharing.sweep_fallbacks,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"mqo_throughput\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"mqo\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"unshared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"scan_sharing\": {{\"groups\": {}, \"grouped_queries\": {}, \"shared_groups\": {}, \"shared_queries\": {}, \"max_group\": {}, \"panel_rows_saved\": {}, \"pairs_saved\": {}, \"sweep_fallbacks\": {}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        shared.latencies.len(),
+        shared.qps(),
+        shared.percentile(0.5),
+        shared.percentile(0.95),
+        shared.total_secs,
+        unshared.qps(),
+        unshared.percentile(0.5),
+        unshared.percentile(0.95),
+        unshared.total_secs,
+        speedup,
+        sharing.groups,
+        sharing.grouped_queries,
+        sharing.shared_groups,
+        sharing.shared_queries,
+        sharing.max_group,
+        sharing.panel_rows_saved,
+        sharing.pairs_saved,
+        sharing.sweep_fallbacks,
+        plan.hits,
+        plan.misses,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mqo.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_mqo.json"),
+        Err(e) => eprintln!("could not write BENCH_mqo.json: {e}"),
+    }
+}

@@ -168,7 +168,11 @@ impl Engine {
     }
 
     fn optimizer_context(&self) -> OptimizerContext {
-        let mut ctx = OptimizerContext::new(self.catalog.models().clone(), self.config.optimizer);
+        self.optimizer_context_with(self.config.optimizer)
+    }
+
+    fn optimizer_context_with(&self, config: OptimizerConfig) -> OptimizerContext {
+        let mut ctx = OptimizerContext::new(self.catalog.models().clone(), config);
         ctx.stats = self.catalog.stats_snapshot();
         ctx.samples = self.catalog.samples_snapshot();
         // Pre-seed shared caches so execution reuses optimizer sampling
@@ -202,7 +206,14 @@ impl Engine {
     /// [`PlannedQuery`] can be lowered with [`Self::lower_plan`] — a
     /// serving layer caches the pair and skips both steps on repeats.
     pub fn optimize_query(&self, query: &Query) -> PlannedQuery {
-        let ctx = self.optimizer_context();
+        self.optimize_query_with(query, self.config.optimizer)
+    }
+
+    /// Like [`Self::optimize_query`], but under an explicit optimizer
+    /// configuration — the hook per-session overrides (e.g. a session's
+    /// own `recall_tolerance`) use without forking the engine.
+    pub fn optimize_query_with(&self, query: &Query, config: OptimizerConfig) -> PlannedQuery {
+        let ctx = self.optimizer_context_with(config);
         self.optimize_in(&ctx, query)
     }
 
@@ -213,7 +224,18 @@ impl Engine {
         &self,
         plan: &cx_exec::logical::LogicalPlan,
     ) -> Result<Arc<dyn PhysicalOperator>> {
-        let mut ctx = self.optimizer_context();
+        self.lower_plan_with(plan, self.config.optimizer)
+    }
+
+    /// Like [`Self::lower_plan`], but under an explicit optimizer
+    /// configuration (must match the one the plan was optimized with for
+    /// the lowered strategies to agree with the plan's estimates).
+    pub fn lower_plan_with(
+        &self,
+        plan: &cx_exec::logical::LogicalPlan,
+        config: OptimizerConfig,
+    ) -> Result<Arc<dyn PhysicalOperator>> {
+        let mut ctx = self.optimizer_context_with(config);
         let env = self.planner_env();
         create_physical_plan(plan, &mut ctx, &env)
     }
@@ -459,6 +481,47 @@ mod tests {
         // Lowered plans are re-executable: run it again.
         let again = cx_exec::collect_table(physical.as_ref()).unwrap();
         assert_eq!(again.num_rows(), direct.table.num_rows());
+    }
+
+    #[test]
+    fn per_call_config_overrides_tier_selection() {
+        // A session-level recall tolerance must flow through
+        // optimize/lower without touching the engine's own config: the
+        // same big join lowers exact by default and quantized under the
+        // override.
+        let engine = Engine::new(EngineConfig::default());
+        engine.register_model(Arc::new(HashNGramModel::new(42)));
+        let rows = 100_000i64;
+        let big = Table::from_columns(
+            Schema::new(vec![Field::new("k", DataType::Utf8)]),
+            vec![Column::from_strings((0..rows).map(|i| format!("k{i}")))],
+        )
+        .unwrap();
+        engine.register_table("big", big).unwrap();
+        let q = engine.table("big").unwrap().semantic_join(
+            engine.table("big").unwrap(),
+            "k",
+            "k",
+            "hash-ngram",
+            0.9,
+        );
+        let mut tolerant = engine.config().optimizer;
+        tolerant.recall_tolerance = 5e-2;
+        tolerant.semantic_index_selection = false;
+        let mut exact = tolerant;
+        exact.recall_tolerance = 0.0;
+        let planned = engine.optimize_query_with(&q, tolerant);
+        let quantized = engine.lower_plan_with(&planned.plan, tolerant).unwrap();
+        assert!(
+            cx_exec::physical::display_physical(quantized.as_ref()).contains("quant=int8"),
+            "{}",
+            cx_exec::physical::display_physical(quantized.as_ref())
+        );
+        let planned = engine.optimize_query_with(&q, exact);
+        let plain = engine.lower_plan_with(&planned.plan, exact).unwrap();
+        assert!(!cx_exec::physical::display_physical(plain.as_ref()).contains("quant="));
+        // The engine's own config is untouched.
+        assert_eq!(engine.config().optimizer.recall_tolerance, 0.0);
     }
 
     #[test]

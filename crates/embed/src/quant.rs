@@ -48,6 +48,26 @@ impl QuantTier {
             QuantTier::Int8 => 1,
         }
     }
+
+    /// Stable wire discriminant (for scan signatures and other
+    /// dependency-light encodings). Inverse of [`Self::from_discriminant`].
+    pub fn discriminant(&self) -> u8 {
+        match self {
+            QuantTier::F32 => 0,
+            QuantTier::F16 => 1,
+            QuantTier::Int8 => 2,
+        }
+    }
+
+    /// The tier encoded by [`Self::discriminant`], if valid.
+    pub fn from_discriminant(d: u8) -> Option<QuantTier> {
+        match d {
+            0 => Some(QuantTier::F32),
+            1 => Some(QuantTier::F16),
+            2 => Some(QuantTier::Int8),
+            _ => None,
+        }
+    }
 }
 
 /// Converts an `f32` to IEEE-754 binary16 bits (round-to-nearest-even),

@@ -15,13 +15,17 @@
 //! * [`parallel`] — morsel-style parallel chunk processing on crossbeam
 //!   scoped threads (the "scale-up" rung of Figure 4),
 //! * [`metrics`] — per-operator row/time counters for EXPLAIN ANALYZE-style
-//!   reporting.
+//!   reporting,
+//! * [`shared`] — the shared-scan contract: how operators advertise
+//!   mergeable panel sweeps ([`ScanSignature`]) and accept precomputed
+//!   score slices ([`SharedScanState`]) for multi-query execution.
 
 pub mod logical;
 pub mod metrics;
 pub mod operators;
 pub mod parallel;
 pub mod physical;
+pub mod shared;
 
 pub use logical::{AggFunc, AggSpec, JoinType, LogicalPlan, SemanticJoinSpec};
 pub use metrics::{ExecMetrics, OperatorMetrics};
@@ -32,3 +36,4 @@ pub use operators::{
 };
 pub use parallel::parallel_map_chunks;
 pub use physical::{collect, collect_table, ChunkStream, PhysicalOperator};
+pub use shared::{find_shared_scan, ProbeSource, ScanKind, ScanSignature, SharedScanState};

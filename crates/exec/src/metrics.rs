@@ -37,6 +37,19 @@ impl OperatorMetrics {
     pub fn executions(&self) -> u64 {
         self.executions.load(Ordering::Relaxed)
     }
+
+    /// Folds one externally driven execution into the counters — for
+    /// operators whose work is consumed outside the chunk-stream path
+    /// (e.g. a shared sweep read through its outcome rather than its
+    /// stream), so they still show up in reports without materializing
+    /// a throwaway stream.
+    pub fn record(&self, rows: u64, chunks: u64, elapsed: std::time::Duration) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.rows_out.fetch_add(rows, Ordering::Relaxed);
+        self.chunks_out.fetch_add(chunks, Ordering::Relaxed);
+        self.elapsed_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 /// A registry of operator metrics keyed by operator label.
@@ -108,6 +121,14 @@ impl PhysicalOperator for InstrumentedExec {
 
     fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
         self.inner.children()
+    }
+
+    fn scan_signature(&self) -> Option<crate::shared::ScanSignature> {
+        self.inner.scan_signature()
+    }
+
+    fn inject_shared_scan(&self, state: crate::shared::SharedScanState) -> bool {
+        self.inner.inject_shared_scan(state)
     }
 
     fn execute(&self) -> Result<ChunkStream> {

@@ -1,0 +1,651 @@
+//! `cx_mqo` — multi-query scan sharing: one panel sweep answers many
+//! queued queries.
+//!
+//! The rungs below this crate amortize similarity work *within* a query
+//! (blocked kernels over `VectorArena` panels) and across queries'
+//! *embedding* fills (`cx_serve`'s cross-query batcher). But every
+//! admitted query still sweeps its candidate panel alone — a storm of
+//! semantic filters over one table re-reads and re-scores the same panel
+//! once per query, and a storm of semantic joins re-embeds and re-sweeps
+//! the same build side. This crate closes that gap: queries whose scans
+//! carry equal [`ScanSignature::group_key`]s (same candidate subtree,
+//! column, model, storage tier, score arithmetic — see
+//! [`cx_exec::shared`] for the contract) merge into one
+//! [`SharedScanExec`], which
+//!
+//! 1. executes the candidate subtree **once** and embeds its distinct
+//!    values into one panel,
+//! 2. gathers every member query's probe vectors into one **stacked,
+//!    deduplicated probe panel** (a filter contributes its target; a join
+//!    contributes its probe side's distinct values — identical probe rows
+//!    across queries are swept once),
+//! 3. runs **one** blocked sweep — `scores_matrix` tiles for f32,
+//!    quantized-panel kernels for f16/int8 — producing the full score
+//!    tile, and
+//! 4. slices the tile per member into a [`SharedScanState`] that each
+//!    query's own operator consumes as its epilogue (threshold masks,
+//!    pair expansion, and everything above the scan stay per-query).
+//!
+//! **Bit-identity.** The sweep applies exactly the member operators' solo
+//! arithmetic — raw-dot-over-norms for filters, prenormalized dots for
+//! blocked joins, the same quantized-panel kernels per tier — and the
+//! blocked kernels are bit-identical to the pairwise rungs by
+//! construction. Shared execution changes the schedule, never the
+//! arithmetic: results equal solo execution to the bit.
+//!
+//! The serving layer (`cx_serve`) owns the queueing policy (who waits how
+//! long to form a group); this crate owns the shared plan itself.
+
+use cx_embed::{EmbeddingCache, QuantTier};
+use cx_exec::shared::{ProbeSource, ScanKind, ScanSignature, SharedScanState};
+use cx_exec::{ChunkStream, PhysicalOperator};
+use cx_storage::{Chunk, Column, DataType, Error, Field, Result, Schema};
+use cx_vector::block::{dot_block_threshold, scores_matrix, TILE};
+use cx_vector::{QuantizedArena, VectorArena};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// One member query's contribution to a shared scan.
+pub struct MemberSpec {
+    /// Where this member's probe vectors come from.
+    pub probe: MemberProbe,
+    /// This member's match threshold (its epilogue applies it to its
+    /// slice of the shared score tile).
+    pub threshold: f32,
+}
+
+/// A member's probe source, resolved to executable form.
+pub enum MemberProbe {
+    /// One literal probe string (semantic filter target).
+    Literal(String),
+    /// The distinct valid UTF8 values of `column` in `op`'s output
+    /// (semantic join probe side). `fingerprint`, when known, lets the
+    /// group materialize identical subtrees once.
+    Subtree { op: Arc<dyn PhysicalOperator>, column: usize, fingerprint: Option<u64> },
+}
+
+/// Counters describing one shared sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Queries merged into this sweep.
+    pub members: usize,
+    /// Rows in the shared candidate panel.
+    pub candidate_rows: usize,
+    /// Distinct probe rows actually swept.
+    pub probe_rows_unique: usize,
+    /// Probe rows the members would have swept solo (pre-dedup).
+    pub probe_rows_total: usize,
+    /// Candidate-panel row materializations avoided versus solo
+    /// execution: solo, each member embeds/gathers the panel itself;
+    /// shared, the group pays once.
+    pub panel_rows_saved: u64,
+    /// Similarity pairs avoided by cross-query probe deduplication.
+    pub pairs_saved: u64,
+}
+
+/// Shared score storage, shaped per scan kind.
+///
+/// Filters have one probe row per member, so the full `probes ×
+/// candidates` tile is small and every member needs its whole row —
+/// dense is right. Joins stack *many* probe rows per member and their
+/// epilogues consume only above-threshold pairs; materializing the dense
+/// tile would turn a compute-bound sweep into a memory-bound one
+/// (allocate + write + re-scan `p × c` floats several times), so the
+/// sweep emits only the pairs clearing the group's lowest threshold.
+enum SweepScores {
+    /// Row-major `probes.len() × candidates.len()` score tile.
+    Dense(Vec<f32>),
+    /// `(probe row, candidate row, score)` for every pair at or above
+    /// the minimum member threshold.
+    Hits(Vec<(u32, u32, f32)>),
+}
+
+/// The memoized result of a shared sweep.
+pub struct SweepOutcome {
+    /// Distinct valid candidate values, first-appearance order.
+    pub candidates: Vec<String>,
+    /// Distinct probe values across all members, first-appearance order.
+    pub probes: Vec<String>,
+    /// Per member: its probe rows as indices into `probes`.
+    pub member_probe_rows: Vec<Vec<u32>>,
+    /// Scores, dense or hit-compacted per kind.
+    scores: SweepScores,
+    /// Sweep counters.
+    pub stats: SweepStats,
+}
+
+/// The shared-scan physical plan: one panel sweep answering a whole group
+/// of queries. See the [module docs](self) for semantics.
+///
+/// As a [`PhysicalOperator`] it streams the value-level pairs that clear
+/// at least one member's threshold — `(probe, candidate, score)` — which
+/// is what EXPLAIN/metrics instrumentation sees; group drivers call
+/// [`SharedScanExec::member_states`] for the per-query slices instead.
+pub struct SharedScanExec {
+    kind: ScanKind,
+    candidate: Arc<dyn PhysicalOperator>,
+    candidate_column: usize,
+    quant: QuantTier,
+    cache: Arc<EmbeddingCache>,
+    members: Vec<MemberSpec>,
+    outcome: Mutex<Option<Arc<SweepOutcome>>>,
+    schema: Arc<Schema>,
+}
+
+impl SweepOutcome {
+    /// Pairs at or above `floor` — what [`SharedScanExec::execute`]
+    /// would stream for that floor.
+    pub fn emitted_pairs(&self, floor: f32) -> u64 {
+        match &self.scores {
+            SweepScores::Dense(scores) => {
+                scores.iter().filter(|s| **s >= floor).count() as u64
+            }
+            SweepScores::Hits(hits) => hits.len() as u64,
+        }
+    }
+}
+
+impl SharedScanExec {
+    /// Builds the shared plan for a group of `(operator, signature)`
+    /// members — the operators previously discovered via
+    /// [`cx_exec::find_shared_scan`]. All signatures must agree on
+    /// [`ScanSignature::group_key`]; the candidate subtree is taken from
+    /// the first member (the keys' fingerprint equality makes them
+    /// interchangeable).
+    pub fn from_group(
+        members: &[(Arc<dyn PhysicalOperator>, ScanSignature)],
+        cache: Arc<EmbeddingCache>,
+    ) -> Result<Self> {
+        let (first_op, first_sig) = members
+            .first()
+            .ok_or_else(|| Error::InvalidArgument("empty shared-scan group".into()))?;
+        let key = first_sig.group_key();
+        let quant = QuantTier::from_discriminant(first_sig.quant).ok_or_else(|| {
+            Error::InvalidArgument(format!("unknown quant tier {}", first_sig.quant))
+        })?;
+        let candidate = first_op
+            .children()
+            .get(first_sig.candidate_child)
+            .cloned()
+            .ok_or_else(|| Error::InvalidArgument("candidate child out of bounds".into()))?;
+        let mut specs = Vec::with_capacity(members.len());
+        for (op, sig) in members {
+            if sig.group_key() != key {
+                return Err(Error::InvalidArgument(
+                    "shared-scan group mixes incompatible signatures".into(),
+                ));
+            }
+            let probe = match &sig.probe {
+                ProbeSource::Literal(s) => MemberProbe::Literal(s.clone()),
+                ProbeSource::Child { child, column, fingerprint } => MemberProbe::Subtree {
+                    op: op.children().get(*child).cloned().ok_or_else(|| {
+                        Error::InvalidArgument("probe child out of bounds".into())
+                    })?,
+                    column: *column,
+                    fingerprint: *fingerprint,
+                },
+            };
+            specs.push(MemberSpec { probe, threshold: sig.threshold });
+        }
+        Ok(SharedScanExec {
+            kind: first_sig.kind,
+            candidate,
+            candidate_column: first_sig.candidate_column,
+            quant,
+            cache,
+            members: specs,
+            outcome: Mutex::new(None),
+            schema: Arc::new(Schema::new(vec![
+                Field::new("probe", DataType::Utf8),
+                Field::new("candidate", DataType::Utf8),
+                Field::new("score", DataType::Float64),
+            ])),
+        })
+    }
+
+    /// Queries merged into this plan.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The lowest member threshold — the floor below which no member's
+    /// epilogue can use a pair.
+    pub fn min_threshold(&self) -> f32 {
+        self.members
+            .iter()
+            .map(|m| m.threshold)
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Runs (or returns the memoized) shared sweep: candidate subtree
+    /// executed once, probe rows gathered and deduplicated across
+    /// members, one blocked pass over the panel.
+    pub fn sweep(&self) -> Result<Arc<SweepOutcome>> {
+        if let Some(out) = self.outcome.lock().clone() {
+            return Ok(out);
+        }
+        let candidates = distinct_valid_values(&self.candidate, self.candidate_column)?;
+
+        // Stacked probe panel with cross-query deduplication: a probe row
+        // requested by five members is swept once and sliced five times.
+        let mut probes: Vec<String> = Vec::new();
+        let mut probe_id: HashMap<String, u32> = HashMap::new();
+        let mut member_probe_rows: Vec<Vec<u32>> = Vec::with_capacity(self.members.len());
+        let mut probe_rows_total = 0usize;
+        // Members with equal probe fingerprints read the same subtree
+        // (determinism + fingerprint equality), so its distinct values
+        // are materialized once for the whole group.
+        let mut subtree_memo: HashMap<(u64, usize), Vec<String>> = HashMap::new();
+        for spec in &self.members {
+            let texts = match &spec.probe {
+                MemberProbe::Literal(s) => vec![s.clone()],
+                MemberProbe::Subtree { op, column, fingerprint } => match fingerprint {
+                    Some(fp) => match subtree_memo.get(&(*fp, *column)) {
+                        Some(values) => values.clone(),
+                        None => {
+                            let values = distinct_valid_values(op, *column)?;
+                            subtree_memo.insert((*fp, *column), values.clone());
+                            values
+                        }
+                    },
+                    None => distinct_valid_values(op, *column)?,
+                },
+            };
+            probe_rows_total += texts.len();
+            let rows = texts
+                .into_iter()
+                .map(|t| {
+                    *probe_id.entry(t).or_insert_with_key(|t| {
+                        probes.push(t.clone());
+                        (probes.len() - 1) as u32
+                    })
+                })
+                .collect();
+            member_probe_rows.push(rows);
+        }
+
+        let scores = self.compute_scores(&candidates, &probes)?;
+        let stats = SweepStats {
+            members: self.members.len(),
+            candidate_rows: candidates.len(),
+            probe_rows_unique: probes.len(),
+            probe_rows_total,
+            panel_rows_saved: (self.members.len().saturating_sub(1) * candidates.len()) as u64,
+            pairs_saved: ((probe_rows_total - probes.len()) * candidates.len()) as u64,
+        };
+        let out = Arc::new(SweepOutcome {
+            candidates,
+            probes,
+            member_probe_rows,
+            scores,
+            stats,
+        });
+        *self.outcome.lock() = Some(out.clone());
+        Ok(out)
+    }
+
+    /// Each member's slice of the shared tile, in member order, ready for
+    /// [`PhysicalOperator::inject_shared_scan`].
+    pub fn member_states(&self) -> Result<Vec<SharedScanState>> {
+        let out = self.sweep()?;
+        let c = out.candidates.len();
+        Ok(self
+            .members
+            .iter()
+            .zip(&out.member_probe_rows)
+            .map(|(spec, rows)| match (&out.scores, self.kind) {
+                (SweepScores::Dense(scores), ScanKind::CosineFilter) => {
+                    let map = match rows.first() {
+                        Some(&r) => out
+                            .candidates
+                            .iter()
+                            .enumerate()
+                            .map(|(j, v)| (v.clone(), scores[r as usize * c + j]))
+                            .collect(),
+                        None => HashMap::new(),
+                    };
+                    SharedScanState::FilterScores(map)
+                }
+                (SweepScores::Hits(hits), _) => {
+                    let mine: HashSet<u32> = rows.iter().copied().collect();
+                    let matches = hits
+                        .iter()
+                        .filter(|(p, _, s)| *s >= spec.threshold && mine.contains(p))
+                        .map(|&(p, j, s)| {
+                            (out.probes[p as usize].clone(), out.candidates[j as usize].clone(), s)
+                        })
+                        .collect();
+                    SharedScanState::JoinMatches(matches)
+                }
+                (SweepScores::Dense(_), ScanKind::DotJoin) => {
+                    unreachable!("dense scores are only built for filter groups")
+                }
+            })
+            .collect())
+    }
+
+    /// One blocked pass of the stacked probe panel over the candidate
+    /// panel, applying exactly the member operators' solo arithmetic per
+    /// kind and tier (bit-identity is the whole point — see module docs).
+    fn compute_scores(&self, candidates: &[String], probes: &[String]) -> Result<SweepScores> {
+        let (p, c) = (probes.len(), candidates.len());
+        // Joins keep only pairs some member can use.
+        let floor = self.min_threshold();
+        if p == 0 || c == 0 {
+            return Ok(match self.kind {
+                ScanKind::CosineFilter => SweepScores::Dense(Vec::new()),
+                ScanKind::DotJoin => SweepScores::Hits(Vec::new()),
+            });
+        }
+        let cand = VectorArena::from_texts(&self.cache, candidates);
+        let prob = VectorArena::from_texts(&self.cache, probes);
+        Ok(match (self.kind, self.quant) {
+            (ScanKind::CosineFilter, QuantTier::F32) => {
+                // Raw dots, then the exact `cosine_with_norms` expression
+                // (zero norms score 0.0) — the semantic filter's blocked
+                // cosine path to the bit. Dense: one probe row per member.
+                let mut scores = vec![0.0f32; p * c];
+                let (pv, cv) = (prob.as_block(), cand.as_block());
+                scores_matrix(pv.data, pv.stride, p, prob.dim(), cv.data, cv.stride, c, &mut scores);
+                for i in 0..p {
+                    let pn = prob.row_norm(i);
+                    for j in 0..c {
+                        let s = &mut scores[i * c + j];
+                        let cn = cand.row_norm(j);
+                        *s = if pn == 0.0 || cn == 0.0 { 0.0 } else { *s / (pn * cn) };
+                    }
+                }
+                SweepScores::Dense(scores)
+            }
+            (ScanKind::DotJoin, QuantTier::F32) => {
+                // Exactly the blocked join's own schedule — build-side
+                // tiles stay cache-resident while every probe row streams
+                // over them, matches emitted straight from registers — so
+                // the shared sweep costs what one solo sweep costs, paid
+                // once for the whole group.
+                let (pn, cn) = (prob.normalized(), cand.normalized());
+                let mut hits: Vec<(u32, u32, f32)> = Vec::new();
+                for t0 in (0..c).step_by(TILE) {
+                    let tile = cn.block(t0..(t0 + TILE).min(c));
+                    for i in 0..p {
+                        dot_block_threshold(
+                            pn.row(i),
+                            tile.data,
+                            tile.stride,
+                            tile.rows,
+                            floor,
+                            |r, score| hits.push((i as u32, (t0 + r) as u32, score)),
+                        );
+                    }
+                }
+                SweepScores::Hits(hits)
+            }
+            (ScanKind::CosineFilter, tier) => {
+                // The quantized filter path: unit-normalized probe scored
+                // against the quantized normalized panel; a zero-norm
+                // probe scores 0.0 everywhere, as solo.
+                let mut scores = vec![0.0f32; p * c];
+                let panel = QuantizedArena::from_arena(&cand.normalized(), tier)
+                    .map_err(|e| Error::InvalidArgument(e.to_string()))?;
+                for i in 0..p {
+                    let row = &mut scores[i * c..(i + 1) * c];
+                    let n = prob.row_norm(i);
+                    if n == 0.0 {
+                        continue; // already 0.0
+                    }
+                    let unit: Vec<f32> = prob.row(i).iter().map(|x| x / n).collect();
+                    panel.scores_into(&unit, row);
+                }
+                SweepScores::Dense(scores)
+            }
+            (ScanKind::DotJoin, tier) => {
+                // One quantized panel pass per unique probe row (the solo
+                // quantized join's call shape), compacted to hits through
+                // a reused row buffer.
+                let pn = prob.normalized();
+                let panel = QuantizedArena::from_arena(&cand.normalized(), tier)
+                    .map_err(|e| Error::InvalidArgument(e.to_string()))?;
+                let mut row = vec![0.0f32; c];
+                let mut hits: Vec<(u32, u32, f32)> = Vec::new();
+                for i in 0..p {
+                    panel.scores_into(pn.row(i), &mut row);
+                    for (j, &score) in row.iter().enumerate() {
+                        if score >= floor {
+                            hits.push((i as u32, j as u32, score));
+                        }
+                    }
+                }
+                SweepScores::Hits(hits)
+            }
+        })
+    }
+}
+
+/// Distinct valid UTF8 values of `column` in `op`'s output,
+/// first-appearance order (NULL rows dropped, matching the semantic
+/// operators' own distinct passes).
+fn distinct_valid_values(op: &Arc<dyn PhysicalOperator>, column: usize) -> Result<Vec<String>> {
+    let chunks = op.execute()?.collect::<Result<Vec<_>>>()?;
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::new();
+    for chunk in &chunks {
+        let col = chunk.column(column)?;
+        let values = col.utf8_values()?;
+        for (i, v) in values.iter().enumerate() {
+            if col.is_valid(i) && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl PhysicalOperator for SharedScanExec {
+    fn name(&self) -> String {
+        let quant = match self.quant {
+            QuantTier::F32 => String::new(),
+            tier => format!(", quant={}", tier.label()),
+        };
+        format!(
+            "SharedScan [kind={}, members={}{}, model={}]",
+            match self.kind {
+                ScanKind::CosineFilter => "cosine-filter",
+                ScanKind::DotJoin => "dot-join",
+            },
+            self.members.len(),
+            quant,
+            self.cache.model().name(),
+        )
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
+        let mut out = vec![self.candidate.clone()];
+        for spec in &self.members {
+            if let MemberProbe::Subtree { op, .. } = &spec.probe {
+                out.push(op.clone());
+            }
+        }
+        out
+    }
+
+    fn execute(&self) -> Result<ChunkStream> {
+        let out = self.sweep()?;
+        let floor = self.min_threshold();
+        let c = out.candidates.len();
+        let mut probe_col: Vec<String> = Vec::new();
+        let mut cand_col: Vec<String> = Vec::new();
+        let mut score_col: Vec<f64> = Vec::new();
+        let mut emit = |i: usize, j: usize, s: f32| {
+            probe_col.push(out.probes[i].clone());
+            cand_col.push(out.candidates[j].clone());
+            score_col.push(s as f64);
+        };
+        match &out.scores {
+            SweepScores::Dense(scores) => {
+                for i in 0..out.probes.len() {
+                    for j in 0..c {
+                        let s = scores[i * c + j];
+                        if s >= floor {
+                            emit(i, j, s);
+                        }
+                    }
+                }
+            }
+            SweepScores::Hits(hits) => {
+                for &(i, j, s) in hits {
+                    emit(i as usize, j as usize, s);
+                }
+            }
+        }
+        let chunk = if probe_col.is_empty() {
+            Chunk::empty(self.schema.clone())
+        } else {
+            Chunk::new(
+                self.schema.clone(),
+                vec![
+                    Column::from_strings(probe_col),
+                    Column::from_strings(cand_col),
+                    Column::from_f64(score_col),
+                ],
+            )?
+        };
+        Ok(Box::new(std::iter::once(Ok(chunk))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cx_embed::HashNGramModel;
+    use cx_exec::TableScanExec;
+    use cx_storage::Table;
+    use cx_vector::kernels::{cosine_with_norms, norm};
+
+    fn cache() -> Arc<EmbeddingCache> {
+        Arc::new(EmbeddingCache::new(Arc::new(HashNGramModel::new(7))))
+    }
+
+    fn scan(values: &[&str]) -> Arc<dyn PhysicalOperator> {
+        let table = Table::from_columns(
+            Schema::new(vec![Field::new("name", DataType::Utf8)]),
+            vec![Column::from_strings(values.iter().copied())],
+        )
+        .unwrap();
+        Arc::new(TableScanExec::new(Arc::new(table)))
+    }
+
+    /// A fake filter node exposing the shared-scan surface over `scan`.
+    struct FakeFilter {
+        input: Arc<dyn PhysicalOperator>,
+        target: String,
+        threshold: f32,
+    }
+
+    impl PhysicalOperator for FakeFilter {
+        fn name(&self) -> String {
+            "FakeFilter".into()
+        }
+        fn schema(&self) -> Arc<Schema> {
+            self.input.schema()
+        }
+        fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
+            vec![self.input.clone()]
+        }
+        fn execute(&self) -> Result<ChunkStream> {
+            self.input.execute()
+        }
+        fn scan_signature(&self) -> Option<ScanSignature> {
+            Some(ScanSignature {
+                kind: ScanKind::CosineFilter,
+                candidate_fingerprint: 0xc0ffee,
+                candidate_child: 0,
+                candidate_column: 0,
+                model: "hash-ngram".into(),
+                quant: 0,
+                probe: ProbeSource::Literal(self.target.clone()),
+                threshold: self.threshold,
+            })
+        }
+    }
+
+    fn group(targets: &[&str]) -> Vec<(Arc<dyn PhysicalOperator>, ScanSignature)> {
+        targets
+            .iter()
+            .map(|t| {
+                let op: Arc<dyn PhysicalOperator> = Arc::new(FakeFilter {
+                    input: scan(&["boots", "parka", "boots", "mug"]),
+                    target: t.to_string(),
+                    threshold: 0.1,
+                });
+                let sig = op.scan_signature().unwrap();
+                (op, sig)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filter_sweep_matches_pairwise_cosine_bit_for_bit() {
+        let c = cache();
+        let shared = SharedScanExec::from_group(&group(&["shoe", "coat"]), c.clone()).unwrap();
+        let states = shared.member_states().unwrap();
+        assert_eq!(states.len(), 2);
+        for (state, target) in states.iter().zip(["shoe", "coat"]) {
+            let SharedScanState::FilterScores(map) = state else {
+                panic!("expected filter scores");
+            };
+            assert_eq!(map.len(), 3); // distinct candidates
+            let t = c.get(target);
+            let tn = norm(&t);
+            for v in ["boots", "parka", "mug"] {
+                let e = c.get(v);
+                let exact = cosine_with_norms(&t, &e, tn, norm(&e));
+                assert_eq!(map[v].to_bits(), exact.to_bits(), "{target} vs {v}");
+            }
+        }
+        let stats = shared.sweep().unwrap().stats;
+        assert_eq!(stats.members, 2);
+        assert_eq!(stats.candidate_rows, 3);
+        assert_eq!(stats.probe_rows_unique, 2);
+        assert_eq!(stats.probe_rows_total, 2);
+        assert_eq!(stats.panel_rows_saved, 3);
+        assert_eq!(stats.pairs_saved, 0);
+    }
+
+    #[test]
+    fn duplicate_probes_are_swept_once() {
+        let shared =
+            SharedScanExec::from_group(&group(&["shoe", "shoe", "shoe"]), cache()).unwrap();
+        let out = shared.sweep().unwrap();
+        assert_eq!(out.probes.len(), 1);
+        assert_eq!(out.stats.probe_rows_total, 3);
+        assert_eq!(out.stats.pairs_saved, 2 * 3);
+        // Every member slices the same row.
+        assert_eq!(out.member_probe_rows, vec![vec![0], vec![0], vec![0]]);
+    }
+
+    #[test]
+    fn execute_streams_pairs_above_min_threshold() {
+        let shared = SharedScanExec::from_group(&group(&["boots"]), cache()).unwrap();
+        let table = cx_exec::collect_table(&shared).unwrap();
+        assert_eq!(table.schema().names(), vec!["probe", "candidate", "score"]);
+        // "boots" matches itself with cosine 1.0 at least.
+        assert!(table.num_rows() >= 1);
+        assert!(shared.name().contains("cosine-filter"));
+        assert!(shared.member_count() == 1);
+    }
+
+    #[test]
+    fn mixed_group_keys_are_rejected() {
+        let mut members = group(&["a"]);
+        let mut other = group(&["b"]).pop().unwrap();
+        other.1.candidate_fingerprint ^= 1;
+        members.push(other);
+        assert!(SharedScanExec::from_group(&members, cache()).is_err());
+        assert!(SharedScanExec::from_group(&[], cache()).is_err());
+    }
+}

@@ -93,7 +93,13 @@ pub fn create_physical_plan(
             let cache = ctx
                 .cache_for(model)
                 .ok_or_else(|| Error::InvalidArgument(format!("unknown model: {model}")))?;
-            Arc::new(SemanticFilterExec::new(child, column, target.clone(), *threshold, cache)?)
+            // The input subtree's logical fingerprint makes the scan
+            // shareable: concurrent filters whose inputs fingerprint equal
+            // sweep the same candidate panel (see `cx_exec::shared`).
+            Arc::new(
+                SemanticFilterExec::new(child, column, target.clone(), *threshold, cache)?
+                    .with_scan_fingerprint(input.fingerprint()),
+            )
         }
         LogicalPlan::SemanticJoin { left, right, spec } => {
             // Strategy selection by estimated distinct-value pair count.
@@ -135,7 +141,13 @@ pub fn create_physical_plan(
                     cache,
                     ctx.config.parallelism,
                 )?
-                .with_quant_tier(tier),
+                .with_quant_tier(tier)
+                // Build-side fingerprint: joins whose right subtrees
+                // fingerprint equal sweep the same build panel. The probe
+                // fingerprint additionally lets a group materialize
+                // identical left sides once.
+                .with_scan_fingerprint(right.fingerprint())
+                .with_probe_fingerprint(left.fingerprint()),
             )
         }
         LogicalPlan::SemanticGroupBy { input, column, model, threshold, aggs } => {

@@ -4,13 +4,14 @@
 //! (the paper's own syntax sketch, Section IV).
 
 use cx_embed::EmbeddingCache;
+use cx_exec::shared::{ProbeSource, ScanKind, ScanSignature, SharedScanState};
 use cx_exec::{ChunkStream, PhysicalOperator};
 use cx_storage::{Bitmap, DataType, Error, Result, Schema};
 use cx_vector::block::cosine_block_threshold;
-use cx_vector::kernels::norm;
+use cx_vector::kernels::{cosine_with_norms, norm};
 use cx_vector::{QuantTier, QuantizedArena, VectorArena};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Filters rows whose `column` value embeds within `threshold` cosine
 /// similarity of the target string's embedding.
@@ -23,6 +24,12 @@ pub struct SemanticFilterExec {
     /// exact).
     quant: QuantTier,
     cache: Arc<EmbeddingCache>,
+    /// Logical fingerprint of the input subtree, when the planner knows
+    /// it — the operator's ticket into multi-query scan sharing.
+    scan_fingerprint: Option<u64>,
+    /// One-shot injected slice of a shared sweep (value → score against
+    /// this filter's target); consumed by the next `execute()`.
+    shared: Mutex<Option<HashMap<String, f32>>>,
 }
 
 impl SemanticFilterExec {
@@ -55,7 +62,18 @@ impl SemanticFilterExec {
             threshold,
             quant: QuantTier::F32,
             cache,
+            scan_fingerprint: None,
+            shared: Mutex::new(None),
         })
+    }
+
+    /// Tags this filter with the logical fingerprint of its input
+    /// subtree, making its sweep shareable (see [`cx_exec::shared`]).
+    /// The planner calls this; hand-built operators may skip it and stay
+    /// solo.
+    pub fn with_scan_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.scan_fingerprint = Some(fingerprint);
+        self
     }
 
     /// Sets the panel storage tier for the distinct-value scan. `F16`/
@@ -100,7 +118,31 @@ impl PhysicalOperator for SemanticFilterExec {
         vec![self.input.clone()]
     }
 
+    fn scan_signature(&self) -> Option<ScanSignature> {
+        Some(ScanSignature {
+            kind: ScanKind::CosineFilter,
+            candidate_fingerprint: self.scan_fingerprint?,
+            candidate_child: 0,
+            candidate_column: self.column_index,
+            model: self.cache.model().name().to_string(),
+            quant: self.quant.discriminant(),
+            probe: ProbeSource::Literal(self.target.clone()),
+            threshold: self.threshold,
+        })
+    }
+
+    fn inject_shared_scan(&self, state: SharedScanState) -> bool {
+        match state {
+            SharedScanState::FilterScores(map) => {
+                *self.shared.lock().unwrap_or_else(|e| e.into_inner()) = Some(map);
+                true
+            }
+            SharedScanState::JoinMatches(_) => false,
+        }
+    }
+
     fn execute(&self) -> Result<ChunkStream> {
+        let injected = self.shared.lock().unwrap_or_else(|e| e.into_inner()).take();
         let target_vec = self.cache.get(&self.target);
         let target_norm = norm(&target_vec);
         // Quantized tiers score unit vectors, so normalize the target once.
@@ -134,8 +176,31 @@ impl PhysicalOperator for SemanticFilterExec {
                     });
                 }
             }
-            let arena = VectorArena::from_texts(&cache, &distinct);
             let mut passes = vec![false; distinct.len()];
+            if let Some(map) = &injected {
+                // Shared-sweep slice: scores were computed by one stacked
+                // panel sweep with exactly this operator's arithmetic, so
+                // each lookup is bit-identical to the solo scan below. A
+                // value missing from the map (only possible under a
+                // mis-grouped injection) is re-scored solo in f32.
+                for (r, v) in distinct.iter().enumerate() {
+                    let score = match map.get(*v) {
+                        Some(&s) => s,
+                        None => {
+                            let vec = cache.get(v);
+                            cosine_with_norms(&target_vec, &vec, target_norm, norm(&vec))
+                        }
+                    };
+                    if score >= threshold {
+                        passes[r] = true;
+                    }
+                }
+                let mask = Bitmap::from_bools(values.iter().enumerate().map(|(i, v)| {
+                    col.is_valid(i) && passes[value_id[v.as_str()]]
+                }));
+                return chunk.filter(&mask);
+            }
+            let arena = VectorArena::from_texts(&cache, &distinct);
             match quant {
                 QuantTier::F32 => {
                     let view = arena.as_block();
@@ -274,6 +339,62 @@ mod tests {
         let filter = SemanticFilterExec::new(scan, "name", "clothes", 0.5, model_cache()).unwrap();
         let out = collect_table(&filter).unwrap();
         assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn scan_signature_requires_fingerprint() {
+        let plain =
+            SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, model_cache()).unwrap();
+        assert!(plain.scan_signature().is_none());
+        let tagged = SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, model_cache())
+            .unwrap()
+            .with_scan_fingerprint(0xabc);
+        let sig = tagged.scan_signature().unwrap();
+        assert_eq!(sig.kind, cx_exec::ScanKind::CosineFilter);
+        assert_eq!(sig.candidate_fingerprint, 0xabc);
+        assert_eq!(sig.candidate_column, 1);
+        assert_eq!(sig.model, "m");
+        assert_eq!(sig.quant, 0);
+        assert_eq!(sig.threshold, 0.85);
+        assert_eq!(sig.probe, cx_exec::ProbeSource::Literal("clothes".into()));
+    }
+
+    #[test]
+    fn injected_scores_match_solo_scan_and_are_one_shot() {
+        let cache = model_cache();
+        let solo = {
+            let f = SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, cache.clone())
+                .unwrap();
+            collect_table(&f).unwrap()
+        };
+        // Scores computed with the solo arithmetic, keyed by value.
+        let target = cache.get("clothes");
+        let tn = norm(&target);
+        let map: HashMap<String, f32> = ["boots", "dog", "parka", "cat", "coat"]
+            .iter()
+            .map(|v| {
+                let e = cache.get(v);
+                (v.to_string(), cx_vector::kernels::cosine_with_norms(&target, &e, tn, norm(&e)))
+            })
+            .collect();
+        let filter = SemanticFilterExec::new(items_scan(), "name", "clothes", 0.85, cache.clone())
+            .unwrap()
+            .with_scan_fingerprint(1);
+        assert!(filter.inject_shared_scan(SharedScanState::FilterScores(map)));
+        assert!(!filter.inject_shared_scan(SharedScanState::JoinMatches(vec![])));
+        let injected = collect_table(&filter).unwrap();
+        assert_eq!(injected.num_rows(), solo.num_rows());
+        for r in 0..solo.num_rows() {
+            assert_eq!(injected.row(r).unwrap(), solo.row(r).unwrap());
+        }
+        // The state was consumed: the next execution scans solo again.
+        let again = collect_table(&filter).unwrap();
+        assert_eq!(again.num_rows(), solo.num_rows());
+        // A partial (mis-grouped) injection falls back per value and still
+        // matches the solo scan.
+        assert!(filter.inject_shared_scan(SharedScanState::FilterScores(HashMap::new())));
+        let fallback = collect_table(&filter).unwrap();
+        assert_eq!(fallback.num_rows(), solo.num_rows());
     }
 
     #[test]

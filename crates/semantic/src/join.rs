@@ -29,6 +29,7 @@
 //! f16/int8 panels, trading a bounded score error for bytes-per-row.
 
 use cx_embed::EmbeddingCache;
+use cx_exec::shared::{ProbeSource, ScanKind, ScanSignature, SharedScanState};
 use cx_exec::{parallel::parallel_map_ranges, ChunkStream, PhysicalOperator};
 use cx_storage::{Chunk, Column, DataType, Error, Field, Result, Schema};
 use cx_vector::block::{dot_block_threshold, TILE};
@@ -92,6 +93,17 @@ pub struct SemanticJoinExec {
     /// Worker threads for the probe phase (1 = serial).
     parallelism: usize,
     schema: Arc<Schema>,
+    /// Logical fingerprint of the right (build-side) subtree, when the
+    /// planner knows it — the operator's ticket into multi-query scan
+    /// sharing.
+    scan_fingerprint: Option<u64>,
+    /// Logical fingerprint of the left (probe-side) subtree, letting a
+    /// shared-scan group materialize identical probe sides once.
+    probe_fingerprint: Option<u64>,
+    /// One-shot injected slice of a shared sweep: the complete
+    /// value-level match list at this join's threshold; consumed by the
+    /// next `execute()`.
+    shared: std::sync::Mutex<Option<Vec<(String, String, f32)>>>,
     pairs_evaluated: AtomicU64,
     matches_found: AtomicU64,
 }
@@ -145,9 +157,29 @@ impl SemanticJoinExec {
             cache,
             parallelism: parallelism.max(1),
             schema,
+            scan_fingerprint: None,
+            probe_fingerprint: None,
+            shared: std::sync::Mutex::new(None),
             pairs_evaluated: AtomicU64::new(0),
             matches_found: AtomicU64::new(0),
         })
+    }
+
+    /// Tags this join with the logical fingerprint of its right (build
+    /// side) subtree, making its sweep shareable (see
+    /// [`cx_exec::shared`]). The planner calls this; hand-built
+    /// operators may skip it and stay solo.
+    pub fn with_scan_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.scan_fingerprint = Some(fingerprint);
+        self
+    }
+
+    /// Tags this join with the logical fingerprint of its left (probe
+    /// side) subtree, so a shared-scan group can materialize identical
+    /// probe sides once instead of once per member.
+    pub fn with_probe_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.probe_fingerprint = Some(fingerprint);
+        self
     }
 
     /// Sets the build-side storage tier for the blocked scan. `F16`/`Int8`
@@ -229,6 +261,41 @@ impl PhysicalOperator for SemanticJoinExec {
         vec![self.left.clone(), self.right.clone()]
     }
 
+    fn scan_signature(&self) -> Option<ScanSignature> {
+        // Only the blocked exact scan sweeps the build panel directly;
+        // index strategies probe candidate lists and cannot share a
+        // sweep. (Pre-normalized and nested-loop could in principle, but
+        // they exist as baselines — sharing the default path is the one
+        // that matters.)
+        if self.strategy != SemanticJoinStrategy::Blocked {
+            return None;
+        }
+        Some(ScanSignature {
+            kind: ScanKind::DotJoin,
+            candidate_fingerprint: self.scan_fingerprint?,
+            candidate_child: 1,
+            candidate_column: self.right_key,
+            model: self.cache.model().name().to_string(),
+            quant: self.quant.discriminant(),
+            probe: ProbeSource::Child {
+                child: 0,
+                column: self.left_key,
+                fingerprint: self.probe_fingerprint,
+            },
+            threshold: self.threshold,
+        })
+    }
+
+    fn inject_shared_scan(&self, state: SharedScanState) -> bool {
+        match state {
+            SharedScanState::JoinMatches(matches) => {
+                *self.shared.lock().unwrap_or_else(|e| e.into_inner()) = Some(matches);
+                true
+            }
+            SharedScanState::FilterScores(_) => false,
+        }
+    }
+
     fn execute(&self) -> Result<ChunkStream> {
         // Materialize both sides.
         let left_chunks = self.left.execute()?.collect::<Result<Vec<_>>>()?;
@@ -247,15 +314,40 @@ impl PhysicalOperator for SemanticJoinExec {
         let (left_vals, left_rows) = distinct_values(&left, self.left_key)?;
         let (right_vals, right_rows) = distinct_values(&right, self.right_key)?;
 
-        // Embed distinct values through the cache straight into contiguous
-        // arena storage (no per-string Arc materialization on the batch
-        // path). The arena is the one vector currency: scan strategies
-        // tile it and the index builders consume it directly.
-        let right_arena = VectorArena::from_texts(&self.cache, &right_vals);
-        let left_arena = VectorArena::from_texts(&self.cache, &left_vals);
-
-        // Value-level matching under the chosen strategy.
-        let matches = self.match_values(&left_arena, &right_arena)?;
+        let injected = self.shared.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let matches = match injected {
+            // Shared-sweep slice: the complete value-level match list at
+            // this join's threshold, scored with exactly the solo blocked
+            // arithmetic. Map value strings onto this execution's own
+            // distinct numbering and restore the deterministic order; no
+            // embedding, no panel sweep. Pairs naming values outside this
+            // execution's distinct sets (only possible under a
+            // mis-grouped injection) are dropped.
+            Some(inj) => {
+                let lid: HashMap<&str, usize> =
+                    left_vals.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+                let rid: HashMap<&str, usize> =
+                    right_vals.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+                let mut m: Vec<(usize, usize, f32)> = inj
+                    .into_iter()
+                    .filter_map(|(l, r, s)| {
+                        Some((*lid.get(l.as_str())?, *rid.get(r.as_str())?, s))
+                    })
+                    .collect();
+                m.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                m
+            }
+            None => {
+                // Embed distinct values through the cache straight into
+                // contiguous arena storage (no per-string Arc
+                // materialization on the batch path). The arena is the one
+                // vector currency: scan strategies tile it and the index
+                // builders consume it directly.
+                let right_arena = VectorArena::from_texts(&self.cache, &right_vals);
+                let left_arena = VectorArena::from_texts(&self.cache, &left_vals);
+                self.match_values(&left_arena, &right_arena)?
+            }
+        };
         self.matches_found
             .fetch_add(matches.len() as u64, Ordering::Relaxed);
 
@@ -655,6 +747,118 @@ mod tests {
         .unwrap();
         assert_eq!(join.quant_tier(), QuantTier::F32);
         assert!(!join.name().contains("quant="), "{}", join.name());
+    }
+
+    #[test]
+    fn scan_signature_blocked_only_and_requires_fingerprint() {
+        let make = |strategy| {
+            SemanticJoinExec::new(
+                products(),
+                catalog(),
+                "name",
+                "label",
+                0.85,
+                "sim",
+                strategy,
+                cache(),
+                1,
+            )
+            .unwrap()
+        };
+        assert!(make(SemanticJoinStrategy::Blocked).scan_signature().is_none());
+        let tagged = make(SemanticJoinStrategy::Blocked).with_scan_fingerprint(7);
+        let sig = tagged.scan_signature().unwrap();
+        assert_eq!(sig.kind, cx_exec::ScanKind::DotJoin);
+        assert_eq!(sig.candidate_child, 1);
+        assert_eq!(sig.candidate_column, 0);
+        assert_eq!(
+            sig.probe,
+            cx_exec::ProbeSource::Child { child: 0, column: 1, fingerprint: None }
+        );
+        let sig = make(SemanticJoinStrategy::Blocked)
+            .with_scan_fingerprint(7)
+            .with_probe_fingerprint(11)
+            .scan_signature()
+            .unwrap();
+        assert_eq!(
+            sig.probe,
+            cx_exec::ProbeSource::Child { child: 0, column: 1, fingerprint: Some(11) }
+        );
+        // Index and baseline strategies never share.
+        for s in [
+            SemanticJoinStrategy::NestedLoop,
+            SemanticJoinStrategy::PreNormalized,
+            SemanticJoinStrategy::Lsh(LshParams::default()),
+        ] {
+            assert!(make(s).with_scan_fingerprint(7).scan_signature().is_none());
+        }
+    }
+
+    #[test]
+    fn injected_matches_reproduce_solo_join_bit_for_bit() {
+        let solo = join_with(SemanticJoinStrategy::Blocked, 1);
+        // Compute the value-level matches once with a solo run, then feed
+        // them back as an injected shared slice.
+        let c = cache();
+        let probe = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "name",
+            "label",
+            0.85,
+            "sim",
+            SemanticJoinStrategy::Blocked,
+            c.clone(),
+            1,
+        )
+        .unwrap();
+        let solo_table = collect_table(&probe).unwrap();
+        let mut matches: Vec<(String, String, f32)> = (0..solo_table.num_rows())
+            .map(|i| {
+                let row = solo_table.row(i).unwrap();
+                let (l, r, s) = (&row[1], &row[2], &row[4]);
+                match (l, r, s) {
+                    (Scalar::Utf8(l), Scalar::Utf8(r), Scalar::Float64(s)) => {
+                        (l.clone(), r.clone(), *s as f32)
+                    }
+                    other => panic!("unexpected row: {other:?}"),
+                }
+            })
+            .collect();
+        matches.dedup();
+        let join = SemanticJoinExec::new(
+            products(),
+            catalog(),
+            "name",
+            "label",
+            0.85,
+            "sim",
+            SemanticJoinStrategy::Blocked,
+            c.clone(),
+            1,
+        )
+        .unwrap()
+        .with_scan_fingerprint(9);
+        let before = c.model().stats().invocations();
+        assert!(join.inject_shared_scan(SharedScanState::JoinMatches(matches)));
+        assert!(!join.inject_shared_scan(SharedScanState::FilterScores(HashMap::new())));
+        let injected = collect_table(&join).unwrap();
+        // The injected run embedded nothing new.
+        assert_eq!(c.model().stats().invocations(), before);
+        assert_eq!(injected.num_rows(), solo.num_rows());
+        for i in 0..solo.num_rows() {
+            let (a, b) = (solo.row(i).unwrap(), injected.row(i).unwrap());
+            assert_eq!(a[..4], b[..4], "row {i} keys");
+            match (&a[4], &b[4]) {
+                (Scalar::Float64(x), Scalar::Float64(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "row {i} score")
+                }
+                other => panic!("unexpected score scalars: {other:?}"),
+            }
+        }
+        // One-shot: the next execution scans solo again.
+        let again = collect_table(&join).unwrap();
+        assert_eq!(again.num_rows(), solo.num_rows());
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! * **[`CostGate`]** — admission control: a cost-weighted semaphore on
 //!   `cx_optimizer::estimate_cost`, bounding the total estimated work
 //!   executing at once.
+//! * **[`ScanQueue`]** — multi-query scan sharing: queries whose plans
+//!   sweep the same candidate panel (equal `cx_exec::shared` group keys)
+//!   linger briefly, merge into one `cx_mqo::SharedScanExec`, and are
+//!   answered by a single stacked-probe panel sweep plus per-query
+//!   epilogues — bit-identical to solo execution, admission-weighted at
+//!   `cx_optimizer::shared_scan_cost`.
 //!
 //! ```
 //! use context_engine::{Engine, EngineConfig};
@@ -53,11 +59,13 @@
 pub mod admission;
 pub mod batcher;
 pub mod plan_cache;
+pub mod scan_queue;
 pub mod server;
 
 pub use admission::{AdmissionStats, CostGate, Permit};
 pub use batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
 pub use plan_cache::{config_fingerprint, CachedPlan, PlanCache, PlanCacheStats};
+pub use scan_queue::{ScanQueue, ScanQueueConfig, ScanQueueStats};
 pub use server::{ServeConfig, ServeResult, Server, ServerStats, Session};
 
 #[cfg(test)]

@@ -40,6 +40,11 @@ pub struct CachedPlan {
     pub estimated_cost: f64,
     /// Catalog version this plan was built against.
     pub catalog_version: u64,
+    /// The plan's shareable scan, discovered at build time
+    /// (`cx_exec::find_shared_scan`): the operator node inside
+    /// `physical` plus its signature. `None` for plans with no mergeable
+    /// sweep; such plans always execute solo.
+    pub shared_scan: Option<(Arc<dyn PhysicalOperator>, cx_exec::ScanSignature)>,
     /// Memoized result of executing this plan. Sound because the engine is
     /// deterministic and the plan is pinned to one catalog version: the
     /// same fingerprint over the same catalog produces the same table, so
@@ -220,6 +225,7 @@ mod tests {
             estimated_rows: 1.0,
             estimated_cost: 2.0,
             catalog_version: version,
+            shared_scan: None,
             result: Mutex::new(None),
         })
     }

@@ -1,0 +1,288 @@
+//! The scan queue: groups concurrently queued queries for shared sweeps.
+//!
+//! Queries whose cached plans expose equal shared-scan group keys (see
+//! `cx_exec::shared`) are held here for a short window so they can be
+//! answered by one `cx_mqo::SharedScanExec` sweep instead of one sweep
+//! each. The discipline mirrors [`crate::batcher::EmbedBatcher`] —
+//! `std::sync::{Mutex, Condvar}`, size/linger flush — but with a
+//! **leader/follower** twist instead of a dedicated flusher thread: the
+//! first query to arrive for a key becomes the group's leader, lingers
+//! for co-runners (up to `group_max` of them, at most `linger` long),
+//! then drains the whole group on its own thread while followers block
+//! for their results. No background thread, nothing to shut down; an
+//! idle server pays nothing — and an *uncontended* query pays nothing
+//! either: the caller passes a contention signal, and a leader that is
+//! provably alone seals and sweeps immediately instead of lingering.
+//!
+//! The queue owns grouping and hand-off only; what a "drain" does is the
+//! caller's closure (the server sweeps shared panels there). A drain
+//! panic is contained: every member of the group gets an error instead
+//! of a wedged condvar.
+
+use crate::plan_cache::CachedPlan;
+use crate::server::ServeResult;
+use cx_exec::{PhysicalOperator, ScanSignature};
+use cx_storage::{Error, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Grouping policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanQueueConfig {
+    /// Most queries merged into one shared sweep.
+    pub group_max: usize,
+    /// Longest the group's first query waits for co-runners.
+    pub linger: Duration,
+}
+
+/// One query waiting for (or leading) a shared sweep.
+pub struct GroupEntry {
+    /// The query's resolved plan.
+    pub cached: Arc<CachedPlan>,
+    /// The shareable scan node inside `cached.physical`.
+    pub node: Arc<dyn PhysicalOperator>,
+    /// Its scan signature (per-query probe/threshold included).
+    pub signature: ScanSignature,
+    /// Whether plan resolution was a cache hit.
+    pub plan_cache_hit: bool,
+    /// When the server started serving this query.
+    pub started: Instant,
+}
+
+/// Counter snapshot of a [`ScanQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanQueueStats {
+    /// Queries that entered the queue.
+    pub submitted: u64,
+    /// Groups drained (singletons included).
+    pub groups: u64,
+    /// Queries drained through groups.
+    pub grouped_queries: u64,
+    /// Groups that actually coalesced (≥ 2 members).
+    pub shared_groups: u64,
+    /// Queries answered by a genuinely shared sweep.
+    pub shared_queries: u64,
+    /// Largest group drained.
+    pub max_group: u64,
+    /// Candidate-panel row materializations avoided versus solo runs.
+    pub panel_rows_saved: u64,
+    /// Similarity pairs avoided by cross-query probe deduplication.
+    pub pairs_saved: u64,
+    /// Groups whose shared sweep failed and fell back to solo execution.
+    pub sweep_fallbacks: u64,
+}
+
+struct GroupState {
+    /// Entries in arrival order; taken (`None`) by the leader at drain.
+    entries: Vec<Option<GroupEntry>>,
+    /// Per-entry result slots, filled by the leader.
+    results: Vec<Option<Result<ServeResult>>>,
+    /// Set when the size trigger fires (wakes the lingering leader).
+    full: bool,
+    /// Set once the leader seals the group; late arrivals start fresh.
+    closed: bool,
+}
+
+struct GroupCell {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+/// Leader/follower group former (see module docs).
+pub struct ScanQueue {
+    config: ScanQueueConfig,
+    groups: Mutex<HashMap<u64, Arc<GroupCell>>>,
+    submitted: AtomicU64,
+    drained_groups: AtomicU64,
+    grouped_queries: AtomicU64,
+    shared_groups: AtomicU64,
+    shared_queries: AtomicU64,
+    max_group: AtomicU64,
+    panel_rows_saved: AtomicU64,
+    pairs_saved: AtomicU64,
+    sweep_fallbacks: AtomicU64,
+}
+
+impl ScanQueue {
+    /// A queue under `config` (group size clamped to at least 1).
+    pub fn new(config: ScanQueueConfig) -> Self {
+        ScanQueue {
+            config: ScanQueueConfig { group_max: config.group_max.max(1), ..config },
+            groups: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            drained_groups: AtomicU64::new(0),
+            grouped_queries: AtomicU64::new(0),
+            shared_groups: AtomicU64::new(0),
+            shared_queries: AtomicU64::new(0),
+            max_group: AtomicU64::new(0),
+            panel_rows_saved: AtomicU64::new(0),
+            pairs_saved: AtomicU64::new(0),
+            sweep_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Joins (or starts) the group under `key` and blocks until this
+    /// query's result is ready. The first arrival leads: it lingers for
+    /// co-runners, then runs `drain` over the whole group (entries in
+    /// arrival order; the leader's own entry first) and distributes the
+    /// returned results, which must be index-aligned with the entries.
+    /// Followers never invoke `drain`.
+    ///
+    /// `contended` is the caller's signal that other queries are in
+    /// flight and might join: when `false`, a leader seals and drains
+    /// immediately instead of lingering — an uncontended query pays no
+    /// grouping latency at all.
+    pub fn submit(
+        &self,
+        key: u64,
+        entry: GroupEntry,
+        contended: bool,
+        drain: impl FnOnce(Vec<GroupEntry>) -> Vec<Result<ServeResult>>,
+    ) -> Result<ServeResult> {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let cell = {
+                let mut map = self.groups.lock().unwrap_or_else(|e| e.into_inner());
+                map.entry(key)
+                    .or_insert_with(|| {
+                        Arc::new(GroupCell {
+                            state: Mutex::new(GroupState {
+                                entries: Vec::new(),
+                                results: Vec::new(),
+                                full: false,
+                                closed: false,
+                            }),
+                            cv: Condvar::new(),
+                        })
+                    })
+                    .clone()
+            };
+            let mut state = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.closed || state.entries.len() >= self.config.group_max {
+                // The leader sealed this group between our map lookup and
+                // now — or the size trigger fired but the leader has not
+                // reacquired the lock yet (`group_max` binds at join time,
+                // not just at seal time). Either way: detach the stale
+                // slot and start a fresh group.
+                drop(state);
+                self.detach(key, &cell);
+                continue;
+            }
+            let index = state.entries.len();
+            state.entries.push(Some(entry));
+            state.results.push(None);
+            if index + 1 >= self.config.group_max {
+                state.full = true;
+                cell.cv.notify_all();
+            }
+            if index == 0 {
+                return self.lead(key, &cell, state, contended, drain);
+            }
+            // Follower: the leader will post our result.
+            loop {
+                if let Some(result) = state.results[index].take() {
+                    return result;
+                }
+                state = cell.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Leader path: linger, seal, drain, distribute.
+    fn lead(
+        &self,
+        key: u64,
+        cell: &Arc<GroupCell>,
+        mut state: MutexGuard<'_, GroupState>,
+        contended: bool,
+        drain: impl FnOnce(Vec<GroupEntry>) -> Vec<Result<ServeResult>>,
+    ) -> Result<ServeResult> {
+        let deadline = Instant::now() + self.config.linger;
+        while contended && !state.full {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = cell
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+        state.closed = true;
+        let entries: Vec<GroupEntry> =
+            state.entries.iter_mut().map(|e| e.take().expect("entry taken once")).collect();
+        drop(state);
+        self.detach(key, cell);
+
+        let k = entries.len();
+        self.drained_groups.fetch_add(1, Ordering::Relaxed);
+        self.grouped_queries.fetch_add(k as u64, Ordering::Relaxed);
+        self.max_group.fetch_max(k as u64, Ordering::Relaxed);
+        if k >= 2 {
+            self.shared_groups.fetch_add(1, Ordering::Relaxed);
+            self.shared_queries.fetch_add(k as u64, Ordering::Relaxed);
+        }
+
+        // A panicking drain must cost this group, not the server: turn it
+        // into per-member errors so no follower wedges on the condvar.
+        let mut results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drain(entries)))
+            .unwrap_or_default();
+        while results.len() < k {
+            results.push(Err(Error::InvalidArgument(
+                "shared-scan drain failed to produce a result".into(),
+            )));
+        }
+        results.truncate(k);
+
+        let mut state = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut mine = None;
+        for (i, r) in results.into_iter().enumerate() {
+            if i == 0 {
+                mine = Some(r);
+            } else {
+                state.results[i] = Some(r);
+            }
+        }
+        drop(state);
+        cell.cv.notify_all();
+        mine.expect("leader result present")
+    }
+
+    /// Removes `cell` from the map if it is still the group under `key`.
+    fn detach(&self, key: u64, cell: &Arc<GroupCell>) {
+        let mut map = self.groups.lock().unwrap_or_else(|e| e.into_inner());
+        if map.get(&key).is_some_and(|current| Arc::ptr_eq(current, cell)) {
+            map.remove(&key);
+        }
+    }
+
+    /// Folds one shared sweep's savings into the counters (called by the
+    /// drain).
+    pub fn record_sweep(&self, panel_rows_saved: u64, pairs_saved: u64) {
+        self.panel_rows_saved.fetch_add(panel_rows_saved, Ordering::Relaxed);
+        self.pairs_saved.fetch_add(pairs_saved, Ordering::Relaxed);
+    }
+
+    /// Counts a group whose sweep failed and fell back to solo runs.
+    pub fn record_fallback(&self) {
+        self.sweep_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ScanQueueStats {
+        ScanQueueStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            groups: self.drained_groups.load(Ordering::Relaxed),
+            grouped_queries: self.grouped_queries.load(Ordering::Relaxed),
+            shared_groups: self.shared_groups.load(Ordering::Relaxed),
+            shared_queries: self.shared_queries.load(Ordering::Relaxed),
+            max_group: self.max_group.load(Ordering::Relaxed),
+            panel_rows_saved: self.panel_rows_saved.load(Ordering::Relaxed),
+            pairs_saved: self.pairs_saved.load(Ordering::Relaxed),
+            sweep_fallbacks: self.sweep_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -22,12 +22,15 @@
 use crate::admission::{AdmissionStats, CostGate};
 use crate::batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
 use crate::plan_cache::{config_fingerprint, CachedPlan, PlanCache, PlanCacheStats};
+use crate::scan_queue::{GroupEntry, ScanQueue, ScanQueueConfig, ScanQueueStats};
 use context_engine::{Engine, Query};
 use cx_exec::logical::LogicalPlan;
 use cx_exec::metrics::InstrumentedExec;
-use cx_exec::{collect_table, ExecMetrics};
+use cx_exec::{collect_table, find_shared_scan, ExecMetrics, PhysicalOperator, ScanSignature};
+use cx_mqo::SharedScanExec;
+use cx_optimizer::{shared_scan_cost, OptimizerConfig};
 use cx_storage::{Result, Table};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +61,22 @@ pub struct ServeConfig {
     /// tables are too large to keep `plan_cache_capacity` of them
     /// resident.
     pub cache_results: bool,
+    /// Multi-query scan sharing (`cx_mqo`): queue queries whose plans
+    /// sweep the same candidate panel and answer each group with one
+    /// shared sweep. Results are bit-identical to solo execution; only
+    /// the schedule changes.
+    pub mqo: bool,
+    /// Most queries merged into one shared sweep.
+    pub scan_group_max: usize,
+    /// How long a group's first query lingers for co-runners before
+    /// sweeping alone. Bounds the latency cost of sharing: a query with
+    /// no co-runners is delayed at most this long — and not at all when
+    /// no other query is in flight server-wide. On a busy server the
+    /// signal is deliberately coarse (another in-flight query *might*
+    /// merge; its group key is unknowable before it finishes planning),
+    /// so shareable first-sight queries pay up to one linger; size this
+    /// accordingly (adaptive linger is a roadmap rung).
+    pub scan_linger: Duration,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +88,9 @@ impl Default for ServeConfig {
             batch_linger: Duration::from_micros(500),
             warm_limit: 65_536,
             cache_results: true,
+            mqo: true,
+            scan_group_max: 16,
+            scan_linger: Duration::from_millis(2),
         }
     }
 }
@@ -92,6 +114,9 @@ pub struct ServeResult {
     /// Whether the result came from the plan's result memo (execution and
     /// admission were skipped entirely).
     pub result_cache_hit: bool,
+    /// Whether this query's panel sweep was answered by a shared
+    /// multi-query scan (`cx_mqo`) rather than a solo sweep.
+    pub shared_scan: bool,
 }
 
 /// Aggregate server counters.
@@ -107,6 +132,8 @@ pub struct ServerStats {
     pub plan_cache: PlanCacheStats,
     /// Admission counters.
     pub admission: AdmissionStats,
+    /// Multi-query scan-sharing counters.
+    pub scan_sharing: ScanQueueStats,
     /// Per-model embed-batcher counters, sorted by model name.
     pub batchers: Vec<(String, BatcherStats)>,
 }
@@ -117,11 +144,25 @@ pub struct Server {
     config: ServeConfig,
     plan_cache: PlanCache,
     gate: CostGate,
+    scan_queue: ScanQueue,
     batchers: RwLock<HashMap<String, Arc<EmbedBatcher>>>,
     metrics: ExecMetrics,
     queries: AtomicU64,
     sessions: AtomicU64,
     result_hits: AtomicU64,
+    /// Queries currently inside `execute_with_config` — the scan queue's
+    /// contention signal: a query that is provably alone skips the
+    /// group-forming linger (nobody exists who could join it).
+    in_flight: AtomicU64,
+}
+
+/// RAII decrement for [`Server::in_flight`].
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl Server {
@@ -130,6 +171,10 @@ impl Server {
         Arc::new(Server {
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             gate: CostGate::new(config.admission_capacity),
+            scan_queue: ScanQueue::new(ScanQueueConfig {
+                group_max: config.scan_group_max,
+                linger: config.scan_linger,
+            }),
             engine,
             config,
             batchers: RwLock::new(HashMap::new()),
@@ -137,6 +182,7 @@ impl Server {
             queries: AtomicU64::new(0),
             sessions: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
         })
     }
 
@@ -155,7 +201,12 @@ impl Server {
     /// shared server; one per client connection.
     pub fn session(self: &Arc<Self>) -> Session {
         let id = self.sessions.fetch_add(1, Ordering::Relaxed);
-        Session { server: self.clone(), id, queries: AtomicU64::new(0) }
+        Session {
+            server: self.clone(),
+            id,
+            queries: AtomicU64::new(0),
+            config: Mutex::new(None),
+        }
     }
 
     /// Starts a query over table `name` (same surface as
@@ -166,9 +217,24 @@ impl Server {
 
     /// Serves one query; safe to call from any number of threads.
     pub fn execute(&self, query: &Query) -> Result<ServeResult> {
+        self.execute_with_config(query, self.engine.config().optimizer)
+    }
+
+    /// Serves one query under an explicit optimizer configuration (the
+    /// per-session override path — see [`Session::set_recall_tolerance`]).
+    /// The config fingerprint partitions the plan cache *and* the scan
+    /// queue, so sessions with different configurations never share plans
+    /// or sweeps.
+    pub fn execute_with_config(
+        &self,
+        query: &Query,
+        opt_config: OptimizerConfig,
+    ) -> Result<ServeResult> {
         let start = Instant::now();
-        let key = query.plan().fingerprint()
-            ^ config_fingerprint(&self.engine.config().optimizer);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = InFlightGuard(&self.in_flight);
+        let cfg_fp = config_fingerprint(&opt_config);
+        let key = query.plan().fingerprint() ^ cfg_fp;
         let version = self.engine.catalog_version();
         let (cached, hit) = match self.plan_cache.get(key, version) {
             Some(cached) => (cached, true),
@@ -181,9 +247,10 @@ impl Server {
                 // working set was warmed when the plan was first built,
                 // and execution re-embeds strays through the cache anyway.
                 self.warm_embeddings(query.plan());
-                let planned = self.engine.optimize_query(query);
-                let physical = self.engine.lower_plan(&planned.plan)?;
+                let planned = self.engine.optimize_query_with(query, opt_config);
+                let physical = self.engine.lower_plan_with(&planned.plan, opt_config)?;
                 let cached = Arc::new(CachedPlan {
+                    shared_scan: find_shared_scan(&physical),
                     physical,
                     optimized: planned.plan,
                     rules_fired: planned.rules_fired,
@@ -198,25 +265,87 @@ impl Server {
         };
 
         // Result memo: a replayed fingerprint over an unchanged catalog is
-        // the same table — skip admission and execution outright.
-        if self.config.cache_results {
-            let memo = cached.result.lock().clone();
-            if let Some(table) = memo {
-                self.queries.fetch_add(1, Ordering::Relaxed);
-                self.result_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(ServeResult {
-                    table,
-                    elapsed: start.elapsed(),
-                    rules_fired: cached.rules_fired.clone(),
-                    estimated_rows: cached.estimated_rows,
-                    estimated_cost: cached.estimated_cost,
+        // the same table — skip grouping, admission and execution outright
+        // (memoized replays must never re-enter the cost gate).
+        if let Some(result) = self.try_result_memo(start, &cached, hit) {
+            return Ok(result);
+        }
+
+        // Multi-query scan sharing: plans with a shareable sweep queue up
+        // by group key — the scan signature's key ⊕ the config fingerprint
+        // (configs change how subtrees lower) ⊕ the catalog version (never
+        // group across registrations).
+        if self.config.mqo {
+            if let Some((node, sig)) = cached.shared_scan.clone() {
+                let group_key = sig.group_key()
+                    ^ cfg_fp
+                    ^ cached.catalog_version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let entry = GroupEntry {
+                    cached: cached.clone(),
+                    node,
+                    signature: sig,
                     plan_cache_hit: hit,
-                    result_cache_hit: true,
-                });
+                    started: start,
+                };
+                // A query with no other query in flight cannot be joined
+                // by anyone: skip the linger and sweep immediately.
+                let contended = self.in_flight.load(Ordering::Relaxed) > 1;
+                return self
+                    .scan_queue
+                    .submit(group_key, entry, contended, |entries| self.drain_group(entries));
             }
         }
 
+        self.execute_solo(start, &cached, hit)
+    }
+
+    /// Serves `cached` from its result memo if enabled and populated.
+    fn try_result_memo(
+        &self,
+        start: Instant,
+        cached: &Arc<CachedPlan>,
+        plan_cache_hit: bool,
+    ) -> Option<ServeResult> {
+        if !self.config.cache_results {
+            return None;
+        }
+        let table = cached.result.lock().clone()?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.result_hits.fetch_add(1, Ordering::Relaxed);
+        Some(ServeResult {
+            table,
+            elapsed: start.elapsed(),
+            rules_fired: cached.rules_fired.clone(),
+            estimated_rows: cached.estimated_rows,
+            estimated_cost: cached.estimated_cost,
+            plan_cache_hit,
+            result_cache_hit: true,
+            shared_scan: false,
+        })
+    }
+
+    /// Solo path: full-cost admission, then execution.
+    fn execute_solo(
+        &self,
+        start: Instant,
+        cached: &Arc<CachedPlan>,
+        hit: bool,
+    ) -> Result<ServeResult> {
         let _permit = self.gate.acquire(cached.estimated_cost);
+        self.run_cached(start, cached, hit, false)
+    }
+
+    /// Executes `cached`'s physical tree (instrumented), memoizes, and
+    /// assembles the result. Admission is the caller's business: solo
+    /// queries acquire their own permit, shared groups hold one group
+    /// permit across all members.
+    fn run_cached(
+        &self,
+        start: Instant,
+        cached: &Arc<CachedPlan>,
+        hit: bool,
+        shared_scan: bool,
+    ) -> Result<ServeResult> {
         let root = InstrumentedExec::new(cached.physical.clone(), &self.metrics);
         let table = Arc::new(collect_table(&root)?);
         if self.config.cache_results {
@@ -231,7 +360,100 @@ impl Server {
             estimated_cost: cached.estimated_cost,
             plan_cache_hit: hit,
             result_cache_hit: false,
+            shared_scan,
         })
+    }
+
+    /// Drains one scan-queue group: one shared sweep, then every member's
+    /// own epilogue. Runs on the group leader's thread.
+    fn drain_group(&self, entries: Vec<GroupEntry>) -> Vec<Result<ServeResult>> {
+        let k = entries.len();
+        if k == 1 {
+            // Nobody joined inside the linger window: plain solo
+            // execution, no sweep overhead beyond the wait itself.
+            let e = &entries[0];
+            return vec![self.execute_solo(e.started, &e.cached, e.plan_cache_hit)];
+        }
+
+        // Build the shared plan. Any failure here (unknown model, a
+        // malformed group) falls back to solo execution per member —
+        // sharing is an optimization, never a correctness dependency.
+        let shared = self
+            .engine
+            .embedding_cache(&entries[0].signature.model)
+            .ok_or_else(|| {
+                cx_storage::Error::InvalidArgument(format!(
+                    "unknown model: {}",
+                    entries[0].signature.model
+                ))
+            })
+            .and_then(|cache| {
+                let members: Vec<(Arc<dyn PhysicalOperator>, ScanSignature)> = entries
+                    .iter()
+                    .map(|e| (e.node.clone(), e.signature.clone()))
+                    .collect();
+                SharedScanExec::from_group(&members, cache)
+            });
+
+        // One admission permit covers the whole group; each member is
+        // charged its shared weight (sweep split k ways, epilogue whole),
+        // so coalesced queries admit cheaper than k solo queries would.
+        let weight: f64 = entries
+            .iter()
+            .map(|e| shared_scan_cost(e.cached.estimated_cost, k))
+            .sum();
+        let permit = self.gate.acquire(weight);
+
+        let states = shared.and_then(|shared| {
+            // The sweep is consumed through its outcome, not its chunk
+            // stream (materializing the pair table just to discard it
+            // would cost O(hits) clones); record it into the operator
+            // metrics by hand so reports still show SharedScan rows/time.
+            let sweep_started = Instant::now();
+            let outcome = shared.sweep()?;
+            self.metrics.handle(&shared.name()).record(
+                outcome.emitted_pairs(shared.min_threshold()),
+                1,
+                sweep_started.elapsed(),
+            );
+            self.scan_queue
+                .record_sweep(outcome.stats.panel_rows_saved, outcome.stats.pairs_saved);
+            shared.member_states()
+        });
+        let states = match states {
+            Ok(states) => states,
+            Err(_) => {
+                // Shared sweep failed: fall back to solo execution. The
+                // group permit was sized for a *shared* sweep; solo runs
+                // do full work, so hand it back and let every member
+                // re-admit at its full cost.
+                self.scan_queue.record_fallback();
+                drop(permit);
+                return entries
+                    .iter()
+                    .map(|e| self.execute_solo(e.started, &e.cached, e.plan_cache_hit))
+                    .collect();
+            }
+        };
+
+        entries
+            .iter()
+            .zip(states)
+            .map(|(e, state)| {
+                // A member whose result got memoized since it queued (an
+                // identical query in this very group, say) skips
+                // execution — memo hits never re-execute.
+                if let Some(result) = self.try_result_memo(e.started, &e.cached, e.plan_cache_hit)
+                {
+                    return Ok(result);
+                }
+                // Injection failing (operator refuses the state) is fine:
+                // the member simply runs its solo scan inside the same
+                // execution.
+                e.node.inject_shared_scan(state);
+                self.run_cached(e.started, &e.cached, e.plan_cache_hit, true)
+            })
+            .collect()
     }
 
     /// The batcher for `model` (created on first use), or `None` for
@@ -267,6 +489,11 @@ impl Server {
         self.gate.stats()
     }
 
+    /// Multi-query scan-sharing counters.
+    pub fn scan_sharing_stats(&self) -> ScanQueueStats {
+        self.scan_queue.stats()
+    }
+
     /// Full counter snapshot.
     pub fn stats(&self) -> ServerStats {
         let mut batchers: Vec<(String, BatcherStats)> = self
@@ -282,6 +509,7 @@ impl Server {
             result_cache_hits: self.result_hits.load(Ordering::Relaxed),
             plan_cache: self.plan_cache.stats(),
             admission: self.gate.stats(),
+            scan_sharing: self.scan_queue.stats(),
             batchers,
         }
     }
@@ -308,6 +536,16 @@ impl Server {
         out.push_str(&format!(
             "admission: {} admitted, {} waited (capacity {:.0}, in use {:.0})\n",
             s.admission.admitted, s.admission.waited, self.gate.capacity(), s.admission.in_use,
+        ));
+        out.push_str(&format!(
+            "scan sharing: {} queries coalesced into {} shared groups (max group {}), \
+             {} panel rows saved, {} pairs deduped, {} fallbacks\n",
+            s.scan_sharing.shared_queries,
+            s.scan_sharing.shared_groups,
+            s.scan_sharing.max_group,
+            s.scan_sharing.panel_rows_saved,
+            s.scan_sharing.pairs_saved,
+            s.scan_sharing.sweep_fallbacks,
         ));
         for (model, b) in &s.batchers {
             out.push_str(&format!(
@@ -342,19 +580,28 @@ impl Server {
     }
 
     /// Distinct string values of `column` across the base tables scanned
-    /// under `plan` — a (superset) estimate of what a semantic operator on
-    /// `column` will embed. `warm_limit` budgets each call separately
-    /// (`cap` is absolute: the `out` length this call may grow to), so one
-    /// huge column cannot consume a later column's budget.
-    fn column_values(&self, plan: &LogicalPlan, column: &str, out: &mut Vec<String>) {
+    /// under `plan` that the `model`'s cache does not already hold — a
+    /// (superset) estimate of what a semantic operator on `column` will
+    /// still need to embed. Filtering through
+    /// [`cx_embed::EmbeddingCache::contains`] at collection time keeps a
+    /// warm server from re-cloning a table's whole distinct set on every
+    /// plan-cache miss just to learn it was all cached. `warm_limit`
+    /// budgets each call separately (`cap` is absolute: the `out` length
+    /// this call may grow to), so one huge column cannot consume a later
+    /// column's budget.
+    fn column_values(&self, plan: &LogicalPlan, column: &str, model: &str, out: &mut Vec<String>) {
+        let Some(cache) = self.engine.embedding_cache(model) else {
+            return;
+        };
         let cap = out.len().saturating_add(self.config.warm_limit);
-        self.column_values_capped(plan, column, cap, out);
+        self.column_values_capped(plan, column, &cache, cap, out);
     }
 
     fn column_values_capped(
         &self,
         plan: &LogicalPlan,
         column: &str,
+        cache: &cx_embed::EmbeddingCache,
         cap: usize,
         out: &mut Vec<String>,
     ) {
@@ -372,7 +619,7 @@ impl Server {
                                 if out.len() >= cap {
                                     break;
                                 }
-                                if seen.insert(v.as_str()) {
+                                if seen.insert(v.as_str()) && !cache.contains(v) {
                                     out.push(v.clone());
                                 }
                             }
@@ -385,7 +632,7 @@ impl Server {
             if out.len() >= cap {
                 break;
             }
-            self.column_values_capped(child, column, cap, out);
+            self.column_values_capped(child, column, cache, cap, out);
         }
     }
 }
@@ -401,16 +648,16 @@ fn collect_warm_requests(
         LogicalPlan::SemanticFilter { input, column, target, model, .. } => {
             let dst = out.entry(model.clone()).or_default();
             dst.push(target.clone());
-            server.column_values(input, column, dst);
+            server.column_values(input, column, model, dst);
         }
         LogicalPlan::SemanticJoin { left, right, spec } => {
             let dst = out.entry(spec.model.clone()).or_default();
-            server.column_values(left, &spec.left_column, dst);
-            server.column_values(right, &spec.right_column, dst);
+            server.column_values(left, &spec.left_column, &spec.model, dst);
+            server.column_values(right, &spec.right_column, &spec.model, dst);
         }
         LogicalPlan::SemanticGroupBy { input, column, model, .. } => {
             let dst = out.entry(model.clone()).or_default();
-            server.column_values(input, column, dst);
+            server.column_values(input, column, model, dst);
         }
         _ => {}
     }
@@ -424,6 +671,8 @@ pub struct Session {
     server: Arc<Server>,
     id: u64,
     queries: AtomicU64,
+    /// Per-session optimizer override (`None` = the engine's config).
+    config: Mutex<Option<OptimizerConfig>>,
 }
 
 impl Session {
@@ -442,10 +691,41 @@ impl Session {
         self.server.table(name)
     }
 
-    /// Serves one query through the shared server.
+    /// The optimizer configuration this session's queries run under.
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        self.config
+            .lock()
+            .unwrap_or(self.server.engine().config().optimizer)
+    }
+
+    /// Lets this session trade recall for latency without touching other
+    /// sessions or the engine: raises (or clears, with `0.0`) the
+    /// session's quantization `recall_tolerance`. The override flows
+    /// into the plan-cache key through the config fingerprint, so
+    /// sessions at different tolerances partition the cache naturally —
+    /// no forking, no cross-talk — and likewise never share a scan
+    /// group with sessions at other configurations.
+    pub fn set_recall_tolerance(&self, tolerance: f64) {
+        let mut config = self.optimizer_config();
+        config.recall_tolerance = tolerance;
+        *self.config.lock() = Some(config);
+    }
+
+    /// Replaces this session's whole optimizer configuration.
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        *self.config.lock() = Some(config);
+    }
+
+    /// Drops any per-session override, returning to the engine's config.
+    pub fn reset_optimizer_config(&self) {
+        *self.config.lock() = None;
+    }
+
+    /// Serves one query through the shared server, under this session's
+    /// optimizer configuration.
     pub fn execute(&self, query: &Query) -> Result<ServeResult> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.server.execute(query)
+        self.server.execute_with_config(query, self.optimizer_config())
     }
 
     /// Queries served through this session.

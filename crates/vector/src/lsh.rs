@@ -150,14 +150,10 @@ impl LshIndex {
     /// scores them with one blocked call: `out[k] = dot(q, row(ids[k]))`,
     /// bit-identical to the pairwise prenormalized kernel.
     fn score_candidates(&self, q: &[f32], ids: &[u32]) -> Vec<f32> {
-        let stride = self.arena.stride();
-        let dim = self.arena.dim();
-        let mut panel = vec![0.0f32; ids.len() * stride];
-        for (k, &id) in ids.iter().enumerate() {
-            panel[k * stride..k * stride + dim].copy_from_slice(self.arena.row(id as usize));
-        }
+        let panel = self.arena.gather_rows(ids);
+        let view = panel.as_block();
         let mut scores = vec![0.0f32; ids.len()];
-        dot_block(q, &panel, stride, &mut scores);
+        dot_block(q, view.data, view.stride, &mut scores);
         scores
     }
 

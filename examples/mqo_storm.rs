@@ -1,0 +1,118 @@
+//! Multi-query scan sharing in action: a same-table query storm where
+//! every client asks a *different* question — distinct filter targets,
+//! distinct join thresholds — so the plan cache and result memo never
+//! fire, yet one shared panel sweep answers each round of queries.
+//!
+//! Run with: `cargo run --release --example mqo_storm`
+
+use context_analytics::expr::{col, lit};
+use context_analytics::{Engine, EngineConfig, ServeConfig, Server};
+use cx_embed::ClusteredTextModel;
+use cx_storage::{Column, DataType, Field, Schema, Table};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn main() {
+    // An engine with a product table and a label taxonomy.
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let specs = cx_datagen::table1_clusters();
+    let space = Arc::new(cx_datagen::build_space(&specs, 128, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("m", space, 7)));
+
+    let names = [
+        "boots", "parka", "kitten", "sneakers", "coat", "puppy", "oxfords", "windbreaker",
+        "blazer", "canine", "feline", "lace-ups",
+    ];
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..names.len() as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..names.len()).map(|i| 12.0 + 6.0 * i as f64).collect()),
+        ],
+    )
+    .unwrap();
+    engine.register_table("products", products).unwrap();
+
+    let mut kb = cx_kb::KnowledgeBase::new();
+    for item in ["boots", "sneakers", "oxfords", "lace-ups"] {
+        kb.assert_is_a(item, "shoes");
+    }
+    for item in ["parka", "coat", "windbreaker", "blazer"] {
+        kb.assert_is_a(item, "jacket");
+    }
+    kb.assert_is_a("shoes", "clothes");
+    kb.assert_is_a("jacket", "clothes");
+    engine.register_kb("kb", kb).unwrap();
+
+    // A sharing server: queries that sweep the same panel linger briefly
+    // and merge into one shared sweep.
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            scan_linger: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Four clients, each with its own question over the same table: the
+    // semantic filters probe different targets, the joins use different
+    // thresholds. No fingerprint repeats — only the panel is shared.
+    let clients = 4;
+    let targets = ["shoes", "jacket", "clothes", "cat"];
+    let barrier = Arc::new(Barrier::new(clients));
+    std::thread::scope(|s| {
+        for (i, target) in targets.iter().enumerate().take(clients) {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                let session = server.session();
+                let filter = session
+                    .table("products")
+                    .unwrap()
+                    .semantic_filter("name", target, "m", 0.8)
+                    .sort(&[("product_id", true)]);
+                let join = session
+                    .table("products")
+                    .unwrap()
+                    .semantic_join(
+                        session
+                            .table("kb")
+                            .unwrap()
+                            .filter(col("category").eq(lit("clothes"))),
+                        "name",
+                        "label",
+                        "m",
+                        0.88 + 0.01 * i as f32,
+                    )
+                    .sort(&[("product_id", true), ("label", true)]);
+                barrier.wait();
+                let f = session.execute(&filter).unwrap();
+                let j = session.execute(&join).unwrap();
+                println!(
+                    "client {i}: '{target}' filter → {} rows ({}), join@{:.2} → {} rows ({})",
+                    f.table.num_rows(),
+                    if f.shared_scan { "shared sweep" } else { "solo sweep" },
+                    0.88 + 0.01 * i as f32,
+                    j.table.num_rows(),
+                    if j.shared_scan { "shared sweep" } else { "solo sweep" },
+                );
+            });
+        }
+    });
+
+    let stats = server.scan_sharing_stats();
+    println!(
+        "\nscan sharing: {} of {} queries coalesced into {} shared groups (max group {})",
+        stats.shared_queries, stats.grouped_queries, stats.shared_groups, stats.max_group,
+    );
+    println!(
+        "saved {} candidate-panel row materializations and {} deduplicated pairs",
+        stats.panel_rows_saved, stats.pairs_saved,
+    );
+    println!("\n{}", server.report());
+}

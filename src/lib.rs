@@ -22,6 +22,7 @@
 //! | [`vision`] | `cx-vision` | image store + simulated detection |
 //! | [`datagen`] | `cx-datagen` | deterministic workload generators |
 //! | [`engine`] | `context-engine` | the end-to-end engine |
+//! | [`mqo`] | `cx-mqo` | multi-query scan sharing: one panel sweep, many queries |
 //! | [`serve`] | `cx-serve` | concurrent serving: plan cache, embed batching, admission |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
@@ -34,6 +35,7 @@ pub use cx_exec as exec;
 pub use cx_expr as expr;
 pub use cx_hardware as hardware;
 pub use cx_kb as kb;
+pub use cx_mqo as mqo;
 pub use cx_optimizer as optimizer;
 pub use cx_semantic as semantic;
 pub use cx_serve as serve;

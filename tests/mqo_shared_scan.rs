@@ -1,0 +1,333 @@
+//! Multi-query scan sharing (`cx_mqo` + `cx_serve`'s scan queue):
+//!
+//! * an 8-client same-table storm with **distinct literals per query**
+//!   (the plan cache cannot help) must be bit-identical to a serial
+//!   `Engine::execute` loop while genuinely coalescing sweeps,
+//! * memoized replays must never re-enter the admission gate,
+//! * catalog registrations racing plan-cache lookups must never serve a
+//!   stale plan,
+//! * per-session `recall_tolerance` overrides must partition the plan
+//!   cache without cross-talk.
+
+use context_analytics::expr::{col, lit};
+use context_analytics::{Engine, EngineConfig, Query, ServeConfig, Server};
+use cx_embed::ClusteredTextModel;
+use cx_storage::{Column, DataType, Field, Scalar, Schema, Table};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn fresh_engine() -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let specs = cx_datagen::table1_clusters();
+    let space = Arc::new(cx_datagen::build_space(&specs, 64, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("m", space, 7)));
+
+    let names = [
+        "boots", "parka", "kitten", "sneakers", "coat", "puppy", "oxfords", "windbreaker",
+        "blazer", "canine", "feline", "lace-ups",
+    ];
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..names.len() as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..names.len()).map(|i| 10.0 + 7.5 * i as f64).collect()),
+        ],
+    )
+    .unwrap();
+    engine.register_table("products", products).unwrap();
+
+    let mut kb = cx_kb::KnowledgeBase::new();
+    for item in ["boots", "sneakers", "oxfords", "lace-ups"] {
+        kb.assert_is_a(item, "shoes");
+    }
+    for item in ["parka", "coat", "windbreaker", "blazer"] {
+        kb.assert_is_a(item, "jacket");
+    }
+    kb.assert_is_a("shoes", "clothes");
+    kb.assert_is_a("jacket", "clothes");
+    engine.register_kb("kb", kb).unwrap();
+    engine
+}
+
+const TARGETS: [&str; 8] = [
+    "boots", "parka", "kitten", "sneakers", "coat", "puppy", "shoes", "jacket",
+];
+
+/// Client `i`'s storm: same shapes as every other client, literals all
+/// its own — so fingerprints (and the result memo) never collapse the
+/// work, and only scan sharing can.
+fn storm(engine: &Engine, i: usize) -> Vec<Query> {
+    let filter = |target: &str, threshold: f32| {
+        engine
+            .table("products")
+            .unwrap()
+            .semantic_filter("name", target, "m", threshold)
+            .sort(&[("product_id", true)])
+    };
+    let join = |threshold: f32| {
+        let kb = engine
+            .table("kb")
+            .unwrap()
+            .filter(col("category").eq(lit("clothes")));
+        engine
+            .table("products")
+            .unwrap()
+            .semantic_join(kb, "name", "label", "m", threshold)
+            .sort(&[("product_id", true), ("label", true)])
+    };
+    vec![
+        filter(TARGETS[i], 0.8),
+        join(0.85 + 0.01 * i as f32),
+        filter(TARGETS[i], 0.75),
+    ]
+}
+
+/// Bit-strict table comparison: scalar equality everywhere, f64 compared
+/// by bits (similarity scores must match to the bit, not just ≈).
+fn assert_tables_bit_identical(got: &Table, expected: &Table, context: &str) {
+    assert_eq!(got.num_rows(), expected.num_rows(), "{context}: row count");
+    assert_eq!(got.schema().names(), expected.schema().names(), "{context}: schema");
+    for r in 0..expected.num_rows() {
+        let (g, e) = (got.row(r).unwrap(), expected.row(r).unwrap());
+        for (c, (gs, es)) in g.iter().zip(&e).enumerate() {
+            match (gs, es) {
+                (Scalar::Float64(x), Scalar::Float64(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{context}: row {r} col {c}")
+                }
+                _ => assert_eq!(gs, es, "{context}: row {r} col {c}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_scan_storm_is_bit_identical_to_serial_execution() {
+    let threads = 8;
+
+    // Reference: every client's storm through a serial engine, cold.
+    let serial = fresh_engine();
+    let expected: Vec<Vec<Table>> = (0..threads)
+        .map(|i| {
+            storm(&serial, i)
+                .iter()
+                .map(|q| serial.execute(q).unwrap().table)
+                .collect()
+        })
+        .collect();
+
+    // Storm: a second cold engine behind a sharing server. The barrier
+    // plus a generous linger makes groups actually form; correctness must
+    // hold regardless of who grouped with whom.
+    let engine = fresh_engine();
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            scan_linger: Duration::from_millis(300),
+            scan_group_max: threads,
+            ..ServeConfig::default()
+        },
+    );
+    let barrier = Arc::new(Barrier::new(threads));
+    let shared_answers = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                let shared_answers = shared_answers.clone();
+                s.spawn(move || {
+                    let session = server.session();
+                    let mine = storm(server.engine(), i);
+                    barrier.wait();
+                    mine.iter()
+                        .map(|q| {
+                            let r = session.execute(q).unwrap();
+                            if r.shared_scan {
+                                shared_answers.fetch_add(1, Ordering::Relaxed);
+                            }
+                            r.table
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().unwrap();
+            for (round, (g, e)) in got.iter().zip(&expected[i]).enumerate() {
+                assert_tables_bit_identical(g, e, &format!("client {i} round {round}"));
+            }
+        }
+    });
+
+    let stats = server.stats();
+    // Every storm query went through the scan queue (they all carry a
+    // shareable semantic scan), and at least one group truly coalesced.
+    assert_eq!(stats.scan_sharing.grouped_queries, (threads * 3) as u64, "{:?}", stats.scan_sharing);
+    assert!(stats.scan_sharing.shared_groups >= 1, "{:?}", stats.scan_sharing);
+    assert!(stats.scan_sharing.shared_queries >= 2, "{:?}", stats.scan_sharing);
+    assert!(stats.scan_sharing.panel_rows_saved > 0, "{:?}", stats.scan_sharing);
+    assert!(shared_answers.load(Ordering::Relaxed) >= 2);
+    // The join rounds share identical probe sides, so probe dedup saved
+    // real pairs.
+    assert!(stats.scan_sharing.pairs_saved > 0, "{:?}", stats.scan_sharing);
+    // Shared groups admit on one group permit: strictly fewer gate
+    // admissions than queries executed.
+    assert!(
+        stats.admission.admitted < (threads * 3) as u64,
+        "no group admission happened: {:?} / {:?}",
+        stats.admission,
+        stats.scan_sharing,
+    );
+    assert_eq!(stats.admission.active, 0);
+    assert_eq!(stats.admission.in_use, 0.0);
+}
+
+#[test]
+fn memoized_replays_never_touch_the_admission_gate() {
+    let server = Server::new(fresh_engine(), ServeConfig::default());
+    let q = server
+        .table("products")
+        .unwrap()
+        .semantic_filter("name", "clothes", "m", 0.8)
+        .sort(&[("product_id", true)]);
+
+    let first = server.execute(&q).unwrap();
+    assert!(!first.result_cache_hit);
+    let admitted_after_first = server.admission_stats().admitted;
+    assert!(admitted_after_first >= 1);
+
+    // Replays — serial and concurrent — are served from the result memo
+    // without re-estimating, re-weighing, or re-entering the gate, and
+    // without queueing for a scan group.
+    for _ in 0..3 {
+        let replay = server.execute(&q).unwrap();
+        assert!(replay.result_cache_hit);
+        assert!(!replay.shared_scan);
+    }
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let server = server.clone();
+            let q = q.clone();
+            s.spawn(move || {
+                assert!(server.execute(&q).unwrap().result_cache_hit);
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.admission.admitted, admitted_after_first, "memo replay hit the gate");
+    assert_eq!(stats.result_cache_hits, 11);
+    // Replays also never queued for sharing.
+    assert_eq!(stats.scan_sharing.submitted, 1, "{:?}", stats.scan_sharing);
+}
+
+#[test]
+fn catalog_registration_racing_lookups_never_serves_stale_plans() {
+    let engine = fresh_engine();
+    let schema = || {
+        Schema::new(vec![Field::new("marker", DataType::Int64)])
+    };
+    let hot = |marker: i64| {
+        Table::from_columns(schema(), vec![Column::from_i64(vec![marker])]).unwrap()
+    };
+    engine.register_table("hot", hot(0)).unwrap();
+    let server = Server::new(engine, ServeConfig::default());
+    let q = server.table("hot").unwrap();
+
+    // A writer re-registers `hot` with a monotone marker; `published`
+    // trails completed registrations. Readers snapshot `published`
+    // *before* executing: serving any marker older than that snapshot
+    // would mean a version bump raced a fingerprint lookup into serving
+    // a stale plan (or stale memo).
+    let published = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let registrations = 300u64;
+    let readers = 4;
+    let start = Arc::new(Barrier::new(readers + 1));
+    std::thread::scope(|s| {
+        {
+            let server = server.clone();
+            let published = published.clone();
+            let done = done.clone();
+            let start = start.clone();
+            s.spawn(move || {
+                start.wait();
+                for i in 1..=registrations {
+                    server.engine().register_table("hot", hot(i as i64)).unwrap();
+                    published.store(i, Ordering::Release);
+                    // Pace the writer so lookups genuinely interleave with
+                    // version bumps (an unpaced writer finishes before the
+                    // first reader wakes).
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                done.store(true, Ordering::Release);
+            });
+        }
+        for _ in 0..readers {
+            let server = server.clone();
+            let published = published.clone();
+            let done = done.clone();
+            let start = start.clone();
+            let q = q.clone();
+            s.spawn(move || {
+                start.wait();
+                loop {
+                    let floor = published.load(Ordering::Acquire);
+                    let finished = done.load(Ordering::Acquire);
+                    let result = server.execute(&q).unwrap();
+                    let marker = match result.table.row(0).unwrap()[0] {
+                        Scalar::Int64(m) => m as u64,
+                        ref other => panic!("unexpected marker {other:?}"),
+                    };
+                    assert!(
+                        marker >= floor,
+                        "stale plan served: marker {marker} after registration {floor} completed"
+                    );
+                    if finished {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    assert!(server.plan_cache_stats().invalidations > 0);
+}
+
+#[test]
+fn per_session_recall_tolerance_partitions_the_plan_cache() {
+    let server = Server::new(fresh_engine(), ServeConfig::default());
+    let exact = server.session();
+    let tolerant = server.session();
+    tolerant.set_recall_tolerance(5e-2);
+    assert_eq!(tolerant.optimizer_config().recall_tolerance, 5e-2);
+    assert_eq!(exact.optimizer_config().recall_tolerance, 0.0);
+
+    let q = server
+        .table("products")
+        .unwrap()
+        .semantic_filter("name", "clothes", "m", 0.8)
+        .sort(&[("product_id", true)]);
+
+    // Same query text, different session configs: two distinct plan-cache
+    // entries (the config fingerprint partitions the cache), each with
+    // its own hit stream — and identical results here, since this scan is
+    // far below the quantization floor either way.
+    let a = exact.execute(&q).unwrap();
+    let b = tolerant.execute(&q).unwrap();
+    assert!(!a.plan_cache_hit && !b.plan_cache_hit);
+    assert_eq!(server.plan_cache_stats().len, 2);
+    assert_tables_bit_identical(&b.table, &a.table, "tolerant session");
+    assert!(exact.execute(&q).unwrap().plan_cache_hit || exact.execute(&q).unwrap().result_cache_hit);
+    assert!(tolerant.execute(&q).unwrap().plan_cache_hit || tolerant.execute(&q).unwrap().result_cache_hit);
+
+    // Clearing the override rejoins the default partition.
+    tolerant.reset_optimizer_config();
+    let back = tolerant.execute(&q).unwrap();
+    assert!(back.plan_cache_hit || back.result_cache_hit);
+    assert_eq!(server.plan_cache_stats().len, 2);
+}

@@ -189,6 +189,10 @@ fn admission_control_survives_a_thundering_herd() {
             // The result memo would skip the gate on replays; this test is
             // about the gate, so every query must execute.
             cache_results: false,
+            // Scan sharing admits whole groups on one shared-cost permit
+            // (covered by tests/mqo_shared_scan.rs); this test pins the
+            // one-permit-per-query discipline, so it runs unshared.
+            mqo: false,
             ..ServeConfig::default()
         },
     );
