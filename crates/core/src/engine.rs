@@ -83,7 +83,19 @@ pub struct Engine {
     /// Embedding caches shared across queries (model name → cache), so the
     /// "prefetch/warm" state persists like a buffer pool would.
     caches: RwLock<HashMap<String, Arc<EmbeddingCache>>>,
+    /// Memoized optimizer contexts for [`Self::estimate_plan_cost`],
+    /// keyed by (catalog version, config). Building a context clones the
+    /// stats and sample snapshots — fine once per optimization, wasteful
+    /// for the prepared-statement path that re-costs a bound plan on
+    /// every execute. A small set (not a single slot) so sessions running
+    /// different optimizer configs concurrently don't evict each other;
+    /// each context's interior selectivity memo is shared across calls,
+    /// so repeated probes (same target, same threshold) are free.
+    estimate_ctxs: RwLock<Vec<Arc<(u64, OptimizerConfig, OptimizerContext)>>>,
 }
+
+/// Most (catalog version, config) cost-estimation contexts kept resident.
+const ESTIMATE_CTX_CAPACITY: usize = 8;
 
 impl Engine {
     /// An engine with `config`.
@@ -92,6 +104,7 @@ impl Engine {
             catalog: Catalog::new(),
             config,
             caches: RwLock::new(HashMap::new()),
+            estimate_ctxs: RwLock::new(Vec::new()),
         }
     }
 
@@ -215,6 +228,38 @@ impl Engine {
     pub fn optimize_query_with(&self, query: &Query, config: OptimizerConfig) -> PlannedQuery {
         let ctx = self.optimizer_context_with(config);
         self.optimize_in(&ctx, query)
+    }
+
+    /// Estimates the execution cost (abstract ns) of an already-optimized
+    /// plan, without re-running the optimizer. The prepared-statement path
+    /// uses this at execute time: the template was optimized with
+    /// placeholder slots (default selectivities), but admission control
+    /// should weigh the plan with the *bound* literals, whose sampled
+    /// selectivities can differ by orders of magnitude.
+    pub fn estimate_plan_cost(
+        &self,
+        plan: &cx_exec::logical::LogicalPlan,
+        config: OptimizerConfig,
+    ) -> f64 {
+        let version = self.catalog_version();
+        if let Some(cached) = self
+            .estimate_ctxs
+            .read()
+            .iter()
+            .find(|c| c.0 == version && c.1 == config)
+            .cloned()
+        {
+            return estimate_cost(plan, &cached.2);
+        }
+        let snapshot = Arc::new((version, config, self.optimizer_context_with(config)));
+        {
+            let mut ctxs = self.estimate_ctxs.write();
+            // Stale-version entries can never hit again; newest first.
+            ctxs.retain(|c| c.0 == version);
+            ctxs.insert(0, snapshot.clone());
+            ctxs.truncate(ESTIMATE_CTX_CAPACITY);
+        }
+        estimate_cost(plan, &snapshot.2)
     }
 
     /// Lowers an (optimized) logical plan into an executable operator

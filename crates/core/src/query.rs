@@ -3,7 +3,9 @@
 //! Users say *what* (Section II's requirement), mixing relational and
 //! semantic verbs; the engine decides *how*.
 
-use cx_exec::logical::{AggSpec, JoinType, LogicalPlan, SemanticJoinSpec, SortKey};
+use cx_exec::logical::{
+    AggSpec, JoinType, LimitCount, LogicalPlan, SemanticJoinSpec, SemanticTarget, SortKey,
+};
 use cx_expr::Expr;
 use cx_storage::Schema;
 use std::sync::Arc;
@@ -100,7 +102,29 @@ impl Query {
             plan: LogicalPlan::SemanticFilter {
                 input: Box::new(self.plan),
                 column: column.to_string(),
-                target: target.to_string(),
+                target: SemanticTarget::Text(target.to_string()),
+                model: model.to_string(),
+                threshold,
+            },
+        }
+    }
+
+    /// Semantic select whose probe text is a prepared-statement parameter:
+    /// `slot` is bound to a UTF8 value at execute time. The query can only
+    /// run through a prepared handle (or after
+    /// [`LogicalPlan::bind_params`]).
+    pub fn semantic_filter_param(
+        self,
+        column: &str,
+        slot: usize,
+        model: &str,
+        threshold: f32,
+    ) -> Self {
+        Query {
+            plan: LogicalPlan::SemanticFilter {
+                input: Box::new(self.plan),
+                column: column.to_string(),
+                target: SemanticTarget::Param(slot),
                 model: model.to_string(),
                 threshold,
             },
@@ -199,7 +223,21 @@ impl Query {
     /// First `n` rows.
     pub fn limit(self, n: usize) -> Self {
         Query {
-            plan: LogicalPlan::Limit { input: Box::new(self.plan), n },
+            plan: LogicalPlan::Limit {
+                input: Box::new(self.plan),
+                n: LimitCount::Fixed(n),
+            },
+        }
+    }
+
+    /// First `$slot` rows: a limit whose count is a prepared-statement
+    /// parameter, bound to a non-negative Int64 at execute time.
+    pub fn limit_param(self, slot: usize) -> Self {
+        Query {
+            plan: LogicalPlan::Limit {
+                input: Box::new(self.plan),
+                n: LimitCount::Param(slot),
+            },
         }
     }
 

@@ -8,7 +8,7 @@
 //!
 //! Typo variants are *added to the cluster specs* the experiment builds
 //! its semantic space from: this models the misspelling-oblivious
-//! embeddings the paper cites ([17], Edizel et al.), where a trained model
+//! embeddings the paper cites (\[17\], Edizel et al.), where a trained model
 //! places misspellings near the original — a property our constructed
 //! space provides by construction instead of training.
 

@@ -27,7 +27,9 @@ pub mod parallel;
 pub mod physical;
 pub mod shared;
 
-pub use logical::{AggFunc, AggSpec, JoinType, LogicalPlan, SemanticJoinSpec};
+pub use logical::{
+    AggFunc, AggSpec, JoinType, LimitCount, LogicalPlan, SemanticJoinSpec, SemanticTarget,
+};
 pub use metrics::{ExecMetrics, OperatorMetrics};
 pub use operators::{
     scalar_cmp, Accumulator,
@@ -35,5 +37,5 @@ pub use operators::{
     ProjectExec, SortExec, TableScanExec, UnionExec,
 };
 pub use parallel::parallel_map_chunks;
-pub use physical::{collect, collect_table, ChunkStream, PhysicalOperator};
+pub use physical::{bind_physical, collect, collect_table, ChunkStream, PhysicalOperator};
 pub use shared::{find_shared_scan, ProbeSource, ScanKind, ScanSignature, SharedScanState};

@@ -6,10 +6,134 @@
 //! relational operator.
 
 use cx_expr::Expr;
-use cx_storage::{DataType, Error, Field, Result, Schema};
+use cx_storage::{DataType, Error, Field, Result, Scalar, Schema};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
+
+/// The probe of a semantic filter: a fixed text literal, or a
+/// prepared-statement parameter slot bound at execute time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SemanticTarget {
+    /// A concrete probe string.
+    Text(String),
+    /// A placeholder resolved from the binding vector (`params[slot]`
+    /// must be a UTF8 scalar).
+    Param(usize),
+}
+
+impl SemanticTarget {
+    /// The probe text, when fixed.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            SemanticTarget::Text(s) => Some(s),
+            SemanticTarget::Param(_) => None,
+        }
+    }
+
+    /// The parameter slot, when parameterized.
+    pub fn slot(&self) -> Option<usize> {
+        match self {
+            SemanticTarget::Text(_) => None,
+            SemanticTarget::Param(slot) => Some(*slot),
+        }
+    }
+
+    /// Resolves the probe text against a binding vector. A `Text` target
+    /// resolves to itself; a `Param` requires a UTF8 scalar at its slot.
+    pub fn resolve(&self, params: &[Scalar]) -> Result<String> {
+        match self {
+            SemanticTarget::Text(s) => Ok(s.clone()),
+            SemanticTarget::Param(slot) => match params.get(*slot) {
+                Some(Scalar::Utf8(s)) => Ok(s.clone()),
+                Some(other) => Err(Error::TypeMismatch {
+                    expected: format!("UTF8 value for semantic probe parameter ${slot}"),
+                    actual: format!("{other:?}"),
+                }),
+                None => Err(Error::InvalidArgument(format!(
+                    "parameter ${slot} has no bound value ({} provided)",
+                    params.len()
+                ))),
+            },
+        }
+    }
+}
+
+impl From<&str> for SemanticTarget {
+    fn from(s: &str) -> Self {
+        SemanticTarget::Text(s.to_string())
+    }
+}
+
+impl From<String> for SemanticTarget {
+    fn from(s: String) -> Self {
+        SemanticTarget::Text(s)
+    }
+}
+
+impl fmt::Display for SemanticTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticTarget::Text(s) => write!(f, "'{s}'"),
+            SemanticTarget::Param(slot) => write!(f, "${slot}"),
+        }
+    }
+}
+
+/// A LIMIT row count: fixed, or a prepared-statement parameter slot bound
+/// at execute time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LimitCount {
+    /// A concrete row count.
+    Fixed(usize),
+    /// A placeholder resolved from the binding vector (`params[slot]`
+    /// must be a non-negative Int64 scalar).
+    Param(usize),
+}
+
+impl LimitCount {
+    /// The row count, when fixed.
+    pub fn fixed(&self) -> Option<usize> {
+        match self {
+            LimitCount::Fixed(n) => Some(*n),
+            LimitCount::Param(_) => None,
+        }
+    }
+
+    /// Resolves the row count against a binding vector.
+    pub fn resolve(&self, params: &[Scalar]) -> Result<usize> {
+        match self {
+            LimitCount::Fixed(n) => Ok(*n),
+            LimitCount::Param(slot) => match params.get(*slot) {
+                Some(Scalar::Int64(n)) if *n >= 0 => Ok(*n as usize),
+                Some(other) => Err(Error::TypeMismatch {
+                    expected: format!("non-negative Int64 for limit parameter ${slot}"),
+                    actual: format!("{other:?}"),
+                }),
+                None => Err(Error::InvalidArgument(format!(
+                    "parameter ${slot} has no bound value ({} provided)",
+                    params.len()
+                ))),
+            },
+        }
+    }
+}
+
+impl From<usize> for LimitCount {
+    fn from(n: usize) -> Self {
+        LimitCount::Fixed(n)
+    }
+}
+
+impl fmt::Display for LimitCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitCount::Fixed(n) => write!(f, "{n}"),
+            LimitCount::Param(slot) => write!(f, "${slot}"),
+        }
+    }
+}
 
 /// Join variants supported by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,11 +286,13 @@ pub enum LogicalPlan {
         right: Box<LogicalPlan>,
     },
     /// Semantic select (Section IV): keep rows whose `column` embedding is
-    /// within `threshold` cosine of `target`'s embedding under `model`.
+    /// within `threshold` cosine of the target's embedding under `model`.
+    /// The target is a [`SemanticTarget`]: a fixed probe string, or a
+    /// prepared-statement parameter bound at execute time.
     SemanticFilter {
         input: Box<LogicalPlan>,
         column: String,
-        target: String,
+        target: SemanticTarget,
         model: String,
         threshold: f32,
     },
@@ -193,8 +319,8 @@ pub enum LogicalPlan {
     },
     /// Total sort.
     Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
-    /// First `n` rows.
-    Limit { input: Box<LogicalPlan>, n: usize },
+    /// First `n` rows ([`LimitCount`]: fixed or parameterized).
+    Limit { input: Box<LogicalPlan>, n: LimitCount },
     /// Duplicate elimination over all columns.
     Distinct { input: Box<LogicalPlan> },
     /// Concatenation of same-schema inputs.
@@ -385,7 +511,7 @@ impl LogicalPlan {
             }
             LogicalPlan::CrossJoin { .. } => "CrossJoin".to_string(),
             LogicalPlan::SemanticFilter { column, target, model, threshold, .. } => format!(
-                "SemanticFilter: {column} ~ '{target}' (model={model}, cos>={threshold})"
+                "SemanticFilter: {column} ~ {target} (model={model}, cos>={threshold})"
             ),
             LogicalPlan::SemanticJoin { spec, .. } => format!(
                 "SemanticJoin: {} ~ {} (model={}, cos>={})",
@@ -442,17 +568,38 @@ impl LogicalPlan {
     ///
     /// Two plans fingerprint equal iff they are structurally identical —
     /// same operators, in the same tree shape, with the same parameters
-    /// (sources, predicates, thresholds bit-for-bit, models, limits). The
-    /// hash is FNV-1a, not `DefaultHasher`, so the value is deterministic
-    /// across processes and platforms: it can key a serving layer's plan
-    /// cache and survive restarts.
+    /// (sources, predicates, thresholds bit-for-bit, models, limits;
+    /// prepared-statement placeholders by slot). The hash is FNV-1a, not
+    /// `DefaultHasher`, so the value is deterministic across processes and
+    /// platforms: it can key a serving layer's plan cache and survive
+    /// restarts.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
-        self.fingerprint_into(&mut h);
+        self.fingerprint_into(&mut h, false);
         h.finish()
     }
 
-    fn fingerprint_into(&self, h: &mut Fnv1a) {
+    /// The plan's *shape* fingerprint: like [`Self::fingerprint`], but
+    /// every bindable literal position — expression literals, semantic
+    /// probe texts, limit counts — is hashed as a placeholder slot
+    /// (expression literals keep their type tag, since `lit(2i64)` and
+    /// `lit(2.0)` produce different plans) instead of its value, while
+    /// explicit parameter placeholders hash by slot as usual.
+    ///
+    /// Two plans shape-fingerprint equal iff they are identical up to the
+    /// values a prepared statement could bind. A prepared-statement layer
+    /// keys its plan cache by this hash, so every binding of one template
+    /// — and every re-prepare of an equivalent template — lands on the
+    /// same entry. Because the values of *unparameterized* literals are
+    /// erased too, shape-keyed caches must validate candidate entries
+    /// against the exact [`Self::fingerprint`] before reuse.
+    pub fn shape_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.fingerprint_into(&mut h, true);
+        h.finish()
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv1a, shape: bool) {
         match self {
             LogicalPlan::Scan { source, schema } => {
                 h.tag(1);
@@ -465,13 +612,13 @@ impl LogicalPlan {
             }
             LogicalPlan::Filter { predicate, .. } => {
                 h.tag(2);
-                hash_expr(h, predicate);
+                hash_expr(h, predicate, shape);
             }
             LogicalPlan::Project { exprs, .. } => {
                 h.tag(3);
                 h.u64(exprs.len() as u64);
                 for (e, name) in exprs {
-                    hash_expr(h, e);
+                    hash_expr(h, e, shape);
                     h.str(name);
                 }
             }
@@ -488,7 +635,18 @@ impl LogicalPlan {
             LogicalPlan::SemanticFilter { column, target, model, threshold, .. } => {
                 h.tag(6);
                 h.str(column);
-                h.str(target);
+                match target {
+                    SemanticTarget::Text(s) => {
+                        h.tag(1);
+                        if !shape {
+                            h.str(s);
+                        }
+                    }
+                    SemanticTarget::Param(slot) => {
+                        h.tag(2);
+                        h.u64(*slot as u64);
+                    }
+                }
                 h.str(model);
                 h.u64(threshold.to_bits() as u64);
             }
@@ -525,7 +683,18 @@ impl LogicalPlan {
             }
             LogicalPlan::Limit { n, .. } => {
                 h.tag(11);
-                h.u64(*n as u64);
+                match n {
+                    LimitCount::Fixed(n) => {
+                        h.tag(1);
+                        if !shape {
+                            h.u64(*n as u64);
+                        }
+                    }
+                    LimitCount::Param(slot) => {
+                        h.tag(2);
+                        h.u64(*slot as u64);
+                    }
+                }
             }
             LogicalPlan::Distinct { .. } => h.tag(12),
             LogicalPlan::Union { inputs } => {
@@ -534,8 +703,94 @@ impl LogicalPlan {
             }
         }
         for child in self.children() {
-            child.fingerprint_into(h);
+            child.fingerprint_into(h, shape);
         }
+    }
+
+    /// Every parameter slot referenced anywhere in the plan — filter and
+    /// projection expressions, semantic probe targets, limit counts.
+    pub fn param_slots(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_param_slots(&mut out);
+        out
+    }
+
+    fn collect_param_slots(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            LogicalPlan::Filter { predicate, .. } => predicate.collect_params(out),
+            LogicalPlan::Project { exprs, .. } => {
+                for (e, _) in exprs {
+                    e.collect_params(out);
+                }
+            }
+            LogicalPlan::SemanticFilter { target: SemanticTarget::Param(slot), .. } => {
+                out.insert(*slot);
+            }
+            LogicalPlan::Limit { n: LimitCount::Param(slot), .. } => {
+                out.insert(*slot);
+            }
+            _ => {}
+        }
+        for child in self.children() {
+            child.collect_param_slots(out);
+        }
+    }
+
+    /// The number of binding values the plan requires: one per parameter
+    /// slot, which must be contiguous from `$0`. Errors when slots are
+    /// skipped (a prepared statement could never bind such a plan).
+    pub fn required_params(&self) -> Result<usize> {
+        let slots = self.param_slots();
+        let n = slots.len();
+        for (expect, got) in slots.into_iter().enumerate() {
+            if expect != got {
+                return Err(Error::InvalidArgument(format!(
+                    "parameter slots must be contiguous from $0: ${expect} is unused but ${got} is referenced"
+                )));
+            }
+        }
+        Ok(n)
+    }
+
+    /// Substitutes every parameter placeholder with its value from
+    /// `params` (slot `i` takes `params[i]`): expression parameters become
+    /// literals, a parameterized semantic target becomes its probe text,
+    /// a parameterized limit becomes its row count. Errors on missing
+    /// slots or type-invalid bindings (non-UTF8 probe, negative limit).
+    pub fn bind_params(&self, params: &[Scalar]) -> Result<LogicalPlan> {
+        let bound = match self {
+            LogicalPlan::Filter { predicate, input } => LogicalPlan::Filter {
+                predicate: predicate.bind_params(params)?,
+                input: input.clone(),
+            },
+            LogicalPlan::Project { exprs, input } => LogicalPlan::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|(e, n)| Ok((e.bind_params(params)?, n.clone())))
+                    .collect::<Result<Vec<_>>>()?,
+                input: input.clone(),
+            },
+            LogicalPlan::SemanticFilter { input, column, target, model, threshold } => {
+                LogicalPlan::SemanticFilter {
+                    input: input.clone(),
+                    column: column.clone(),
+                    target: SemanticTarget::Text(target.resolve(params)?),
+                    model: model.clone(),
+                    threshold: *threshold,
+                }
+            }
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: input.clone(),
+                n: LimitCount::Fixed(n.resolve(params)?),
+            },
+            other => other.clone(),
+        };
+        let children = bound
+            .children()
+            .into_iter()
+            .map(|c| c.bind_params(params))
+            .collect::<Result<Vec<_>>>()?;
+        bound.with_children(children)
     }
 }
 
@@ -544,7 +799,11 @@ impl LogicalPlan {
 /// differently) and leaves strings unescaped. Every variant and literal
 /// type gets its own tag, and strings are length-prefixed, so two
 /// expressions hash equal only if they are structurally identical.
-fn hash_expr(h: &mut Fnv1a, expr: &cx_expr::Expr) {
+///
+/// In `shape` mode, literal *values* are erased (their type tags remain,
+/// since literal types change plan semantics) — the placeholder-slot view
+/// backing [`LogicalPlan::shape_fingerprint`].
+fn hash_expr(h: &mut Fnv1a, expr: &cx_expr::Expr, shape: bool) {
     use cx_expr::{BinOp, Expr};
     match expr {
         Expr::Column(name) => {
@@ -557,25 +816,39 @@ fn hash_expr(h: &mut Fnv1a, expr: &cx_expr::Expr) {
                 cx_storage::Scalar::Null => h.tag(1),
                 cx_storage::Scalar::Bool(b) => {
                     h.tag(2);
-                    h.u64(*b as u64);
+                    if !shape {
+                        h.u64(*b as u64);
+                    }
                 }
                 cx_storage::Scalar::Int64(v) => {
                     h.tag(3);
-                    h.u64(*v as u64);
+                    if !shape {
+                        h.u64(*v as u64);
+                    }
                 }
                 cx_storage::Scalar::Float64(v) => {
                     h.tag(4);
-                    h.u64(v.to_bits());
+                    if !shape {
+                        h.u64(v.to_bits());
+                    }
                 }
                 cx_storage::Scalar::Utf8(s) => {
                     h.tag(5);
-                    h.str(s);
+                    if !shape {
+                        h.str(s);
+                    }
                 }
                 cx_storage::Scalar::Timestamp(v) => {
                     h.tag(6);
-                    h.u64(*v as u64);
+                    if !shape {
+                        h.u64(*v as u64);
+                    }
                 }
             }
+        }
+        Expr::Parameter(slot) => {
+            h.tag(6);
+            h.u64(*slot as u64);
         }
         Expr::Binary { op, left, right } => {
             h.tag(3);
@@ -593,16 +866,16 @@ fn hash_expr(h: &mut Fnv1a, expr: &cx_expr::Expr) {
                 BinOp::Mul => 11,
                 BinOp::Div => 12,
             });
-            hash_expr(h, left);
-            hash_expr(h, right);
+            hash_expr(h, left, shape);
+            hash_expr(h, right, shape);
         }
         Expr::Not(inner) => {
             h.tag(4);
-            hash_expr(h, inner);
+            hash_expr(h, inner, shape);
         }
         Expr::IsNull(inner) => {
             h.tag(5);
-            hash_expr(h, inner);
+            hash_expr(h, inner, shape);
         }
     }
 }
@@ -795,7 +1068,7 @@ mod tests {
     #[test]
     fn display_tree() {
         let plan = LogicalPlan::Limit {
-            n: 10,
+            n: LimitCount::Fixed(10),
             input: Box::new(LogicalPlan::Filter {
                 predicate: col("price").gt(lit(20.0)),
                 input: Box::new(products()),
@@ -819,7 +1092,7 @@ mod tests {
     #[test]
     fn fingerprint_stable_and_structural() {
         let build = |threshold: f32, limit: usize| LogicalPlan::Limit {
-            n: limit,
+            n: LimitCount::Fixed(limit),
             input: Box::new(LogicalPlan::SemanticFilter {
                 input: Box::new(products()),
                 column: "name".into(),
@@ -863,7 +1136,7 @@ mod tests {
     fn fingerprint_sees_tree_shape() {
         let filter = col("price").gt(lit(20.0));
         let filter_then_limit = LogicalPlan::Limit {
-            n: 3,
+            n: LimitCount::Fixed(3),
             input: Box::new(LogicalPlan::Filter {
                 predicate: filter.clone(),
                 input: Box::new(products()),
@@ -871,7 +1144,7 @@ mod tests {
         };
         let limit_then_filter = LogicalPlan::Filter {
             predicate: filter,
-            input: Box::new(LogicalPlan::Limit { n: 3, input: Box::new(products()) }),
+            input: Box::new(LogicalPlan::Limit { n: LimitCount::Fixed(3), input: Box::new(products()) }),
         };
         assert_ne!(filter_then_limit.fingerprint(), limit_then_filter.fingerprint());
         // Join operand order matters.

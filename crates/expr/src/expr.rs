@@ -66,6 +66,11 @@ pub enum Expr {
     Column(String),
     /// A constant.
     Literal(Scalar),
+    /// A prepared-statement placeholder (`$slot`), bound to a concrete
+    /// [`Scalar`] at execute time via [`Expr::bind_params`] (or the
+    /// physical-plan rebinding path). An unbound parameter cannot be
+    /// evaluated.
+    Parameter(usize),
     /// Binary operation.
     Binary {
         op: BinOp,
@@ -86,6 +91,12 @@ pub fn col(name: impl Into<String>) -> Expr {
 /// A literal.
 pub fn lit(value: impl Into<Scalar>) -> Expr {
     Expr::Literal(value.into())
+}
+
+/// A prepared-statement parameter placeholder for `slot` (displayed as
+/// `$slot`).
+pub fn param(slot: usize) -> Expr {
+    Expr::Parameter(slot)
 }
 
 #[allow(clippy::should_implement_trait)]
@@ -168,13 +179,60 @@ impl Expr {
             Expr::Column(name) => {
                 out.insert(name.clone());
             }
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Parameter(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);
             }
             Expr::Not(inner) | Expr::IsNull(inner) => inner.collect_columns(out),
         }
+    }
+
+    /// Collects every parameter slot referenced by the expression into
+    /// `out`.
+    pub fn collect_params(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Expr::Parameter(slot) => {
+                out.insert(*slot);
+            }
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_params(out);
+                right.collect_params(out);
+            }
+            Expr::Not(inner) | Expr::IsNull(inner) => inner.collect_params(out),
+        }
+    }
+
+    /// Whether the expression contains any [`Expr::Parameter`].
+    pub fn has_params(&self) -> bool {
+        match self {
+            Expr::Parameter(_) => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => left.has_params() || right.has_params(),
+            Expr::Not(inner) | Expr::IsNull(inner) => inner.has_params(),
+        }
+    }
+
+    /// Substitutes every [`Expr::Parameter`] with the matching value from
+    /// `params` (slot `i` takes `params[i]`). Errors on out-of-range slots.
+    pub fn bind_params(&self, params: &[Scalar]) -> cx_storage::Result<Expr> {
+        Ok(match self {
+            Expr::Parameter(slot) => Expr::Literal(
+                params
+                    .get(*slot)
+                    .cloned()
+                    .ok_or_else(|| missing_param(*slot, params.len()))?,
+            ),
+            Expr::Column(_) | Expr::Literal(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind_params(params)?),
+                right: Box::new(right.bind_params(params)?),
+            },
+            Expr::Not(inner) => Expr::Not(Box::new(inner.bind_params(params)?)),
+            Expr::IsNull(inner) => Expr::IsNull(Box::new(inner.bind_params(params)?)),
+        })
     }
 
     /// Rewrites column references through `map` (names absent from the map
@@ -186,7 +244,7 @@ impl Expr {
                 Some(new) => Expr::Column(new.clone()),
                 None => self.clone(),
             },
-            Expr::Literal(_) => self.clone(),
+            Expr::Literal(_) | Expr::Parameter(_) => self.clone(),
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
                 left: Box::new(left.rename_columns(map)),
@@ -221,12 +279,20 @@ impl Expr {
     }
 }
 
+/// The error for a parameter slot with no bound value.
+pub(crate) fn missing_param(slot: usize, provided: usize) -> cx_storage::Error {
+    cx_storage::Error::InvalidArgument(format!(
+        "parameter ${slot} has no bound value ({provided} provided)"
+    ))
+}
+
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Column(name) => f.write_str(name),
             Expr::Literal(Scalar::Utf8(s)) => write!(f, "'{s}'"),
             Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Parameter(slot) => write!(f, "${slot}"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Not(inner) => write!(f, "NOT ({inner})"),
             Expr::IsNull(inner) => write!(f, "({inner}) IS NULL"),
@@ -259,6 +325,24 @@ mod tests {
         let rebuilt = Expr::conjunction(parts).unwrap();
         assert_eq!(rebuilt, e);
         assert_eq!(Expr::conjunction(vec![]), None);
+    }
+
+    #[test]
+    fn parameters_display_collect_and_bind() {
+        let e = col("price").gt(param(1)).and(col("name").eq(param(0)));
+        assert_eq!(e.to_string(), "((price > $1) AND (name = $0))");
+        assert!(e.has_params());
+        let mut slots = BTreeSet::new();
+        e.collect_params(&mut slots);
+        assert_eq!(slots.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        let bound = e.bind_params(&[Scalar::from("boots"), Scalar::Float64(9.5)]).unwrap();
+        assert_eq!(
+            bound,
+            col("price").gt(lit(9.5)).and(col("name").eq(lit("boots")))
+        );
+        assert!(!bound.has_params());
+        // Out-of-range slot errors instead of silently passing through.
+        assert!(e.bind_params(&[Scalar::from("boots")]).is_err());
     }
 
     #[test]

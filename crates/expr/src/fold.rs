@@ -11,7 +11,8 @@ use cx_storage::Scalar;
 /// `eval(fold(e)) == eval(e)` on every chunk.
 pub fn fold_constants(expr: &Expr) -> Expr {
     match expr {
-        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+        // Parameters are runtime-bound values: folding never sees them.
+        Expr::Column(_) | Expr::Literal(_) | Expr::Parameter(_) => expr.clone(),
         Expr::Binary { op, left, right } => {
             let left = fold_constants(left);
             let right = fold_constants(right);

@@ -26,6 +26,6 @@ pub mod selectivity;
 
 pub use bind::BoundExpr;
 pub use eval::{eval, eval_predicate};
-pub use expr::{col, lit, BinOp, Expr};
+pub use expr::{col, lit, param, BinOp, Expr};
 pub use fold::fold_constants;
 pub use selectivity::estimate_selectivity;

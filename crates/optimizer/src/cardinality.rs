@@ -116,8 +116,13 @@ pub fn estimate_rows(plan: &LogicalPlan, ctx: &OptimizerContext) -> f64 {
         }
         LogicalPlan::SemanticFilter { input, column, target, model, threshold } => {
             let rows = estimate_rows(input, ctx);
-            let sel = match (samples_for(input, column, ctx), ctx.caches.get(model)) {
-                (Some(sample), Some(cache)) => {
+            // A parameterized probe has no text to sample against at
+            // prepare time: fall back to the default selectivity. The
+            // prepared-statement layer re-estimates with the *bound*
+            // literal at execute time, so admission sees the real cost.
+            let sel = match (target.text(), samples_for(input, column, ctx), ctx.caches.get(model))
+            {
+                (Some(target), Some(sample), Some(cache)) => {
                     let key = probe_key(&["sf", model, column, target], *threshold);
                     ctx.memoized_selectivity(key, || {
                         semantic_filter_selectivity(cache, target, sample, *threshold, SAMPLE_CAP)
@@ -170,7 +175,12 @@ pub fn estimate_rows(plan: &LogicalPlan, ctx: &OptimizerContext) -> f64 {
             }
         }
         LogicalPlan::Sort { input, .. } => estimate_rows(input, ctx),
-        LogicalPlan::Limit { input, n } => estimate_rows(input, ctx).min(*n as f64),
+        // A parameterized limit count is unknown at prepare time: assume
+        // no reduction (the conservative bound for admission control).
+        LogicalPlan::Limit { input, n } => match n.fixed() {
+            Some(n) => estimate_rows(input, ctx).min(n as f64),
+            None => estimate_rows(input, ctx),
+        },
         LogicalPlan::Distinct { input } => (estimate_rows(input, ctx) * 0.5).max(1.0),
         LogicalPlan::Union { inputs } => inputs.iter().map(|i| estimate_rows(i, ctx)).sum(),
     }
@@ -179,6 +189,7 @@ pub fn estimate_rows(plan: &LogicalPlan, ctx: &OptimizerContext) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cx_exec::logical::LimitCount;
     use crate::context::OptimizerConfig;
     use cx_embed::ModelRegistry;
     use cx_expr::{col, lit};
@@ -250,7 +261,7 @@ mod tests {
     #[test]
     fn limit_caps() {
         let ctx = ctx_with_stats();
-        let plan = LogicalPlan::Limit { input: Box::new(scan("t")), n: 10 };
+        let plan = LogicalPlan::Limit { input: Box::new(scan("t")), n: LimitCount::Fixed(10) };
         assert_eq!(estimate_rows(&plan, &ctx), 10.0);
     }
 

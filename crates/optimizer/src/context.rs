@@ -84,6 +84,9 @@ impl Default for OptimizerConfig {
     }
 }
 
+/// Most sampling-probe results memoized per context (~16 bytes each).
+pub const SELECTIVITY_MEMO_CAP: usize = 65_536;
+
 /// Everything the optimizer may consult while rewriting and costing.
 pub struct OptimizerContext {
     /// Per-source table statistics.
@@ -120,12 +123,22 @@ impl OptimizerContext {
 
     /// Returns the memoized value for `key`, computing it once via
     /// `compute` on first use.
+    ///
+    /// The memo is bounded: past [`SELECTIVITY_MEMO_CAP`] entries new keys
+    /// are computed but not stored. One optimization pass never gets near
+    /// the cap; the bound exists for long-lived contexts (the engine's
+    /// per-catalog-version cost-estimation snapshot), where a prepared
+    /// storm of millions of distinct probe literals would otherwise grow
+    /// the map without limit.
     pub fn memoized_selectivity(&self, key: u64, compute: impl FnOnce() -> f64) -> f64 {
         if let Some(v) = self.selectivity_memo.lock().get(&key) {
             return *v;
         }
         let v = compute();
-        self.selectivity_memo.lock().insert(key, v);
+        let mut memo = self.selectivity_memo.lock();
+        if memo.len() < SELECTIVITY_MEMO_CAP {
+            memo.insert(key, v);
+        }
         v
     }
 
@@ -166,6 +179,19 @@ mod tests {
         let none = OptimizerConfig::none();
         assert!(!none.filter_pushdown && !none.constant_folding);
         assert_eq!(none.parallelism, 1);
+    }
+
+    #[test]
+    fn selectivity_memo_is_bounded() {
+        let ctx = OptimizerContext::new(Arc::new(ModelRegistry::new()), OptimizerConfig::all());
+        for key in 0..(SELECTIVITY_MEMO_CAP as u64 + 100) {
+            ctx.memoized_selectivity(key, || 0.5);
+        }
+        assert_eq!(ctx.selectivity_memo.lock().len(), SELECTIVITY_MEMO_CAP);
+        // Keys past the cap still compute correctly, just unmemoized.
+        assert_eq!(ctx.memoized_selectivity(u64::MAX, || 0.25), 0.25);
+        // Memoized keys still hit.
+        assert_eq!(ctx.memoized_selectivity(0, || panic!("memo miss")), 0.5);
     }
 
     #[test]

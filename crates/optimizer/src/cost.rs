@@ -49,7 +49,7 @@ const QUANT_VALUE: f64 = 6.0;
 /// `est_pairs` similarity pairs: the cheapest tier whose documented score
 /// error stays within the configured `recall_tolerance`. Small scans stay
 /// f32 — quantizing the panel costs more than it saves below
-/// [`QUANT_MIN_PAIRS`].
+/// `QUANT_MIN_PAIRS`.
 pub fn select_quant_tier(config: &OptimizerConfig, est_pairs: f64) -> QuantTier {
     if !config.quantization || est_pairs < QUANT_MIN_PAIRS {
         return QuantTier::F32;

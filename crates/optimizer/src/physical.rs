@@ -171,7 +171,7 @@ pub fn create_physical_plan(
         }
         LogicalPlan::Limit { input, n } => {
             let child = create_physical_plan(input, ctx, env)?;
-            Arc::new(LimitExec::new(child, *n))
+            Arc::new(LimitExec::with_count(child, *n))
         }
         LogicalPlan::Distinct { input } => {
             let child = create_physical_plan(input, ctx, env)?;
@@ -190,6 +190,7 @@ pub fn create_physical_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cx_exec::logical::LimitCount;
     use crate::context::OptimizerConfig;
     use cx_embed::{HashNGramModel, ModelRegistry};
     use cx_exec::collect_table;
@@ -233,7 +234,7 @@ mod tests {
     fn lowers_relational_pipeline() {
         let (env, mut ctx) = env_and_ctx();
         let plan = LogicalPlan::Limit {
-            n: 2,
+            n: LimitCount::Fixed(2),
             input: Box::new(LogicalPlan::Filter {
                 predicate: col("v").gt(lit(1i64)),
                 input: Box::new(scan()),

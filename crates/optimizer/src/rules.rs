@@ -508,7 +508,7 @@ fn side_has_factor(plan: &LogicalPlan, factor: &Expr) -> bool {
 }
 
 /// Transitive predicates across equi-joins (the classical data-induced
-/// predicate [23]): `σ(p(k_l))(L) ⋈_{k_l=k_r} R  ⟹  p(k_r)` holds on the
+/// predicate \[23\]): `σ(p(k_l))(L) ⋈_{k_l=k_r} R  ⟹  p(k_r)` holds on the
 /// matched R rows, so it can be pre-applied to R.
 pub struct TransitivePredicateRule;
 
@@ -960,7 +960,7 @@ mod tests {
         let LogicalPlan::SemanticFilter { threshold, target, .. } = right.as_ref() else {
             panic!("induced semantic filter expected");
         };
-        assert_eq!(target, "clothes");
+        assert_eq!(target.text(), Some("clothes"));
         let expected = induced_threshold(0.9, 0.9);
         assert!((threshold - expected).abs() < 1e-6);
         assert!(*threshold > 0.6 && *threshold < 0.9);

@@ -5,8 +5,8 @@
 
 use cx_embed::EmbeddingCache;
 use cx_exec::shared::{ProbeSource, ScanKind, ScanSignature, SharedScanState};
-use cx_exec::{ChunkStream, PhysicalOperator};
-use cx_storage::{Bitmap, DataType, Error, Result, Schema};
+use cx_exec::{ChunkStream, PhysicalOperator, SemanticTarget};
+use cx_storage::{Bitmap, DataType, Error, Result, Scalar, Schema};
 use cx_vector::block::cosine_block_threshold;
 use cx_vector::kernels::{cosine_with_norms, norm};
 use cx_vector::{QuantTier, QuantizedArena, VectorArena};
@@ -14,11 +14,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Filters rows whose `column` value embeds within `threshold` cosine
-/// similarity of the target string's embedding.
+/// similarity of the target string's embedding. The target may be a
+/// prepared-statement parameter ([`SemanticTarget::Param`]); the operator
+/// then executes only after `bind_params` resolves it.
 pub struct SemanticFilterExec {
     input: Arc<dyn PhysicalOperator>,
     column_index: usize,
-    target: String,
+    target: SemanticTarget,
     threshold: f32,
     /// Panel storage precision for the per-chunk distinct scan (F32 =
     /// exact).
@@ -34,10 +36,12 @@ pub struct SemanticFilterExec {
 
 impl SemanticFilterExec {
     /// Creates the filter. `column` must be a UTF8 column of the input.
+    /// The target accepts a plain string or a [`SemanticTarget`] (so
+    /// prepared statements can pass a parameter slot).
     pub fn new(
         input: Arc<dyn PhysicalOperator>,
         column: &str,
-        target: impl Into<String>,
+        target: impl Into<SemanticTarget>,
         threshold: f32,
         cache: Arc<EmbeddingCache>,
     ) -> Result<Self> {
@@ -102,7 +106,7 @@ impl PhysicalOperator for SemanticFilterExec {
             tier => format!(", quant={}", tier.label()),
         };
         format!(
-            "SemanticFilter [~ '{}', cos>={}{}, model={}]",
+            "SemanticFilter [~ {}, cos>={}{}, model={}]",
             self.target,
             self.threshold,
             quant,
@@ -119,6 +123,9 @@ impl PhysicalOperator for SemanticFilterExec {
     }
 
     fn scan_signature(&self) -> Option<ScanSignature> {
+        // An unbound parameterized probe has no vectors to stack into a
+        // shared sweep: only bound (or fixed-text) filters are shareable.
+        let target = self.target.text()?;
         Some(ScanSignature {
             kind: ScanKind::CosineFilter,
             candidate_fingerprint: self.scan_fingerprint?,
@@ -126,9 +133,35 @@ impl PhysicalOperator for SemanticFilterExec {
             candidate_column: self.column_index,
             model: self.cache.model().name().to_string(),
             quant: self.quant.discriminant(),
-            probe: ProbeSource::Literal(self.target.clone()),
+            probe: ProbeSource::Literal(target.to_string()),
             threshold: self.threshold,
         })
+    }
+
+    fn bind_params(&self, params: &[Scalar]) -> Result<Option<Arc<dyn PhysicalOperator>>> {
+        let input = self.input.bind_params(params)?;
+        if input.is_none() && self.target.text().is_some() {
+            return Ok(None);
+        }
+        // The scan fingerprint is kept even when the input subtree was
+        // rebound (two bindings of one template fingerprint alike, so
+        // their sweeps may merge over one binding's candidate panel).
+        // That is sound *for the filter*: injected scores are keyed by
+        // value string and computed with this member's own probe, so a
+        // value from the other binding's panel scores identically to the
+        // solo scan, and values missing from the shared panel re-score
+        // solo per value (see `execute`). The semantic join cannot make
+        // this argument and drops its tags instead.
+        Ok(Some(Arc::new(SemanticFilterExec {
+            input: input.unwrap_or_else(|| self.input.clone()),
+            column_index: self.column_index,
+            target: SemanticTarget::Text(self.target.resolve(params)?),
+            threshold: self.threshold,
+            quant: self.quant,
+            cache: self.cache.clone(),
+            scan_fingerprint: self.scan_fingerprint,
+            shared: Mutex::new(None),
+        })))
     }
 
     fn inject_shared_scan(&self, state: SharedScanState) -> bool {
@@ -142,8 +175,14 @@ impl PhysicalOperator for SemanticFilterExec {
     }
 
     fn execute(&self) -> Result<ChunkStream> {
+        let target = self.target.text().ok_or_else(|| {
+            Error::InvalidArgument(format!(
+                "cannot execute semantic filter with unbound probe parameter {}; bind it first",
+                self.target
+            ))
+        })?;
         let injected = self.shared.lock().unwrap_or_else(|e| e.into_inner()).take();
-        let target_vec = self.cache.get(&self.target);
+        let target_vec = self.cache.get(target);
         let target_norm = norm(&target_vec);
         // Quantized tiers score unit vectors, so normalize the target once.
         let target_unit: Vec<f32> = if target_norm > 0.0 {

@@ -11,7 +11,7 @@
 //! * **Semantic Group-By** ([`SemanticGroupByExec`]) — on-the-fly clustering
 //!   of values by model similarity with per-cluster aggregates.
 //!
-//! On top of the join/group-by machinery, [`consolidate`] implements
+//! On top of the join/group-by machinery, [`consolidate`](mod@consolidate) implements
 //! Figure 3's automated result consolidation (deduplication / entity
 //! resolution), with pairwise quality metrics against ground truth.
 //!

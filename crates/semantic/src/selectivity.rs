@@ -4,7 +4,7 @@
 //! predicates have no such structure, so the optimizer samples: embed a
 //! bounded sample of values and measure the match fraction directly. This
 //! follows the paper's own line of work on sampling-based AQP in analytical
-//! engines (Sanca & Ailamaki, DaMoN'22, cited as [28]).
+//! engines (Sanca & Ailamaki, DaMoN'22, cited as \[28\]).
 
 use cx_embed::EmbeddingCache;
 use cx_vector::kernels::{cosine_with_norms, norm};

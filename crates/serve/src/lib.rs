@@ -28,6 +28,15 @@
 //!   answered by a single stacked-probe panel sweep plus per-query
 //!   epilogues — bit-identical to solo execution, admission-weighted at
 //!   `cx_optimizer::shared_scan_cost`.
+//! * **[`Prepared`]** — prepared statements with parameter binding: a
+//!   template with placeholder slots ([`cx_expr::param`],
+//!   `Query::semantic_filter_param`, `Query::limit_param`) is optimized
+//!   and lowered once per plan *shape*
+//!   ([`LogicalPlan::shape_fingerprint`]) ⊕ config ⊕ catalog version;
+//!   [`Prepared::execute`] binds values into a copy of the cached
+//!   physical tree, re-costs admission with the bound literals, memoizes
+//!   results per binding vector, and still participates in multi-query
+//!   scan sharing.
 //!
 //! ```
 //! use context_engine::{Engine, EngineConfig};
@@ -55,18 +64,23 @@
 //! ```
 //!
 //! [`LogicalPlan::fingerprint`]: cx_exec::logical::LogicalPlan::fingerprint
+//! [`LogicalPlan::shape_fingerprint`]: cx_exec::logical::LogicalPlan::shape_fingerprint
+
+#![deny(missing_docs)]
 
 pub mod admission;
 pub mod batcher;
 pub mod plan_cache;
+pub mod prepared;
 pub mod scan_queue;
 pub mod server;
 
 pub use admission::{AdmissionStats, CostGate, Permit};
 pub use batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
-pub use plan_cache::{config_fingerprint, CachedPlan, PlanCache, PlanCacheStats};
+pub use plan_cache::{config_fingerprint, BindingKey, CachedPlan, PlanCache, PlanCacheStats};
+pub use prepared::Prepared;
 pub use scan_queue::{ScanQueue, ScanQueueConfig, ScanQueueStats};
-pub use server::{ServeConfig, ServeResult, Server, ServerStats, Session};
+pub use server::{ExecUnit, ServeConfig, ServeResult, Server, ServerStats, Session};
 
 #[cfg(test)]
 mod tests {
@@ -253,6 +267,176 @@ mod tests {
         let after = server.execute(&q).unwrap();
         assert!(!after.result_cache_hit);
         assert_eq!(after.table.num_rows(), 1);
+    }
+
+    #[test]
+    fn prepared_matches_adhoc_bit_for_bit() {
+        let engine = engine_with_data();
+        let server = Server::new(engine.clone(), ServeConfig::default());
+        let session = server.session();
+        let template = session
+            .table("products")
+            .unwrap()
+            .semantic_filter_param("name", 0, "m", 0.75)
+            .filter(col("price").gt(cx_expr::param(1)))
+            .sort(&[("product_id", true)]);
+        let prepared = session.prepare(&template).unwrap();
+        assert_eq!(prepared.param_count(), 2);
+        for (target, price) in [("clothes", 20.0), ("clothes", 50.0), ("cat", 5.0)] {
+            let got = prepared
+                .execute(&[cx_storage::Scalar::from(target), cx_storage::Scalar::Float64(price)])
+                .unwrap();
+            let adhoc = engine
+                .execute(
+                    &engine
+                        .table("products")
+                        .unwrap()
+                        .semantic_filter("name", target, "m", 0.75)
+                        .filter(col("price").gt(lit(price)))
+                        .sort(&[("product_id", true)]),
+                )
+                .unwrap();
+            assert_eq!(got.table.num_rows(), adhoc.table.num_rows(), "{target}/{price}");
+            for r in 0..adhoc.table.num_rows() {
+                assert_eq!(got.table.row(r).unwrap(), adhoc.table.row(r).unwrap());
+            }
+        }
+        // Every post-prepare execution resolved through the cached shape.
+        let stats = server.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert!(stats.hits >= 3, "{stats:?}");
+        assert_eq!(server.stats().prepared_queries, 3);
+    }
+
+    #[test]
+    fn prepared_memo_is_per_binding() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let session = server.session();
+        let template = session
+            .table("products")
+            .unwrap()
+            .semantic_filter_param("name", 0, "m", 0.75);
+        let prepared = session.prepare(&template).unwrap();
+        let bind = |t: &str| [cx_storage::Scalar::from(t)];
+        let first = prepared.execute(&bind("clothes")).unwrap();
+        assert!(!first.result_cache_hit);
+        // Same binding replays from the per-binding memo without
+        // re-admission; a different binding executes.
+        let admitted_before = server.admission_stats().admitted;
+        let replay = prepared.execute(&bind("clothes")).unwrap();
+        assert!(replay.result_cache_hit);
+        assert_eq!(server.admission_stats().admitted, admitted_before);
+        assert_eq!(replay.table.num_rows(), first.table.num_rows());
+        let other = prepared.execute(&bind("cat")).unwrap();
+        assert!(!other.result_cache_hit);
+        assert_ne!(other.table.num_rows(), first.table.num_rows());
+    }
+
+    #[test]
+    fn same_shape_different_literals_never_share_a_plan() {
+        // Two templates identical up to an *unparameterized* literal
+        // share a shape fingerprint; the exact-fingerprint validation
+        // must keep them from serving each other's plans.
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let session = server.session();
+        let template = |price: f64| {
+            session
+                .table("products")
+                .unwrap()
+                .semantic_filter_param("name", 0, "m", 0.75)
+                .filter(col("price").gt(lit(price)))
+        };
+        let a = session.prepare(&template(20.0)).unwrap();
+        let b = session.prepare(&template(50.0)).unwrap();
+        assert_eq!(a.shape_fingerprint(), b.shape_fingerprint());
+        let bind = [cx_storage::Scalar::from("clothes")];
+        let rows_a = a.execute(&bind).unwrap().table.num_rows();
+        let rows_b = b.execute(&bind).unwrap().table.num_rows();
+        assert_eq!(rows_a, 4); // boots 30, parka 80, sneakers 55, coat 25
+        assert_eq!(rows_b, 2); // parka, sneakers
+        // And they don't thrash each other's slots either: the exact
+        // fingerprint is part of the key, so interleaved executions with
+        // fresh bindings keep hitting their own cached plans.
+        let bind2 = [cx_storage::Scalar::from("cat")];
+        assert!(a.execute(&bind2).unwrap().plan_cache_hit);
+        assert!(b.execute(&bind2).unwrap().plan_cache_hit);
+        assert!(a.execute(&bind).unwrap().result_cache_hit);
+    }
+
+    #[test]
+    fn type_changing_bindings_match_adhoc_in_projections() {
+        // A parameter is untyped at prepare, so `price_id * $0`-style
+        // projections freeze a schema from the other operand alone;
+        // binding must re-derive both the expression types and the output
+        // schema, or a Float64 binding would fail (or truncate) where the
+        // literal query succeeds.
+        let engine = engine_with_data();
+        let server = Server::new(engine.clone(), ServeConfig::default());
+        let session = server.session();
+        let template = session
+            .table("products")
+            .unwrap()
+            .filter(col("product_id").mul(cx_expr::param(0)).gt(cx_expr::param(1)))
+            .select(vec![
+                (col("name"), "name"),
+                (col("product_id").mul(cx_expr::param(0)), "scaled"),
+            ]);
+        let prepared = session.prepare(&template).unwrap();
+        for scale in [cx_storage::Scalar::Float64(0.5), cx_storage::Scalar::Int64(2)] {
+            let bind = [scale.clone(), cx_storage::Scalar::Float64(1.2)];
+            let got = prepared.execute(&bind).unwrap();
+            let adhoc = engine
+                .execute(
+                    &engine
+                        .table("products")
+                        .unwrap()
+                        .filter(
+                            col("product_id")
+                                .mul(cx_expr::Expr::Literal(scale.clone()))
+                                .gt(lit(1.2)),
+                        )
+                        .select(vec![
+                            (col("name"), "name"),
+                            (
+                                col("product_id").mul(cx_expr::Expr::Literal(scale.clone())),
+                                "scaled",
+                            ),
+                        ]),
+                )
+                .unwrap();
+            assert_eq!(got.table.num_rows(), adhoc.table.num_rows(), "{scale:?}");
+            assert_eq!(
+                got.table.schema().fields(),
+                adhoc.table.schema().fields(),
+                "{scale:?}"
+            );
+            for r in 0..adhoc.table.num_rows() {
+                assert_eq!(got.table.row(r).unwrap(), adhoc.table.row(r).unwrap(), "{scale:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_contiguous_param_slots_rejected_at_prepare() {
+        let server = Server::new(engine_with_data(), ServeConfig::default());
+        let session = server.session();
+        let template = session
+            .table("products")
+            .unwrap()
+            .semantic_filter_param("name", 1, "m", 0.75);
+        assert!(session.prepare(&template).is_err());
+        // Wrong arity is rejected at execute.
+        let ok = session
+            .table("products")
+            .unwrap()
+            .semantic_filter_param("name", 0, "m", 0.75);
+        let prepared = session.prepare(&ok).unwrap();
+        assert!(prepared.execute(&[]).is_err());
+        assert!(prepared
+            .execute(&[cx_storage::Scalar::from("x"), cx_storage::Scalar::from("y")])
+            .is_err());
+        // A non-UTF8 probe binding is a type error, not a panic.
+        assert!(prepared.execute(&[cx_storage::Scalar::Int64(3)]).is_err());
     }
 
     #[test]

@@ -19,18 +19,69 @@
 use cx_exec::logical::LogicalPlan;
 use cx_exec::PhysicalOperator;
 use cx_optimizer::OptimizerConfig;
-use cx_storage::Table;
+use cx_storage::{Scalar, Table};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Most distinct binding vectors memoized per cached plan. Past this the
+/// per-binding memo stops growing (new bindings execute normally); it is a
+/// replay accelerator, not a completeness guarantee.
+pub const MAX_BOUND_RESULTS: usize = 1024;
+
+/// A hashable, bit-exact key for one prepared-statement binding vector.
+///
+/// Scalars are encoded with type tags and length prefixes, so two binding
+/// vectors key equal iff they are identical value-for-value (floats by
+/// bit pattern — the same discipline as `LogicalPlan::fingerprint`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BindingKey(Vec<u8>);
+
+impl BindingKey {
+    /// Encodes `params` into a key.
+    pub fn new(params: &[Scalar]) -> Self {
+        let mut out = Vec::with_capacity(params.len() * 9);
+        for p in params {
+            match p {
+                Scalar::Null => out.push(0),
+                Scalar::Bool(b) => {
+                    out.push(1);
+                    out.push(*b as u8);
+                }
+                Scalar::Int64(v) => {
+                    out.push(2);
+                    out.extend(v.to_le_bytes());
+                }
+                Scalar::Float64(v) => {
+                    out.push(3);
+                    out.extend(v.to_bits().to_le_bytes());
+                }
+                Scalar::Utf8(s) => {
+                    out.push(4);
+                    out.extend((s.len() as u64).to_le_bytes());
+                    out.extend(s.as_bytes());
+                }
+                Scalar::Timestamp(v) => {
+                    out.push(5);
+                    out.extend(v.to_le_bytes());
+                }
+            }
+        }
+        BindingKey(out)
+    }
+}
+
 /// One cached, ready-to-execute plan.
 pub struct CachedPlan {
     /// The lowered operator tree (re-executable; every `execute()` re-runs
-    /// it against the tables captured at lowering time).
+    /// it against the tables captured at lowering time). Prepared
+    /// executions bind their parameters into a copy of this tree
+    /// (`PhysicalOperator::bind_params`) — the cached tree itself is never
+    /// mutated.
     pub physical: Arc<dyn PhysicalOperator>,
-    /// The optimized logical plan (EXPLAIN / debugging).
+    /// The optimized logical plan (EXPLAIN / debugging; also the tree the
+    /// prepared path re-costs with bound literals for admission).
     pub optimized: LogicalPlan,
     /// Optimizer rule trace.
     pub rules_fired: Vec<String>,
@@ -40,10 +91,20 @@ pub struct CachedPlan {
     pub estimated_cost: f64,
     /// Catalog version this plan was built against.
     pub catalog_version: u64,
+    /// The exact [`LogicalPlan::fingerprint`] of the plan this entry was
+    /// built from. Ad-hoc lookups key the cache by this exact hash, so the
+    /// field is redundant there; prepared statements key by
+    /// [`LogicalPlan::shape_fingerprint`], which erases unparameterized
+    /// literal values, and must validate a shape hit against this field
+    /// before reuse (two templates may share a shape yet differ in a
+    /// baked-in literal).
+    pub exact_fingerprint: u64,
     /// The plan's shareable scan, discovered at build time
     /// (`cx_exec::find_shared_scan`): the operator node inside
     /// `physical` plus its signature. `None` for plans with no mergeable
-    /// sweep; such plans always execute solo.
+    /// sweep (including templates whose probe is an unbound parameter —
+    /// the prepared path re-discovers the scan on the bound tree); such
+    /// plans execute solo.
     pub shared_scan: Option<(Arc<dyn PhysicalOperator>, cx_exec::ScanSignature)>,
     /// Memoized result of executing this plan. Sound because the engine is
     /// deterministic and the plan is pinned to one catalog version: the
@@ -53,12 +114,30 @@ pub struct CachedPlan {
     /// until the first execution completes, or always when the server
     /// disables result caching.
     pub result: Mutex<Option<Arc<Table>>>,
+    /// Per-binding result memo for prepared executions: binding vector →
+    /// memoized table, under the same soundness argument as `result`
+    /// (determinism ⊕ catalog pinning — the binding vector simply joins
+    /// the key). Bounded to [`MAX_BOUND_RESULTS`] distinct bindings.
+    pub bound_results: Mutex<HashMap<BindingKey, Arc<Table>>>,
+}
+
+impl CachedPlan {
+    /// Memoizes `table` for `binding`, respecting the size bound (replays
+    /// of already-memoized bindings always update).
+    pub fn memoize_binding(&self, binding: &BindingKey, table: Arc<Table>) {
+        let mut map = self.bound_results.lock();
+        if map.len() < MAX_BOUND_RESULTS || map.contains_key(binding) {
+            map.insert(binding.clone(), table);
+        }
+    }
 }
 
 /// Counter snapshot of a [`PlanCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
+    /// Lookups that returned a current-version entry.
     pub hits: u64,
+    /// Lookups that found nothing usable.
     pub misses: u64,
     /// Entries dropped because the catalog moved past them.
     pub invalidations: u64,
@@ -225,8 +304,10 @@ mod tests {
             estimated_rows: 1.0,
             estimated_cost: 2.0,
             catalog_version: version,
+            exact_fingerprint: 0,
             shared_scan: None,
             result: Mutex::new(None),
+            bound_results: Mutex::new(HashMap::new()),
         })
     }
 
@@ -256,6 +337,41 @@ mod tests {
         assert!(cache.get(3, 0).is_some());
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn binding_keys_are_bit_exact() {
+        use cx_storage::Scalar;
+        let a = BindingKey::new(&[Scalar::from("boots"), Scalar::Int64(2)]);
+        let b = BindingKey::new(&[Scalar::from("boots"), Scalar::Int64(2)]);
+        assert_eq!(a, b);
+        // Value, type, and split differences all separate keys.
+        assert_ne!(a, BindingKey::new(&[Scalar::from("boots"), Scalar::Int64(3)]));
+        assert_ne!(a, BindingKey::new(&[Scalar::from("boots"), Scalar::Float64(2.0)]));
+        assert_ne!(
+            BindingKey::new(&[Scalar::from("ab"), Scalar::from("c")]),
+            BindingKey::new(&[Scalar::from("a"), Scalar::from("bc")])
+        );
+    }
+
+    #[test]
+    fn bound_memo_respects_capacity() {
+        use cx_storage::Scalar;
+        let p = plan(0);
+        let table = Arc::new(
+            Table::from_columns(
+                Schema::new(vec![Field::new("x", DataType::Int64)]),
+                vec![Column::from_i64(vec![1])],
+            )
+            .unwrap(),
+        );
+        for i in 0..(MAX_BOUND_RESULTS as i64 + 10) {
+            p.memoize_binding(&BindingKey::new(&[Scalar::Int64(i)]), table.clone());
+        }
+        assert_eq!(p.bound_results.lock().len(), MAX_BOUND_RESULTS);
+        // An already-memoized binding still updates at capacity.
+        p.memoize_binding(&BindingKey::new(&[Scalar::Int64(0)]), table.clone());
+        assert_eq!(p.bound_results.lock().len(), MAX_BOUND_RESULTS);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Prepared statements: optimize and lower a parameterized template once,
+//! bind values at execute time.
+//!
+//! The common shape of heavy traffic is *one query template, many
+//! literals*: `name ~ $0` for a million different users' search strings.
+//! The plain plan cache cannot help — every distinct literal is a distinct
+//! [`LogicalPlan::fingerprint`], so every request re-optimizes (including
+//! sampling-based selectivity probes), re-lowers, and re-warms. A
+//! [`Prepared`] handle moves all of that to `prepare` time:
+//!
+//! 1. **Prepare** — the template (built with [`cx_expr::param`],
+//!    `Query::semantic_filter_param`, `Query::limit_param`) is optimized
+//!    and lowered once; the entry lands in the server's shared plan cache
+//!    under the template's [`LogicalPlan::shape_fingerprint`] (⊕ its
+//!    exact fingerprint, separating same-shape templates that differ in
+//!    an unparameterized literal) ⊕ the session's config fingerprint,
+//!    pinned to the catalog version. Every binding of one template — and
+//!    every re-prepare of an equivalent template — resolves to this one
+//!    entry.
+//! 2. **Execute** — the binding vector is substituted into a *copy* of the
+//!    cached physical tree (`PhysicalOperator::bind_params`; unaffected
+//!    subtrees stay shared), admission is weighted with a cost estimate
+//!    over the *bound* logical plan (the template was costed with
+//!    placeholder defaults), and the result is memoized per binding
+//!    vector. Bound executions expose their scan signature like any other
+//!    query, so they coalesce into multi-query shared sweeps.
+//! 3. **Invalidation** — entries are pinned to the catalog version;
+//!    executing a stale handle transparently re-optimizes and re-lowers.
+//!    Nothing is ever served from a plan (or memo) built against an older
+//!    catalog.
+//!
+//! [`LogicalPlan::fingerprint`]: cx_exec::logical::LogicalPlan::fingerprint
+//! [`LogicalPlan::shape_fingerprint`]: cx_exec::logical::LogicalPlan::shape_fingerprint
+
+use crate::plan_cache::config_fingerprint;
+use crate::server::{ServeResult, Server};
+use context_engine::Query;
+use cx_optimizer::OptimizerConfig;
+use cx_storage::{Result, Scalar};
+use std::sync::Arc;
+
+/// Salt separating the prepared (shape-keyed) plan-cache key space from
+/// the ad-hoc (exact-fingerprint) key space.
+const PREPARED_KEY_SALT: u64 = 0x5afe_c0de_9e37_79b9;
+
+/// A prepared statement: a query template optimized and lowered once,
+/// executable any number of times with different parameter bindings.
+///
+/// Obtain one from [`crate::Session::prepare`]; see the [module
+/// docs](self) for the lifecycle. Handles are `Send + Sync` and cheap to
+/// clone-free share behind an `Arc`; every method takes `&self`.
+///
+/// ```
+/// use context_engine::{Engine, EngineConfig};
+/// use cx_embed::HashNGramModel;
+/// use cx_expr::{col, param};
+/// use cx_serve::{ServeConfig, Server};
+/// use cx_storage::{Column, DataType, Field, Scalar, Schema, Table};
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(Engine::new(EngineConfig::default()));
+/// engine.register_model(Arc::new(HashNGramModel::new(42)));
+/// let products = Table::from_columns(
+///     Schema::new(vec![
+///         Field::new("name", DataType::Utf8),
+///         Field::new("price", DataType::Float64),
+///     ]),
+///     vec![
+///         Column::from_strings(["boots", "mug", "parka"]),
+///         Column::from_f64(vec![30.0, 8.0, 80.0]),
+///     ],
+/// ).unwrap();
+/// engine.register_table("products", products).unwrap();
+///
+/// let server = Server::new(engine, ServeConfig::default());
+/// let session = server.session();
+/// // One template, two parameters: a comparison literal and a limit.
+/// let template = session.table("products").unwrap()
+///     .filter(col("price").gt(param(0)))
+///     .sort(&[("price", true)])
+///     .limit_param(1);
+/// let prepared = session.prepare(&template).unwrap();
+/// assert_eq!(prepared.param_count(), 2);
+/// let cheap = prepared.execute(&[Scalar::Float64(5.0), Scalar::Int64(1)]).unwrap();
+/// assert_eq!(cheap.table.num_rows(), 1); // mug
+/// let all = prepared.execute(&[Scalar::Float64(5.0), Scalar::Int64(10)]).unwrap();
+/// assert_eq!(all.table.num_rows(), 3);
+/// ```
+pub struct Prepared {
+    server: Arc<Server>,
+    template: Query,
+    config: OptimizerConfig,
+    param_count: usize,
+    shape_fingerprint: u64,
+    exact_fingerprint: u64,
+    cache_key: u64,
+}
+
+impl Prepared {
+    /// Validates the template (parameter slots must be contiguous from
+    /// `$0`), optimizes and lowers it eagerly so the first `execute`
+    /// already hits the cached plan, and returns the handle.
+    pub(crate) fn new(
+        server: Arc<Server>,
+        template: Query,
+        config: OptimizerConfig,
+    ) -> Result<Prepared> {
+        let param_count = template.plan().required_params()?;
+        let shape_fingerprint = template.plan().shape_fingerprint();
+        let exact_fingerprint = template.plan().fingerprint();
+        // Shape ⊕ exact: the shape fingerprint makes every binding (and
+        // every re-prepare of an equivalent template) land on one entry;
+        // mixing in the exact fingerprint keeps two templates that share
+        // a shape but differ in an *unparameterized* literal in separate
+        // slots — with shape alone they would alternately evict each
+        // other (the exact-fingerprint validation at resolve time would
+        // force a rebuild per execute). Within one template, bindings
+        // never change either hash. Note that with the exact fingerprint
+        // in the key, the shape component is not load-bearing for
+        // share/split decisions today (equal exact ⟹ equal shape); it
+        // keeps the key aligned with the planned auto-parameterization
+        // rung, where ad-hoc literal queries resolve by shape alone.
+        let cache_key = PREPARED_KEY_SALT
+            ^ shape_fingerprint
+            ^ exact_fingerprint.rotate_left(17)
+            ^ config_fingerprint(&config);
+        let prepared = Prepared {
+            server,
+            template,
+            config,
+            param_count,
+            shape_fingerprint,
+            exact_fingerprint,
+            cache_key,
+        };
+        let version = prepared.server.engine().catalog_version();
+        prepared.server.resolve_prepared(&prepared, version)?;
+        Ok(prepared)
+    }
+
+    /// Executes the template with `params` bound (slot `i` takes
+    /// `params[i]`). The binding vector's length must equal
+    /// [`Self::param_count`]. Results are bit-identical to executing the
+    /// equivalent literal query ad hoc.
+    pub fn execute(&self, params: &[Scalar]) -> Result<ServeResult> {
+        self.server.execute_prepared(self, params)
+    }
+
+    /// The number of binding values every `execute` call must provide.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The template this handle was prepared from.
+    pub fn template(&self) -> &Query {
+        &self.template
+    }
+
+    /// The optimizer configuration snapshotted at prepare time.
+    pub fn config(&self) -> OptimizerConfig {
+        self.config
+    }
+
+    /// The template's shape fingerprint
+    /// ([`cx_exec::logical::LogicalPlan::shape_fingerprint`]).
+    pub fn shape_fingerprint(&self) -> u64 {
+        self.shape_fingerprint
+    }
+
+    /// The template's exact fingerprint, used to validate shape-keyed
+    /// cache hits.
+    pub(crate) fn exact_fingerprint(&self) -> u64 {
+        self.exact_fingerprint
+    }
+
+    /// The plan-cache key this handle resolves through (salted shape ⊕
+    /// exact ⊕ config fingerprint).
+    pub(crate) fn cache_key(&self) -> u64 {
+        self.cache_key
+    }
+}

@@ -19,8 +19,7 @@
 //! panic is contained: every member of the group gets an error instead
 //! of a wedged condvar.
 
-use crate::plan_cache::CachedPlan;
-use crate::server::ServeResult;
+use crate::server::{ExecUnit, ServeResult};
 use cx_exec::{PhysicalOperator, ScanSignature};
 use cx_storage::{Error, Result};
 use std::collections::HashMap;
@@ -39,16 +38,14 @@ pub struct ScanQueueConfig {
 
 /// One query waiting for (or leading) a shared sweep.
 pub struct GroupEntry {
-    /// The query's resolved plan.
-    pub cached: Arc<CachedPlan>,
-    /// The shareable scan node inside `cached.physical`.
+    /// The query's execution unit: resolved plan, the tree to run (the
+    /// cached tree for ad-hoc queries, a parameter-bound copy for
+    /// prepared executions), memo slot, and admission weight.
+    pub unit: ExecUnit,
+    /// The shareable scan node inside the unit's executable tree.
     pub node: Arc<dyn PhysicalOperator>,
     /// Its scan signature (per-query probe/threshold included).
     pub signature: ScanSignature,
-    /// Whether plan resolution was a cache hit.
-    pub plan_cache_hit: bool,
-    /// When the server started serving this query.
-    pub started: Instant,
 }
 
 /// Counter snapshot of a [`ScanQueue`].

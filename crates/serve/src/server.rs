@@ -21,15 +21,18 @@
 
 use crate::admission::{AdmissionStats, CostGate};
 use crate::batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
-use crate::plan_cache::{config_fingerprint, CachedPlan, PlanCache, PlanCacheStats};
+use crate::plan_cache::{config_fingerprint, BindingKey, CachedPlan, PlanCache, PlanCacheStats};
+use crate::prepared::Prepared;
 use crate::scan_queue::{GroupEntry, ScanQueue, ScanQueueConfig, ScanQueueStats};
 use context_engine::{Engine, Query};
 use cx_exec::logical::LogicalPlan;
 use cx_exec::metrics::InstrumentedExec;
-use cx_exec::{collect_table, find_shared_scan, ExecMetrics, PhysicalOperator, ScanSignature};
+use cx_exec::{
+    bind_physical, collect_table, find_shared_scan, ExecMetrics, PhysicalOperator, ScanSignature,
+};
 use cx_mqo::SharedScanExec;
 use cx_optimizer::{shared_scan_cost, OptimizerConfig};
-use cx_storage::{Result, Table};
+use cx_storage::{Error, Result, Scalar, Table};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,6 +122,28 @@ pub struct ServeResult {
     pub shared_scan: bool,
 }
 
+/// One query's execution state as it flows through result memoization,
+/// scan grouping, admission and execution. Ad-hoc queries execute the
+/// cached tree itself and memoize at the plan level; prepared executions
+/// run a parameter-bound copy and memoize per binding vector.
+pub struct ExecUnit {
+    /// The resolved plan-cache entry.
+    pub cached: Arc<CachedPlan>,
+    /// The tree to execute: the cached tree for ad-hoc queries, its
+    /// parameter-bound copy for prepared executions.
+    pub root: Arc<dyn PhysicalOperator>,
+    /// The binding vector key for prepared executions (`None` = ad-hoc;
+    /// the plan-level result memo applies instead).
+    pub binding: Option<BindingKey>,
+    /// Admission weight — the bound-literal cost estimate for prepared
+    /// executions, the cached estimate otherwise.
+    pub cost: f64,
+    /// Whether plan resolution hit the plan cache.
+    pub plan_cache_hit: bool,
+    /// When the server started serving this query.
+    pub started: Instant,
+}
+
 /// Aggregate server counters.
 #[derive(Debug, Clone)]
 pub struct ServerStats {
@@ -126,7 +151,10 @@ pub struct ServerStats {
     pub queries: u64,
     /// Sessions opened.
     pub sessions: u64,
-    /// Queries answered from a cached plan's result memo.
+    /// Prepared-statement executions among `queries`.
+    pub prepared_queries: u64,
+    /// Queries answered from a cached plan's result memo (per-binding
+    /// memo hits included).
     pub result_cache_hits: u64,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
@@ -149,6 +177,7 @@ pub struct Server {
     metrics: ExecMetrics,
     queries: AtomicU64,
     sessions: AtomicU64,
+    prepared_queries: AtomicU64,
     result_hits: AtomicU64,
     /// Queries currently inside `execute_with_config` — the scan queue's
     /// contention signal: a query that is provably alone skips the
@@ -181,6 +210,7 @@ impl Server {
             metrics: ExecMetrics::new(),
             queries: AtomicU64::new(0),
             sessions: AtomicU64::new(0),
+            prepared_queries: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
         })
@@ -234,59 +264,179 @@ impl Server {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&self.in_flight);
         let cfg_fp = config_fingerprint(&opt_config);
-        let key = query.plan().fingerprint() ^ cfg_fp;
+        let exact = query.plan().fingerprint();
+        let key = exact ^ cfg_fp;
         let version = self.engine.catalog_version();
         let (cached, hit) = match self.plan_cache.get(key, version) {
             Some(cached) => (cached, true),
             None => {
-                // First sight of this plan shape: warm its embedding
-                // working set through the batcher *before* optimizing, so
-                // the optimizer's sampling probes and the execution both
-                // hit the cache — and so concurrent first-timers coalesce
-                // into shared batches. Plan-cache hits skip this: their
-                // working set was warmed when the plan was first built,
-                // and execution re-embeds strays through the cache anyway.
-                self.warm_embeddings(query.plan());
-                let planned = self.engine.optimize_query_with(query, opt_config);
-                let physical = self.engine.lower_plan_with(&planned.plan, opt_config)?;
-                let cached = Arc::new(CachedPlan {
-                    shared_scan: find_shared_scan(&physical),
-                    physical,
-                    optimized: planned.plan,
-                    rules_fired: planned.rules_fired,
-                    estimated_rows: planned.estimated_rows,
-                    estimated_cost: planned.estimated_cost,
-                    catalog_version: version,
-                    result: parking_lot::Mutex::new(None),
-                });
+                let cached = self.build_plan(query, opt_config, exact, version)?;
                 self.plan_cache.insert(key, cached.clone());
                 (cached, false)
             }
         };
 
-        // Result memo: a replayed fingerprint over an unchanged catalog is
-        // the same table — skip grouping, admission and execution outright
-        // (memoized replays must never re-enter the cost gate).
-        if let Some(result) = self.try_result_memo(start, &cached, hit) {
+        let unit = ExecUnit {
+            root: cached.physical.clone(),
+            binding: None,
+            cost: cached.estimated_cost,
+            cached,
+            plan_cache_hit: hit,
+            started: start,
+        };
+        self.dispatch(unit, cfg_fp, false)
+    }
+
+    /// Executes a prepared statement under `params` (called through
+    /// [`Prepared::execute`]). Plan resolution goes through the shared
+    /// plan cache keyed by the template's *shape*, parameters are bound
+    /// into a copy of the cached physical tree, admission is weighted by
+    /// a cost estimate over the *bound* logical plan, and results are
+    /// memoized per binding vector. Bound executions participate in
+    /// multi-query scan sharing exactly like ad-hoc queries.
+    pub(crate) fn execute_prepared(
+        &self,
+        prepared: &Prepared,
+        params: &[Scalar],
+    ) -> Result<ServeResult> {
+        if params.len() != prepared.param_count() {
+            return Err(Error::InvalidArgument(format!(
+                "prepared statement expects {} parameter(s), got {}",
+                prepared.param_count(),
+                params.len()
+            )));
+        }
+        let start = Instant::now();
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _in_flight = InFlightGuard(&self.in_flight);
+        let version = self.engine.catalog_version();
+        let (cached, hit) = self.resolve_prepared(prepared, version)?;
+        let binding = BindingKey::new(params);
+
+        // Per-binding memo first: a replayed binding skips parameter
+        // rebinding, cost estimation, grouping and admission outright.
+        let unit = ExecUnit {
+            root: cached.physical.clone(), // placeholder until bound below
+            binding: Some(binding),
+            cost: cached.estimated_cost,
+            cached,
+            plan_cache_hit: hit,
+            started: start,
+        };
+        if let Some(result) = self.try_result_memo(&unit) {
+            self.prepared_queries.fetch_add(1, Ordering::Relaxed);
             return Ok(result);
+        }
+
+        // Bind the physical tree (subtrees without parameters stay
+        // shared) and re-cost the plan with the bound literals — the
+        // template was optimized with placeholder slots and default
+        // selectivities, but admission should weigh the real query.
+        let root = bind_physical(&unit.cached.physical, params)?;
+        let cost = if params.is_empty() {
+            unit.cached.estimated_cost
+        } else {
+            self.engine
+                .estimate_plan_cost(&unit.cached.optimized.bind_params(params)?, prepared.config())
+        };
+        let unit = ExecUnit { root, cost, ..unit };
+        let result = self.dispatch(unit, config_fingerprint(&prepared.config()), true);
+        if result.is_ok() {
+            // Counted on success only, so the counter stays a subset of
+            // `queries` even when bindings fail validation.
+            self.prepared_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Resolves a prepared statement's cached plan: a shape-keyed lookup
+    /// validated against the template's exact fingerprint, rebuilding
+    /// (and replacing) the entry on miss, staleness, or a shape
+    /// collision with a different template.
+    pub(crate) fn resolve_prepared(
+        &self,
+        prepared: &Prepared,
+        version: u64,
+    ) -> Result<(Arc<CachedPlan>, bool)> {
+        let key = prepared.cache_key();
+        if let Some(cached) = self.plan_cache.get(key, version) {
+            if cached.exact_fingerprint == prepared.exact_fingerprint() {
+                return Ok((cached, true));
+            }
+        }
+        let cached = self.build_plan(
+            prepared.template(),
+            prepared.config(),
+            prepared.exact_fingerprint(),
+            version,
+        )?;
+        self.plan_cache.insert(key, cached.clone());
+        Ok((cached, false))
+    }
+
+    /// First sight of a plan: warms its embedding working set through the
+    /// batcher *before* optimizing, so the optimizer's sampling probes
+    /// and the execution both hit the cache — and so concurrent
+    /// first-timers coalesce into shared batches — then optimizes and
+    /// lowers. Plan-cache hits skip all of this: their working set was
+    /// warmed when the plan was first built, and execution re-embeds
+    /// strays through the cache anyway.
+    fn build_plan(
+        &self,
+        query: &Query,
+        opt_config: OptimizerConfig,
+        exact_fingerprint: u64,
+        version: u64,
+    ) -> Result<Arc<CachedPlan>> {
+        self.warm_embeddings(query.plan());
+        let planned = self.engine.optimize_query_with(query, opt_config);
+        let physical = self.engine.lower_plan_with(&planned.plan, opt_config)?;
+        Ok(Arc::new(CachedPlan {
+            shared_scan: find_shared_scan(&physical),
+            physical,
+            optimized: planned.plan,
+            rules_fired: planned.rules_fired,
+            estimated_rows: planned.estimated_rows,
+            estimated_cost: planned.estimated_cost,
+            catalog_version: version,
+            exact_fingerprint,
+            result: parking_lot::Mutex::new(None),
+            bound_results: parking_lot::Mutex::new(HashMap::new()),
+        }))
+    }
+
+    /// Routes a resolved execution unit: result memo, then multi-query
+    /// scan sharing, then solo execution. `memo_checked` lets a caller
+    /// that already probed the result memo (the prepared path checks it
+    /// before paying for parameter binding) skip the second probe.
+    fn dispatch(&self, unit: ExecUnit, cfg_fp: u64, memo_checked: bool) -> Result<ServeResult> {
+        // Result memo: a replayed fingerprint (⊕ binding) over an
+        // unchanged catalog is the same table — skip grouping, admission
+        // and execution outright (memoized replays must never re-enter
+        // the cost gate).
+        if !memo_checked {
+            if let Some(result) = self.try_result_memo(&unit) {
+                return Ok(result);
+            }
         }
 
         // Multi-query scan sharing: plans with a shareable sweep queue up
         // by group key — the scan signature's key ⊕ the config fingerprint
         // (configs change how subtrees lower) ⊕ the catalog version (never
-        // group across registrations).
+        // group across registrations). Prepared executions re-discover the
+        // scan on their *bound* tree; the signature's group key excludes
+        // per-query probes, so bound sweeps join ad-hoc groups freely.
         if self.config.mqo {
-            if let Some((node, sig)) = cached.shared_scan.clone() {
+            let shared = if unit.binding.is_some() {
+                find_shared_scan(&unit.root)
+            } else {
+                unit.cached.shared_scan.clone()
+            };
+            if let Some((node, sig)) = shared {
                 let group_key = sig.group_key()
                     ^ cfg_fp
-                    ^ cached.catalog_version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                let entry = GroupEntry {
-                    cached: cached.clone(),
-                    node,
-                    signature: sig,
-                    plan_cache_hit: hit,
-                    started: start,
-                };
+                    ^ unit.cached.catalog_version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let entry = GroupEntry { unit, node, signature: sig };
                 // A query with no other query in flight cannot be joined
                 // by anyone: skip the linger and sweep immediately.
                 let contended = self.in_flight.load(Ordering::Relaxed) > 1;
@@ -296,69 +446,61 @@ impl Server {
             }
         }
 
-        self.execute_solo(start, &cached, hit)
+        self.execute_solo(&unit)
     }
 
-    /// Serves `cached` from its result memo if enabled and populated.
-    fn try_result_memo(
-        &self,
-        start: Instant,
-        cached: &Arc<CachedPlan>,
-        plan_cache_hit: bool,
-    ) -> Option<ServeResult> {
+    /// Serves `unit` from its result memo if enabled and populated — the
+    /// plan-level memo for ad-hoc queries, the per-binding memo for
+    /// prepared executions.
+    fn try_result_memo(&self, unit: &ExecUnit) -> Option<ServeResult> {
         if !self.config.cache_results {
             return None;
         }
-        let table = cached.result.lock().clone()?;
+        let table = match &unit.binding {
+            None => unit.cached.result.lock().clone()?,
+            Some(binding) => unit.cached.bound_results.lock().get(binding).cloned()?,
+        };
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.result_hits.fetch_add(1, Ordering::Relaxed);
         Some(ServeResult {
             table,
-            elapsed: start.elapsed(),
-            rules_fired: cached.rules_fired.clone(),
-            estimated_rows: cached.estimated_rows,
-            estimated_cost: cached.estimated_cost,
-            plan_cache_hit,
+            elapsed: unit.started.elapsed(),
+            rules_fired: unit.cached.rules_fired.clone(),
+            estimated_rows: unit.cached.estimated_rows,
+            estimated_cost: unit.cost,
+            plan_cache_hit: unit.plan_cache_hit,
             result_cache_hit: true,
             shared_scan: false,
         })
     }
 
     /// Solo path: full-cost admission, then execution.
-    fn execute_solo(
-        &self,
-        start: Instant,
-        cached: &Arc<CachedPlan>,
-        hit: bool,
-    ) -> Result<ServeResult> {
-        let _permit = self.gate.acquire(cached.estimated_cost);
-        self.run_cached(start, cached, hit, false)
+    fn execute_solo(&self, unit: &ExecUnit) -> Result<ServeResult> {
+        let _permit = self.gate.acquire(unit.cost);
+        self.run_unit(unit, false)
     }
 
-    /// Executes `cached`'s physical tree (instrumented), memoizes, and
-    /// assembles the result. Admission is the caller's business: solo
-    /// queries acquire their own permit, shared groups hold one group
-    /// permit across all members.
-    fn run_cached(
-        &self,
-        start: Instant,
-        cached: &Arc<CachedPlan>,
-        hit: bool,
-        shared_scan: bool,
-    ) -> Result<ServeResult> {
-        let root = InstrumentedExec::new(cached.physical.clone(), &self.metrics);
+    /// Executes the unit's tree (instrumented), memoizes, and assembles
+    /// the result. Admission is the caller's business: solo queries
+    /// acquire their own permit, shared groups hold one group permit
+    /// across all members.
+    fn run_unit(&self, unit: &ExecUnit, shared_scan: bool) -> Result<ServeResult> {
+        let root = InstrumentedExec::new(unit.root.clone(), &self.metrics);
         let table = Arc::new(collect_table(&root)?);
         if self.config.cache_results {
-            *cached.result.lock() = Some(table.clone());
+            match &unit.binding {
+                None => *unit.cached.result.lock() = Some(table.clone()),
+                Some(binding) => unit.cached.memoize_binding(binding, table.clone()),
+            }
         }
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(ServeResult {
             table,
-            elapsed: start.elapsed(),
-            rules_fired: cached.rules_fired.clone(),
-            estimated_rows: cached.estimated_rows,
-            estimated_cost: cached.estimated_cost,
-            plan_cache_hit: hit,
+            elapsed: unit.started.elapsed(),
+            rules_fired: unit.cached.rules_fired.clone(),
+            estimated_rows: unit.cached.estimated_rows,
+            estimated_cost: unit.cost,
+            plan_cache_hit: unit.plan_cache_hit,
             result_cache_hit: false,
             shared_scan,
         })
@@ -371,8 +513,7 @@ impl Server {
         if k == 1 {
             // Nobody joined inside the linger window: plain solo
             // execution, no sweep overhead beyond the wait itself.
-            let e = &entries[0];
-            return vec![self.execute_solo(e.started, &e.cached, e.plan_cache_hit)];
+            return vec![self.execute_solo(&entries[0].unit)];
         }
 
         // Build the shared plan. Any failure here (unknown model, a
@@ -400,7 +541,7 @@ impl Server {
         // so coalesced queries admit cheaper than k solo queries would.
         let weight: f64 = entries
             .iter()
-            .map(|e| shared_scan_cost(e.cached.estimated_cost, k))
+            .map(|e| shared_scan_cost(e.unit.cost, k))
             .sum();
         let permit = self.gate.acquire(weight);
 
@@ -429,10 +570,7 @@ impl Server {
                 // re-admit at its full cost.
                 self.scan_queue.record_fallback();
                 drop(permit);
-                return entries
-                    .iter()
-                    .map(|e| self.execute_solo(e.started, &e.cached, e.plan_cache_hit))
-                    .collect();
+                return entries.iter().map(|e| self.execute_solo(&e.unit)).collect();
             }
         };
 
@@ -443,15 +581,14 @@ impl Server {
                 // A member whose result got memoized since it queued (an
                 // identical query in this very group, say) skips
                 // execution — memo hits never re-execute.
-                if let Some(result) = self.try_result_memo(e.started, &e.cached, e.plan_cache_hit)
-                {
+                if let Some(result) = self.try_result_memo(&e.unit) {
                     return Ok(result);
                 }
                 // Injection failing (operator refuses the state) is fine:
                 // the member simply runs its solo scan inside the same
                 // execution.
                 e.node.inject_shared_scan(state);
-                self.run_cached(e.started, &e.cached, e.plan_cache_hit, true)
+                self.run_unit(&e.unit, true)
             })
             .collect()
     }
@@ -506,6 +643,7 @@ impl Server {
         ServerStats {
             queries: self.queries.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
+            prepared_queries: self.prepared_queries.load(Ordering::Relaxed),
             result_cache_hits: self.result_hits.load(Ordering::Relaxed),
             plan_cache: self.plan_cache.stats(),
             admission: self.gate.stats(),
@@ -520,8 +658,8 @@ impl Server {
         let s = self.stats();
         let mut out = String::new();
         out.push_str(&format!(
-            "queries: {} across {} sessions\n",
-            s.queries, s.sessions
+            "queries: {} across {} sessions ({} prepared)\n",
+            s.queries, s.sessions, s.prepared_queries
         ));
         out.push_str(&format!("result memo: {} hits\n", s.result_cache_hits));
         out.push_str(&format!(
@@ -647,7 +785,11 @@ fn collect_warm_requests(
     match plan {
         LogicalPlan::SemanticFilter { input, column, target, model, .. } => {
             let dst = out.entry(model.clone()).or_default();
-            dst.push(target.clone());
+            // A parameterized probe has no text to warm; the bound value
+            // embeds through the cache at execute time.
+            if let Some(text) = target.text() {
+                dst.push(text.to_string());
+            }
             server.column_values(input, column, model, dst);
         }
         LogicalPlan::SemanticJoin { left, right, spec } => {
@@ -726,6 +868,49 @@ impl Session {
     pub fn execute(&self, query: &Query) -> Result<ServeResult> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.server.execute_with_config(query, self.optimizer_config())
+    }
+
+    /// Prepares a query template for repeated execution with different
+    /// parameter bindings: optimizes and lowers it once (the plan enters
+    /// the server's plan cache keyed by the template's *shape*), and
+    /// returns a handle whose [`Prepared::execute`] binds values into the
+    /// cached physical plan — no re-optimization, no re-lowering, results
+    /// memoized per binding vector.
+    ///
+    /// The handle snapshots this session's optimizer configuration;
+    /// re-prepare after [`Session::set_optimizer_config`] to pick up a
+    /// new one. Stale handles are safe: a catalog registration after
+    /// `prepare` makes the next `execute` transparently re-optimize.
+    ///
+    /// ```
+    /// use context_engine::{Engine, EngineConfig};
+    /// use cx_embed::HashNGramModel;
+    /// use cx_serve::{ServeConfig, Server};
+    /// use cx_storage::{Column, DataType, Field, Scalar, Schema, Table};
+    /// use std::sync::Arc;
+    ///
+    /// let engine = Arc::new(Engine::new(EngineConfig::default()));
+    /// engine.register_model(Arc::new(HashNGramModel::new(42)));
+    /// let names = Table::from_columns(
+    ///     Schema::new(vec![Field::new("name", DataType::Utf8)]),
+    ///     vec![Column::from_strings(["boots", "mug", "boots"])],
+    /// ).unwrap();
+    /// engine.register_table("products", names).unwrap();
+    ///
+    /// let server = Server::new(engine, ServeConfig::default());
+    /// let session = server.session();
+    /// let template = session.table("products").unwrap()
+    ///     .semantic_filter_param("name", 0, "hash-ngram", 0.99);
+    /// let prepared = session.prepare(&template).unwrap();
+    /// let boots = prepared.execute(&[Scalar::from("boots")]).unwrap();
+    /// let mugs = prepared.execute(&[Scalar::from("mug")]).unwrap();
+    /// assert_eq!(boots.table.num_rows(), 2);
+    /// assert_eq!(mugs.table.num_rows(), 1);
+    /// // The second execution reused the cached plan shape.
+    /// assert!(mugs.plan_cache_hit);
+    /// ```
+    pub fn prepare(&self, query: &Query) -> Result<Prepared> {
+        Prepared::new(self.server.clone(), query.clone(), self.optimizer_config())
     }
 
     /// Queries served through this session.

@@ -278,7 +278,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Length bounds for [`vec`]; built from `a..b` or `a..=b`.
+        /// Length bounds for [`vec`](fn@vec); built from `a..b` or `a..=b`.
         pub struct SizeRange {
             min: usize,
             /// Inclusive upper bound.
@@ -298,7 +298,7 @@ pub mod prop {
             }
         }
 
-        /// Output of [`vec`].
+        /// Output of [`vec`](fn@vec).
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

@@ -1,7 +1,7 @@
 //! IVF-Flat: inverted-file index with a k-means coarse quantizer.
 //!
 //! The billion-scale similarity search systems the paper cites (Johnson et
-//! al. [20]) are built on this structure: cluster the vectors into `nlist`
+//! al. \[20\]) are built on this structure: cluster the vectors into `nlist`
 //! cells with k-means, keep an inverted list per cell, and at query time
 //! scan only the `nprobe` cells whose centroids are closest to the query.
 //!

@@ -46,7 +46,7 @@
 //!   signature build and probe verification),
 //! * [`IvfIndex`] — inverted-file index with a k-means coarse quantizer
 //!   trained by blocked assign steps (the "index-based access for
-//!   similarity search [20]" the optimizer must cost, per Section IV).
+//!   similarity search \[20\]" the optimizer must cost, per Section IV).
 //!
 //! All indexes implement [`VectorIndex`] so the physical planner can swap
 //! them per cost model.

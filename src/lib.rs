@@ -44,4 +44,4 @@ pub use cx_vector as vector;
 pub use cx_vision as vision;
 
 pub use context_engine::{Engine, EngineConfig, PlannedQuery, Query, QueryResult};
-pub use cx_serve::{ServeConfig, ServeResult, Server, Session};
+pub use cx_serve::{Prepared, ServeConfig, ServeResult, Server, Session};
