@@ -1,0 +1,295 @@
+//! CHAOS STORM — serving goodput and tail latency under seeded fault
+//! injection, against a fault-free twin of the same storm.
+//!
+//! Both sides run the identical multi-client storm (distinct literals,
+//! scan sharing on) through the same `Server` code; the storm side
+//! additionally carries a [`cx_serve::FaultPlan`] injecting panics,
+//! delays, and transient errors at ~5% of draws across all five
+//! [`cx_serve::FaultSite`]s. What the bench measures is the cost of
+//! surviving that: **goodput** (successful queries per second — shed or
+//! doubly-faulted queries don't count), p50/p99 latency of the
+//! successes, and the recovery counters (retries, contained panics,
+//! transient failures).
+//!
+//! Emits `BENCH_chaos.json`.
+//!
+//! Usage: `cargo run --release -p cx-bench --bin chaos_storm`
+//!   env `CHAOS_N`         corpus rows          (default 2000)
+//!   env `CHAOS_CLIENTS`   concurrent clients   (default 8)
+//!   env `CHAOS_REPLAYS`   storm replays/client (default 3)
+//!   env `CHAOS_SEED`      fault-plan seed      (default 0xC0FFEE)
+//!   env `CHAOS_RATE_BP`   fault rate, bp       (default 500 = 5%)
+
+use context_engine::{Engine, EngineConfig, Query};
+use cx_datagen::{generate_corpus, synthetic_clusters, CorpusConfig};
+use cx_embed::ClusteredTextModel;
+use cx_exec::logical::AggSpec;
+use cx_serve::{FaultPlan, FaultSite, ServeConfig, Server};
+use cx_storage::{Column, DataType, Field, Schema, Table};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A fresh engine over `n` shop rows plus a label relation (cold caches).
+fn build_engine(n: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let space = Arc::new(cx_datagen::build_space(&clusters, 300, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("fasttext-like", space, 7)));
+
+    let vocab = cx_datagen::vocab::all_words(&clusters);
+    let names = generate_corpus(
+        &vocab,
+        CorpusConfig { size: n, zipf_s: 1.0, max_words: 2, seed: 11 },
+    );
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..n).map(|i| 5.0 + (i % 200) as f64).collect()),
+        ],
+    )
+    .expect("products table");
+    engine.register_table("products", products).expect("register products");
+
+    let labels = generate_corpus(
+        &vocab,
+        CorpusConfig { size: n.max(256), zipf_s: 0.6, max_words: 2, seed: 23 },
+    );
+    let label_table = Table::from_columns(
+        Schema::new(vec![Field::new("label", DataType::Utf8)]),
+        vec![Column::from_strings(labels)],
+    )
+    .expect("labels table");
+    engine.register_table("labels", label_table).expect("register labels");
+    engine
+}
+
+/// Client `client`'s storm for one replay — the `mqo_throughput` mix:
+/// 5 semantic joins + 2 semantic filters, every literal globally unique.
+fn storm(engine: &Engine, vocab: &[String], client: usize, replay: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for q in 0..5 {
+        let gidx = (replay * 5 + q) * 64 + client;
+        let threshold = 0.93 + 1e-6 * gidx as f32;
+        queries.push(
+            engine
+                .table("products")
+                .expect("products")
+                .semantic_join(
+                    engine.table("labels").expect("labels"),
+                    "name",
+                    "label",
+                    "fasttext-like",
+                    threshold,
+                )
+                .aggregate(&[], vec![AggSpec::count_star("matches")]),
+        );
+        if q < 2 {
+            let target = &vocab[(client * 67 + replay * 5 + q) % vocab.len()];
+            let f_threshold = 0.8 + 1e-6 * gidx as f32;
+            queries.push(
+                engine
+                    .table("products")
+                    .expect("products")
+                    .semantic_filter("name", target, "fasttext-like", f_threshold)
+                    .aggregate(&[], vec![AggSpec::count_star("n")]),
+            );
+        }
+    }
+    queries
+}
+
+struct Side {
+    total_secs: f64,
+    latencies: Vec<Duration>, // successes only
+    failed: u64,
+}
+
+impl Side {
+    fn goodput(&self) -> f64 {
+        self.latencies.len() as f64 / self.total_secs
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+}
+
+/// Runs the full storm (all clients × replays) through `server`,
+/// tolerating typed failures — that is the point.
+fn run_storm(server: &Arc<Server>, clients: usize, replays: usize) -> Side {
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let vocab = cx_datagen::vocab::all_words(&clusters);
+    let barrier = Arc::new(Barrier::new(clients));
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut failed = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                let vocab = vocab.clone();
+                s.spawn(move || {
+                    let session = server.session();
+                    let mut local = Vec::new();
+                    let mut errors = 0u64;
+                    barrier.wait();
+                    for replay in 0..replays {
+                        for q in storm(server.engine(), &vocab, client, replay) {
+                            let t = Instant::now();
+                            match session.execute(&q) {
+                                Ok(r) => {
+                                    std::hint::black_box(r.table.num_rows());
+                                    local.push(t.elapsed());
+                                }
+                                Err(e) => {
+                                    assert!(
+                                        e.is_transient(),
+                                        "storm produced a non-transient failure: {e}"
+                                    );
+                                    errors += 1;
+                                }
+                            }
+                        }
+                    }
+                    (local, errors)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, errors) = h.join().expect("client thread");
+            latencies.extend(local);
+            failed += errors;
+        }
+    });
+    Side { total_secs: start.elapsed().as_secs_f64(), latencies, failed }
+}
+
+fn main() {
+    // Injected panics are contained by the server; keep their default
+    // backtrace spew out of the bench output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|m| m.contains("injected fault"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let n = env_u64("CHAOS_N", 2000) as usize;
+    let clients = env_u64("CHAOS_CLIENTS", 8) as usize;
+    let replays = env_u64("CHAOS_REPLAYS", 3) as usize;
+    let seed = env_u64("CHAOS_SEED", 0xC0FFEE);
+    let rate_bp = env_u64("CHAOS_RATE_BP", 500);
+    let rate = rate_bp as f64 / 10_000.0;
+
+    println!("CHAOS STORM — serving under seeded fault injection vs fault-free");
+    println!(
+        "corpus: {n} rows, {clients} clients × {replays} replays × 7 queries, \
+         seed {seed:#x}, rate {:.1}%\n",
+        rate * 100.0
+    );
+
+    // ---- fault-free twin: same storm, no plan installed ----
+    let clean = {
+        let server = Server::new(build_engine(n), ServeConfig::default());
+        run_storm(&server, clients, replays)
+    };
+    println!(
+        "fault-free : {:>8.1} qps  p50 {:>7.2} ms  p99 {:>7.2} ms  ({} ok, {} failed, {:.2}s)",
+        clean.goodput(),
+        clean.percentile(0.5),
+        clean.percentile(0.99),
+        clean.latencies.len(),
+        clean.failed,
+        clean.total_secs
+    );
+
+    // ---- storm side: identical run with the fault plan installed ----
+    let server = Server::new(build_engine(n), ServeConfig::default());
+    let plan = Arc::new(FaultPlan::new(seed, rate).with_delay(Duration::from_millis(2)));
+    server.set_fault_plan(Some(plan));
+    let stormy = run_storm(&server, clients, replays);
+    let faults = server.fault_stats().expect("plan installed");
+    let lifecycle = server.lifecycle_stats();
+    println!(
+        "fault storm: {:>8.1} qps  p50 {:>7.2} ms  p99 {:>7.2} ms  ({} ok, {} failed, {:.2}s)",
+        stormy.goodput(),
+        stormy.percentile(0.5),
+        stormy.percentile(0.99),
+        stormy.latencies.len(),
+        stormy.failed,
+        stormy.total_secs
+    );
+
+    let total = (stormy.latencies.len() as u64 + stormy.failed) as f64;
+    let goodput_ratio = stormy.goodput() / clean.goodput();
+    println!(
+        "\ninjected {} faults ({}), survived {:.1}% of queries, goodput ratio {:.3}",
+        faults.total(),
+        FaultSite::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{s} {}", faults.per_site[i]))
+            .collect::<Vec<_>>()
+            .join(", "),
+        100.0 * stormy.latencies.len() as f64 / total,
+        goodput_ratio
+    );
+    println!(
+        "recovery: {} retries, {} contained panics, {} transient failures surfaced",
+        lifecycle.retries, lifecycle.contained_panics, lifecycle.transient_failures
+    );
+
+    let site_json = FaultSite::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("\"{s}\": {}", faults.per_site[i]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_storm\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"seed\": {seed},\n  \"fault_rate\": {rate:.4},\n  \"fault_free\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"storm\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"goodput_ratio\": {:.4},\n  \"faults_injected\": {{{site_json}, \"total\": {}}},\n  \"lifecycle\": {{\"retries\": {}, \"contained_panics\": {}, \"transient_failures\": {}, \"deadline_exceeded\": {}, \"cancelled\": {}, \"budget_exceeded\": {}}}\n}}\n",
+        clean.goodput(),
+        clean.percentile(0.5),
+        clean.percentile(0.99),
+        clean.latencies.len(),
+        clean.failed,
+        clean.total_secs,
+        stormy.goodput(),
+        stormy.percentile(0.5),
+        stormy.percentile(0.99),
+        stormy.latencies.len(),
+        stormy.failed,
+        stormy.total_secs,
+        goodput_ratio,
+        faults.total(),
+        lifecycle.retries,
+        lifecycle.contained_panics,
+        lifecycle.transient_failures,
+        lifecycle.deadline_exceeded,
+        lifecycle.cancelled,
+        lifecycle.budget_exceeded,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_chaos.json"),
+        Err(e) => eprintln!("could not write BENCH_chaos.json: {e}"),
+    }
+}

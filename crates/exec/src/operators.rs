@@ -9,7 +9,8 @@ use crate::logical::{AggFunc, AggSpec, JoinType, LimitCount};
 use crate::physical::{ChunkStream, PhysicalOperator};
 use cx_expr::{eval, eval_predicate, BoundExpr, Expr};
 use cx_storage::{
-    Chunk, Column, ColumnBuilder, DataType, Error, Field, Result, Scalar, Schema, Table,
+    Chunk, Column, ColumnBuilder, DataType, Error, Field, QueryContext, Result, Scalar, Schema,
+    Table,
 };
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
@@ -122,7 +123,11 @@ impl PhysicalOperator for FilterExec {
     fn execute(&self) -> Result<ChunkStream> {
         let stream = self.input.execute()?;
         let predicate = self.predicate.clone();
+        // Captured once on the installing thread; the clone keeps working
+        // wherever the stream is later driven (see `cx_storage::qctx`).
+        let ctx = QueryContext::current();
         Ok(Box::new(stream.map(move |chunk| {
+            ctx.check()?;
             let chunk = chunk?;
             let mask = eval_predicate(&predicate, &chunk)?;
             chunk.filter(&mask)
@@ -192,7 +197,9 @@ impl PhysicalOperator for ProjectExec {
         let stream = self.input.execute()?;
         let exprs = self.exprs.clone();
         let schema = self.schema.clone();
+        let ctx = QueryContext::current();
         Ok(Box::new(stream.map(move |chunk| {
+            ctx.check()?;
             let chunk = chunk?;
             let columns = exprs
                 .iter()
@@ -304,6 +311,7 @@ impl PhysicalOperator for HashJoinExec {
     }
 
     fn execute(&self) -> Result<ChunkStream> {
+        let ctx = QueryContext::current();
         // Build phase: materialize left side.
         let left_chunks = self.left.execute()?.collect::<Result<Vec<_>>>()?;
         let left_schema = self.left.schema();
@@ -312,6 +320,8 @@ impl PhysicalOperator for HashJoinExec {
         } else {
             Chunk::concat(&left_chunks)?
         };
+        ctx.charge(build.memory_bytes());
+        ctx.check()?;
         let mut map: HashMap<Vec<Scalar>, Vec<usize>> = HashMap::new();
         for row in 0..build.num_rows() {
             if let Some(key) = Self::row_key(&build, &self.left_keys, row) {
@@ -324,6 +334,7 @@ impl PhysicalOperator for HashJoinExec {
 
         // Probe phase.
         for chunk in self.right.execute()? {
+            ctx.check()?;
             let chunk = chunk?;
             let mut left_idx = Vec::new();
             let mut right_idx = Vec::new();
@@ -471,10 +482,15 @@ impl PhysicalOperator for NestedLoopJoinExec {
             .map(|p| p.bind(&self.schema))
             .transpose()?;
 
+        let ctx = QueryContext::current();
+        ctx.charge(left.memory_bytes() + right.memory_bytes());
         let mut out_chunks = Vec::new();
         let rn = right.num_rows();
         // Pair each left row with the whole right side, vectorized.
         for l in 0..left.num_rows() {
+            // Each iteration pairs one left row against the entire right
+            // side — heavy enough to warrant a per-iteration check.
+            ctx.check()?;
             if rn == 0 {
                 break;
             }
@@ -691,7 +707,9 @@ impl PhysicalOperator for HashAggregateExec {
         let mut groups: HashMap<Vec<Scalar>, Vec<Accumulator>> = HashMap::new();
         let mut key_order: Vec<Vec<Scalar>> = Vec::new();
 
+        let ctx = QueryContext::current();
         for chunk in self.input.execute()? {
+            ctx.check()?;
             let chunk = chunk?;
             for row in 0..chunk.num_rows() {
                 let key: Vec<Scalar> = self
@@ -811,12 +829,17 @@ impl PhysicalOperator for SortExec {
     }
 
     fn execute(&self) -> Result<ChunkStream> {
+        let ctx = QueryContext::current();
         let chunks = self.input.execute()?.collect::<Result<Vec<_>>>()?;
         let all = if chunks.is_empty() {
             Chunk::empty(self.schema())
         } else {
             Chunk::concat(&chunks)?
         };
+        ctx.charge(all.memory_bytes());
+        // The comparison sort itself is not interruptible; one check
+        // before it bounds overshoot to the sort of already-admitted rows.
+        ctx.check()?;
         let mut indices: Vec<usize> = (0..all.num_rows()).collect();
         indices.sort_by(|&a, &b| {
             for &(k, asc) in &self.keys {
@@ -939,9 +962,11 @@ impl PhysicalOperator for DistinctExec {
     }
 
     fn execute(&self) -> Result<ChunkStream> {
+        let ctx = QueryContext::current();
         let mut seen: HashSet<Vec<Scalar>> = HashSet::new();
         let mut out = Vec::new();
         for chunk in self.input.execute()? {
+            ctx.check()?;
             let chunk = chunk?;
             let mut keep = Vec::new();
             for row in 0..chunk.num_rows() {

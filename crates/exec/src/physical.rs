@@ -1,7 +1,7 @@
 //! The physical operator trait and execution helpers.
 
 use crate::shared::{ScanSignature, SharedScanState};
-use cx_storage::{Chunk, Error, Result, Scalar, Schema, Table};
+use cx_storage::{Chunk, Error, QueryContext, Result, Scalar, Schema, Table};
 use std::sync::Arc;
 
 /// A stream of chunks produced by one operator execution.
@@ -80,8 +80,23 @@ pub fn bind_physical(
 }
 
 /// Runs `op` to completion, returning all chunks.
+///
+/// This is the central materialization point, so it doubles as the
+/// query-lifecycle choke point: each produced chunk is charged to the
+/// ambient [`QueryContext`]'s memory budget and the context is checked
+/// between chunks, bounding how far a dead query (deadline passed,
+/// cancelled, over budget) can run past its sentence.
 pub fn collect(op: &dyn PhysicalOperator) -> Result<Vec<Chunk>> {
-    op.execute()?.collect()
+    let ctx = QueryContext::current();
+    let mut chunks = Vec::new();
+    for chunk in op.execute()? {
+        ctx.check()?;
+        let chunk = chunk?;
+        ctx.charge(chunk.memory_bytes());
+        chunks.push(chunk);
+    }
+    ctx.check()?;
+    Ok(chunks)
 }
 
 /// Runs `op` to completion into a [`Table`].

@@ -39,7 +39,7 @@
 use cx_embed::{EmbeddingCache, QuantTier};
 use cx_exec::shared::{ProbeSource, ScanKind, ScanSignature, SharedScanState};
 use cx_exec::{ChunkStream, PhysicalOperator};
-use cx_storage::{Chunk, Column, DataType, Error, Field, Result, Schema};
+use cx_storage::{Chunk, Column, DataType, Error, Field, QueryContext, Result, Schema};
 use cx_vector::block::{dot_block_threshold, scores_matrix, TILE};
 use cx_vector::{QuantizedArena, VectorArena};
 use parking_lot::Mutex;
@@ -338,8 +338,14 @@ impl SharedScanExec {
                 ScanKind::DotJoin => SweepScores::Hits(Vec::new()),
             });
         }
+        // Sweeps run under the *group* context installed by the server
+        // (deadline = max member deadline), so one slow member cannot be
+        // killed by another's tighter deadline mid-sweep; per-member
+        // deadlines are enforced at the epilogues instead.
+        let ctx = QueryContext::current();
         let cand = VectorArena::from_texts(&self.cache, candidates);
         let prob = VectorArena::from_texts(&self.cache, probes);
+        ctx.check()?;
         Ok(match (self.kind, self.quant) {
             (ScanKind::CosineFilter, QuantTier::F32) => {
                 // Raw dots, then the exact `cosine_with_norms` expression
@@ -349,6 +355,7 @@ impl SharedScanExec {
                 let (pv, cv) = (prob.as_block(), cand.as_block());
                 scores_matrix(pv.data, pv.stride, p, prob.dim(), cv.data, cv.stride, c, &mut scores);
                 for i in 0..p {
+                    ctx.check()?;
                     let pn = prob.row_norm(i);
                     for j in 0..c {
                         let s = &mut scores[i * c + j];
@@ -367,6 +374,7 @@ impl SharedScanExec {
                 let (pn, cn) = (prob.normalized(), cand.normalized());
                 let mut hits: Vec<(u32, u32, f32)> = Vec::new();
                 for t0 in (0..c).step_by(TILE) {
+                    ctx.check()?;
                     let tile = cn.block(t0..(t0 + TILE).min(c));
                     for i in 0..p {
                         dot_block_threshold(
@@ -389,6 +397,7 @@ impl SharedScanExec {
                 let panel = QuantizedArena::from_arena(&cand.normalized(), tier)
                     .map_err(|e| Error::InvalidArgument(e.to_string()))?;
                 for i in 0..p {
+                    ctx.check()?;
                     let row = &mut scores[i * c..(i + 1) * c];
                     let n = prob.row_norm(i);
                     if n == 0.0 {
@@ -409,6 +418,7 @@ impl SharedScanExec {
                 let mut row = vec![0.0f32; c];
                 let mut hits: Vec<(u32, u32, f32)> = Vec::new();
                 for i in 0..p {
+                    ctx.check()?;
                     panel.scores_into(pn.row(i), &mut row);
                     for (j, &score) in row.iter().enumerate() {
                         if score >= floor {

@@ -195,7 +195,12 @@ impl PhysicalOperator for SemanticFilterExec {
         let column_index = self.column_index;
         let threshold = self.threshold;
         let quant = self.quant;
+        // Lifecycle context, captured once on the installing thread; each
+        // chunk is an embed-batch + panel sweep, so checking here bounds a
+        // dead query's overshoot to one chunk of semantic work.
+        let ctx = cx_storage::QueryContext::current();
         Ok(Box::new(stream.map(move |chunk| {
+            ctx.check()?;
             let chunk = chunk?;
             let col = chunk.column(column_index)?;
             let values = col.utf8_values()?;

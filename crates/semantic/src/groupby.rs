@@ -126,7 +126,9 @@ impl PhysicalOperator for SemanticGroupByExec {
         let mut cluster_accs: Vec<Vec<Accumulator>> = Vec::new();
         let mut null_accs: Option<Vec<Accumulator>> = None;
 
+        let ctx = cx_storage::QueryContext::current();
         for chunk in self.input.execute()? {
+            ctx.check()?;
             let chunk: Chunk = chunk?;
             let col = chunk.column(self.column_index)?;
             let values = col.utf8_values()?;

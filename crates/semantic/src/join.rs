@@ -31,7 +31,7 @@
 use cx_embed::EmbeddingCache;
 use cx_exec::shared::{ProbeSource, ScanKind, ScanSignature, SharedScanState};
 use cx_exec::{parallel::parallel_map_ranges, ChunkStream, PhysicalOperator};
-use cx_storage::{Chunk, Column, DataType, Error, Field, Result, Schema};
+use cx_storage::{Chunk, Column, DataType, Error, Field, QueryContext, Result, Schema};
 use cx_vector::block::{dot_block_threshold, TILE};
 use cx_vector::ivf::IvfParams;
 use cx_vector::lsh::LshParams;
@@ -337,6 +337,7 @@ impl PhysicalOperator for SemanticJoinExec {
     }
 
     fn execute(&self) -> Result<ChunkStream> {
+        let ctx = QueryContext::current();
         // Materialize both sides.
         let left_chunks = self.left.execute()?.collect::<Result<Vec<_>>>()?;
         let right_chunks = self.right.execute()?.collect::<Result<Vec<_>>>()?;
@@ -350,6 +351,8 @@ impl PhysicalOperator for SemanticJoinExec {
         } else {
             Chunk::concat(&right_chunks)?
         };
+        ctx.charge(left.memory_bytes() + right.memory_bytes());
+        ctx.check()?;
 
         let (left_vals, left_rows) = distinct_values(&left, self.left_key)?;
         let (right_vals, right_rows) = distinct_values(&right, self.right_key)?;
@@ -436,6 +439,10 @@ impl SemanticJoinExec {
             return Ok(Vec::new());
         }
         let threshold = self.threshold;
+        // Captured here so the probe workers can check it: the fan-out
+        // spawns fresh threads whose TLS is empty, so the lifecycle
+        // context must travel into `scan_span` as explicit data.
+        let ctx = QueryContext::current();
 
         // Strategy state is prepared once, before the probe fan-out.
         enum Probe<'a> {
@@ -469,83 +476,93 @@ impl SemanticJoinExec {
         };
 
         // Scans one contiguous span of left values, returning its local
-        // matches and the number of candidate pairs examined.
-        let scan_span = |span: std::ops::Range<usize>| -> (Vec<(usize, usize, f32)>, u64) {
-            let mut local: Vec<(usize, usize, f32)> = Vec::new();
-            let mut seen = 0u64;
-            match &probe {
-                Probe::NestedLoop(right) => {
-                    for lv in span {
-                        let q = left.row(lv);
-                        let qn = left.row_norm(lv);
-                        for rv in 0..right.len() {
-                            let score = cosine_with_norms(q, right.row(rv), qn, right.row_norm(rv));
-                            if score >= threshold {
-                                local.push((lv, rv, score));
+        // matches and the number of candidate pairs examined. Checks the
+        // lifecycle context between probe rows / build tiles, so a span
+        // overshoots a dead query's sentence by at most one tile.
+        type SpanMatches = (Vec<(usize, usize, f32)>, u64);
+        let scan_span =
+            |span: std::ops::Range<usize>| -> Result<SpanMatches> {
+                let mut local: Vec<(usize, usize, f32)> = Vec::new();
+                let mut seen = 0u64;
+                match &probe {
+                    Probe::NestedLoop(right) => {
+                        for lv in span {
+                            ctx.check()?;
+                            let q = left.row(lv);
+                            let qn = left.row_norm(lv);
+                            for rv in 0..right.len() {
+                                let score =
+                                    cosine_with_norms(q, right.row(rv), qn, right.row_norm(rv));
+                                if score >= threshold {
+                                    local.push((lv, rv, score));
+                                }
+                            }
+                            seen += right.len() as u64;
+                        }
+                    }
+                    Probe::PreNorm { left: ln, right: rn } => {
+                        for lv in span {
+                            ctx.check()?;
+                            let q = ln.row(lv);
+                            for rv in 0..rn.len() {
+                                let score = dot_unrolled(q, rn.row(rv));
+                                if score >= threshold {
+                                    local.push((lv, rv, score));
+                                }
+                            }
+                            seen += rn.len() as u64;
+                        }
+                    }
+                    Probe::Blocked { left: ln, right: rn } => {
+                        // Build-side tiles stay cache-resident while the probe
+                        // span streams over them; the kernel's threshold floor
+                        // skips write-back for sub-threshold candidates.
+                        for t0 in (0..rn.len()).step_by(TILE) {
+                            ctx.check()?;
+                            let tile = rn.block(t0..(t0 + TILE).min(rn.len()));
+                            for lv in span.clone() {
+                                dot_block_threshold(
+                                    ln.row(lv),
+                                    tile.data,
+                                    tile.stride,
+                                    tile.rows,
+                                    threshold,
+                                    |r, score| local.push((lv, t0 + r, score)),
+                                );
                             }
                         }
-                        seen += right.len() as u64;
+                        seen += (span.len() * rn.len()) as u64;
                     }
-                }
-                Probe::PreNorm { left: ln, right: rn } => {
-                    for lv in span {
-                        let q = ln.row(lv);
-                        for rv in 0..rn.len() {
-                            let score = dot_unrolled(q, rn.row(rv));
-                            if score >= threshold {
-                                local.push((lv, rv, score));
+                    Probe::Quantized { left: ln, right: rq } => {
+                        // One quantized-panel kernel call per probe; the
+                        // f16/int8 panel moves 2–4× fewer bytes than the f32
+                        // arena at a bounded score error.
+                        let mut scores = vec![0.0f32; rq.len()];
+                        for lv in span {
+                            ctx.check()?;
+                            rq.scores_into(ln.row(lv), &mut scores);
+                            for (rv, &score) in scores.iter().enumerate() {
+                                if score >= threshold {
+                                    local.push((lv, rv, score));
+                                }
+                            }
+                            seen += rq.len() as u64;
+                        }
+                    }
+                    Probe::Index(index) => {
+                        // `seen` stays 0 here: per-span deltas of the shared
+                        // IndexStats counter would race across workers, so the
+                        // caller takes one global delta around the fan-out.
+                        for lv in span {
+                            ctx.check()?;
+                            for r in index.search_threshold(left.row(lv), threshold) {
+                                local.push((lv, r.id, r.score));
                             }
                         }
-                        seen += rn.len() as u64;
                     }
                 }
-                Probe::Blocked { left: ln, right: rn } => {
-                    // Build-side tiles stay cache-resident while the probe
-                    // span streams over them; the kernel's threshold floor
-                    // skips write-back for sub-threshold candidates.
-                    for t0 in (0..rn.len()).step_by(TILE) {
-                        let tile = rn.block(t0..(t0 + TILE).min(rn.len()));
-                        for lv in span.clone() {
-                            dot_block_threshold(
-                                ln.row(lv),
-                                tile.data,
-                                tile.stride,
-                                tile.rows,
-                                threshold,
-                                |r, score| local.push((lv, t0 + r, score)),
-                            );
-                        }
-                    }
-                    seen += (span.len() * rn.len()) as u64;
-                }
-                Probe::Quantized { left: ln, right: rq } => {
-                    // One quantized-panel kernel call per probe; the
-                    // f16/int8 panel moves 2–4× fewer bytes than the f32
-                    // arena at a bounded score error.
-                    let mut scores = vec![0.0f32; rq.len()];
-                    for lv in span {
-                        rq.scores_into(ln.row(lv), &mut scores);
-                        for (rv, &score) in scores.iter().enumerate() {
-                            if score >= threshold {
-                                local.push((lv, rv, score));
-                            }
-                        }
-                        seen += rq.len() as u64;
-                    }
-                }
-                Probe::Index(index) => {
-                    // `seen` stays 0 here: per-span deltas of the shared
-                    // IndexStats counter would race across workers, so the
-                    // caller takes one global delta around the fan-out.
-                    for lv in span {
-                        for r in index.search_threshold(left.row(lv), threshold) {
-                            local.push((lv, r.id, r.score));
-                        }
-                    }
-                }
-            }
-            (local, seen)
-        };
+                Ok((local, seen))
+            };
 
         let n_left = left.len();
         let workers = if self.parallelism <= 1 || n_left < 2 * self.parallelism {
@@ -561,7 +578,8 @@ impl SemanticJoinExec {
         };
         let mut matches: Vec<(usize, usize, f32)> = Vec::new();
         let mut evaluated = 0u64;
-        for (local, seen) in parallel_map_ranges(n_left, workers, scan_span) {
+        for span_result in parallel_map_ranges(n_left, workers, scan_span) {
+            let (local, seen) = span_result?;
             matches.extend(local);
             evaluated += seen;
         }

@@ -1,8 +1,9 @@
 //! Admission control: a cost-weighted semaphore over query execution.
 //!
-//! Every query enters execution through [`CostGate::acquire`] with its
-//! optimizer cost estimate (`cx_optimizer::estimate_cost`'s abstract ns) as
-//! the weight. The gate admits queries while the sum of in-flight cost
+//! Every query enters execution through [`CostGate::acquire`] (or the
+//! lifecycle-aware [`CostGate::acquire_ctx`]) with its optimizer cost
+//! estimate (`cx_optimizer::estimate_cost`'s abstract ns) as the
+//! weight. The gate admits queries while the sum of in-flight cost
 //! stays under capacity, otherwise callers block until enough cost
 //! retires — heavyweight scans queue behind each other instead of
 //! thrashing one machine, while cheap lookups keep flowing (a cheap query
@@ -16,12 +17,33 @@
 //! capacity is admitted when the gate is otherwise empty (it would never
 //! fit; running it alone is the best the server can do).
 //!
+//! Two lifecycle policies bound the line itself:
+//!
+//! * **Load shedding** — [`CostGate::acquire_ctx`] takes a `max_queued`
+//!   bound; a query that *would block* while `max_queued` others are
+//!   already waiting is refused immediately with
+//!   [`QueryError::QueueFull`] instead of queueing unboundedly (the
+//!   backpressure primitive a wire protocol needs).
+//! * **Deadline/cancellation-aware waiting** — a waiter whose
+//!   [`QueryContext`] dies while queued abandons its ticket (the FIFO
+//!   line skips it) and returns the typed error rather than being
+//!   admitted post-mortem.
+//!
 //! Uses `std::sync::{Mutex, Condvar}` rather than the workspace's
 //! `parking_lot` shim because blocking admission needs a condition
-//! variable, which the shim does not carry.
+//! variable, which the shim does not carry. Lock acquisitions recover
+//! from poisoning (`unwrap_or_else(into_inner)`): the protected state
+//! is a handful of counters that are always left consistent, so a
+//! panicked peer must not brick admission for every later query.
 
+use cx_storage::{QueryContext, QueryError, Result};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How often a blocked waiter re-checks its cancellation token.
+const CANCEL_POLL: Duration = Duration::from_millis(5);
 
 /// Aggregate admission counters (see [`CostGate`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -30,6 +52,10 @@ pub struct AdmissionStats {
     pub admitted: u64,
     /// Queries that had to block before admission.
     pub waited: u64,
+    /// Queries refused with `QueueFull` (load shedding).
+    pub shed: u64,
+    /// Waiters that abandoned the line (deadline passed / cancelled).
+    pub abandoned: u64,
     /// Cost currently executing.
     pub in_use: f64,
     /// Queries currently executing.
@@ -44,6 +70,21 @@ struct Gate {
     next_ticket: u64,
     /// Ticket currently at the head of the admission line.
     now_serving: u64,
+    /// Callers currently blocked in the line.
+    waiting: usize,
+    /// Tickets whose holders gave up (deadline/cancel); the line skips
+    /// them as `now_serving` reaches each.
+    abandoned: HashSet<u64>,
+}
+
+impl Gate {
+    /// Skips `now_serving` past abandoned tickets so the line cannot
+    /// stall behind a waiter that already left.
+    fn skip_abandoned(&mut self) {
+        while self.abandoned.remove(&self.now_serving) {
+            self.now_serving += 1;
+        }
+    }
 }
 
 /// A cost-weighted admission semaphore.
@@ -53,6 +94,8 @@ pub struct CostGate {
     cv: Condvar,
     admitted: AtomicU64,
     waited: AtomicU64,
+    shed: AtomicU64,
+    abandoned: AtomicU64,
 }
 
 /// An admitted query's slot; releases its cost on drop.
@@ -76,6 +119,8 @@ impl CostGate {
             cv: Condvar::new(),
             admitted: AtomicU64::new(0),
             waited: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
         }
     }
 
@@ -85,21 +130,84 @@ impl CostGate {
     }
 
     /// Blocks until it is this caller's turn (FIFO) *and* `cost` fits,
-    /// then returns the RAII permit.
+    /// then returns the RAII permit. Unbounded queue, no deadline — the
+    /// pre-lifecycle entry point, kept for callers without a context.
     pub fn acquire(&self, cost: f64) -> Permit<'_> {
+        match self.acquire_ctx(cost, &QueryContext::unbounded(), 0) {
+            Ok(permit) => permit,
+            // Unbounded context + unbounded queue cannot be refused.
+            Err(_) => unreachable!("unbounded acquire cannot fail"),
+        }
+    }
+
+    /// Lifecycle-aware admission: FIFO like [`acquire`](Self::acquire),
+    /// but
+    ///
+    /// * refuses immediately with [`QueryError::QueueFull`] when the
+    ///   query would block behind `max_queued` or more waiters
+    ///   (`max_queued == 0` means unbounded);
+    /// * gives up with the typed lifecycle error when `ctx`'s deadline
+    ///   passes or its token is cancelled while queued, abandoning the
+    ///   ticket so the line flows past it.
+    pub fn acquire_ctx(
+        &self,
+        cost: f64,
+        ctx: &QueryContext,
+        max_queued: usize,
+    ) -> Result<Permit<'_>> {
         let cost = if cost.is_finite() { cost.max(1.0) } else { self.capacity };
+        ctx.check()?;
         let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.skip_abandoned();
+        let would_block = gate.now_serving != gate.next_ticket
+            || (gate.active > 0 && gate.in_use + cost > self.capacity);
+        if would_block && max_queued > 0 && gate.waiting >= max_queued {
+            let queued = gate.waiting;
+            drop(gate);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(QueryError::QueueFull { queued, max: max_queued }.into());
+        }
         let ticket = gate.next_ticket;
         gate.next_ticket += 1;
         let mut blocked = false;
         // FIFO: wait for our turn, then for room. An oversized query
         // (cost > capacity) passes once the gate is empty: `active > 0`
         // keeps the loop from spinning forever on it.
-        while gate.now_serving != ticket
-            || (gate.active > 0 && gate.in_use + cost > self.capacity)
-        {
-            blocked = true;
-            gate = self.cv.wait(gate).unwrap_or_else(|e| e.into_inner());
+        loop {
+            gate.skip_abandoned();
+            if gate.now_serving == ticket
+                && !(gate.active > 0 && gate.in_use + cost > self.capacity)
+            {
+                break;
+            }
+            if let Err(e) = ctx.check() {
+                // Leave the line: mark the ticket abandoned so the FIFO
+                // skips it, and wake peers in case we were its head.
+                gate.abandoned.insert(ticket);
+                gate.skip_abandoned();
+                if blocked {
+                    gate.waiting -= 1;
+                }
+                drop(gate);
+                self.abandoned.fetch_add(1, Ordering::Relaxed);
+                self.cv.notify_all();
+                return Err(e);
+            }
+            if !blocked {
+                blocked = true;
+                gate.waiting += 1;
+            }
+            // Bounded wait so cancellation/deadline stay responsive even
+            // if no peer ever notifies.
+            let timeout = ctx.remaining().map_or(CANCEL_POLL, |r| r.min(CANCEL_POLL));
+            let (g, _) = self
+                .cv
+                .wait_timeout(gate, timeout.max(Duration::from_micros(100)))
+                .unwrap_or_else(|e| e.into_inner());
+            gate = g;
+        }
+        if blocked {
+            gate.waiting -= 1;
         }
         gate.now_serving += 1;
         gate.in_use += cost;
@@ -111,7 +219,7 @@ impl CostGate {
         if blocked {
             self.waited.fetch_add(1, Ordering::Relaxed);
         }
-        Permit { gate: self, cost }
+        Ok(Permit { gate: self, cost })
     }
 
     /// Counter snapshot.
@@ -120,6 +228,8 @@ impl CostGate {
         AdmissionStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             waited: self.waited.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
             in_use: gate.in_use,
             active: gate.active,
         }
@@ -139,6 +249,7 @@ impl Drop for Permit<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cx_storage::{CancelToken, Error};
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
@@ -194,5 +305,119 @@ mod tests {
         let _a = gate.acquire(1e18);
         let _b = gate.acquire(1e18);
         assert_eq!(gate.stats().active, 2);
+    }
+
+    #[test]
+    fn queue_bound_sheds_instead_of_queueing() {
+        let gate = Arc::new(CostGate::new(10.0));
+        let hold = gate.acquire(10.0); // gate full
+        // One waiter occupies the single allowed queue slot.
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                gate.acquire_ctx(10.0, &QueryContext::unbounded(), 1).map(|_| ())
+            })
+        };
+        // Wait until the waiter is actually queued.
+        while gate.stats().waited == 0 {
+            let queued = gate.gate.lock().unwrap().waiting;
+            if queued >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The next bounded query must be refused immediately.
+        let r = gate.acquire_ctx(10.0, &QueryContext::unbounded(), 1);
+        match r {
+            Err(Error::Query(QueryError::QueueFull { queued, max })) => {
+                assert_eq!(queued, 1);
+                assert_eq!(max, 1);
+            }
+            other => panic!("expected QueueFull, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(gate.stats().shed, 1);
+        drop(hold);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(gate.stats().admitted, 2);
+    }
+
+    #[test]
+    fn admission_does_not_shed_when_gate_is_free() {
+        // max_queued bounds the *line*, not concurrency: with room in the
+        // gate no query is refused.
+        let gate = CostGate::new(100.0);
+        let a = gate.acquire_ctx(40.0, &QueryContext::unbounded(), 1).unwrap();
+        let b = gate.acquire_ctx(40.0, &QueryContext::unbounded(), 1).unwrap();
+        assert_eq!(gate.stats().shed, 0);
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn queued_waiter_respects_deadline() {
+        let gate = Arc::new(CostGate::new(10.0));
+        let hold = gate.acquire(10.0);
+        let ctx = QueryContext::unbounded().with_timeout(Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        let r = gate.acquire_ctx(10.0, &ctx, 0);
+        assert_eq!(
+            r.err().and_then(|e| e.as_query().cloned()),
+            Some(QueryError::DeadlineExceeded)
+        );
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert_eq!(gate.stats().abandoned, 1);
+        // The line skips the abandoned ticket: the next caller admits
+        // as soon as the holder releases.
+        drop(hold);
+        let p = gate.acquire_ctx(5.0, &QueryContext::unbounded(), 0).unwrap();
+        drop(p);
+    }
+
+    #[test]
+    fn queued_waiter_observes_cancellation() {
+        let gate = Arc::new(CostGate::new(10.0));
+        let hold = gate.acquire(10.0);
+        let token = CancelToken::new();
+        let ctx = QueryContext::unbounded().with_cancel(token.clone());
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.acquire_ctx(10.0, &ctx, 0).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        token.cancel();
+        let r = waiter.join().unwrap();
+        assert_eq!(
+            r.err().and_then(|e| e.as_query().cloned()),
+            Some(QueryError::Cancelled)
+        );
+        drop(hold);
+    }
+
+    #[test]
+    fn poisoned_gate_lock_recovers() {
+        // A thread panicking while holding the gate must not brick
+        // admission for every later query (regression test for the
+        // poisoning-recovery audit).
+        let gate = Arc::new(CostGate::new(100.0));
+        let g2 = gate.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = g2.gate.lock().unwrap();
+            panic!("poison the gate");
+        })
+        .join();
+        assert!(gate.gate.lock().is_err(), "gate mutex should be poisoned");
+        let p = gate.acquire(10.0);
+        assert_eq!(gate.stats().active, 1);
+        drop(p);
+        assert_eq!(gate.stats().active, 0);
+    }
+
+    #[test]
+    fn already_expired_context_is_refused_before_queueing() {
+        let gate = CostGate::new(100.0);
+        let ctx = QueryContext::unbounded().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(gate.acquire_ctx(1.0, &ctx, 0).is_err());
+        assert_eq!(gate.stats().admitted, 0);
     }
 }

@@ -67,9 +67,16 @@
 //! [`LogicalPlan::shape_fingerprint`]: cx_exec::logical::LogicalPlan::shape_fingerprint
 
 #![deny(missing_docs)]
+// Shared-state lock acquisitions in this crate must recover from
+// poisoning (`unwrap_or_else(PoisonError::into_inner)`) rather than
+// unwrap: a panicked peer — chaos-injected or genuine — must never brick
+// the server for every later query. The lint keeps new `.unwrap()`s out
+// of the serving path; tests assert freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod admission;
 pub mod batcher;
+pub mod faults;
 pub mod plan_cache;
 pub mod prepared;
 pub mod scan_queue;
@@ -77,10 +84,13 @@ pub mod server;
 
 pub use admission::{AdmissionStats, CostGate, Permit};
 pub use batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
+pub use faults::{FaultKind, FaultPlan, FaultSite, FaultStats};
 pub use plan_cache::{config_fingerprint, BindingKey, CachedPlan, PlanCache, PlanCacheStats};
 pub use prepared::Prepared;
 pub use scan_queue::{ScanQueue, ScanQueueConfig, ScanQueueStats};
-pub use server::{ExecUnit, ServeConfig, ServeResult, Server, ServerStats, Session};
+pub use server::{
+    ExecUnit, LifecycleStats, QueryOptions, ServeConfig, ServeResult, Server, ServerStats, Session,
+};
 
 #[cfg(test)]
 mod tests {

@@ -21,7 +21,7 @@
 
 use crate::server::{ExecUnit, ServeResult};
 use cx_exec::{PhysicalOperator, ScanSignature};
-use cx_storage::{Error, Result};
+use cx_storage::{Error, QueryError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -224,13 +224,15 @@ impl ScanQueue {
         }
 
         // A panicking drain must cost this group, not the server: turn it
-        // into per-member errors so no follower wedges on the condvar.
+        // into per-member *transient* errors — no follower wedges on the
+        // condvar, and every member retries once, solo, under the
+        // server's transient-failure policy.
         let mut results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drain(entries)))
             .unwrap_or_default();
         while results.len() < k {
-            results.push(Err(Error::InvalidArgument(
+            results.push(Err(Error::Query(QueryError::Transient(
                 "shared-scan drain failed to produce a result".into(),
-            )));
+            ))));
         }
         results.truncate(k);
 
@@ -281,5 +283,70 @@ impl ScanQueue {
             pairs_saved: self.pairs_saved.load(Ordering::Relaxed),
             sweep_fallbacks: self.sweep_fallbacks.load(Ordering::Relaxed),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Poisons `mutex` by unwinding through a held guard.
+    fn poison<T>(mutex: &Mutex<T>) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(mutex.lock().is_err(), "mutex should be poisoned");
+    }
+
+    #[test]
+    fn poisoned_group_map_recovers() {
+        // A peer thread panicking while holding the group map must not
+        // brick grouping for every later query: lock acquisitions recover
+        // from poisoning instead of unwrapping.
+        let queue = ScanQueue::new(ScanQueueConfig {
+            group_max: 4,
+            linger: Duration::from_millis(1),
+        });
+        poison(&queue.groups);
+        let cell = Arc::new(GroupCell {
+            state: Mutex::new(GroupState {
+                entries: Vec::new(),
+                results: Vec::new(),
+                full: false,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        // Both map users must survive the poisoned lock.
+        queue.detach(7, &cell);
+        {
+            let mut map = queue.groups.lock().unwrap_or_else(|e| e.into_inner());
+            map.insert(9, cell.clone());
+        }
+        queue.detach(9, &cell);
+        assert!(queue
+            .groups
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty());
+    }
+
+    #[test]
+    fn poisoned_group_state_recovers() {
+        // Same for a group cell's own state lock.
+        let cell = GroupCell {
+            state: Mutex::new(GroupState {
+                entries: Vec::new(),
+                results: Vec::new(),
+                full: false,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        };
+        poison(&cell.state);
+        let mut state = cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        assert!(state.closed);
     }
 }

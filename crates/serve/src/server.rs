@@ -13,14 +13,41 @@
 //!    `LogicalPlan::fingerprint() ⊕ config_fingerprint(...)`, validated
 //!    against the catalog version; a miss optimizes + lowers once and
 //!    caches the re-executable operator tree,
-//! 3. **admits** — [`CostGate::acquire`] on the optimizer's cost estimate
-//!    bounds the total estimated cost executing at once,
+//! 3. **admits** — [`CostGate::acquire_ctx`] on the optimizer's cost
+//!    estimate bounds the total estimated cost executing at once, sheds
+//!    with [`QueryError::QueueFull`] past [`ServeConfig::max_queued`]
+//!    waiters, and lets queued queries honor their deadlines,
 //! 4. **executes** — the cached physical tree runs wrapped in
-//!    [`InstrumentedExec`], so every execution accumulates per-operator
-//!    rows/time into the server-level [`ExecMetrics`] report.
+//!    [`InstrumentedExec`] under the query's [`QueryContext`] scope, so
+//!    deadline/cancellation/budget checks reach every chunk and kernel
+//!    tile, and per-operator rows/time accumulate into the server-level
+//!    [`ExecMetrics`] report.
+//!
+//! # Query lifecycle
+//!
+//! Every query runs under a [`QueryContext`] — deadline, cooperative
+//! cancellation token, memory budget — built from [`QueryOptions`] (per
+//! query) over [`ServeConfig`] defaults. Failures surface as typed
+//! [`QueryError`]s. Policy on top of the mechanism:
+//!
+//! * a **deadline-expired member of a shared-scan group exits alone** —
+//!   its epilogue is skipped and it gets [`QueryError::DeadlineExceeded`];
+//!   the sweep and the surviving members are untouched (their results
+//!   stay bit-identical to solo execution);
+//! * a **transient failure retries once, solo** — injected faults,
+//!   contained panics, and failed group drains map to
+//!   [`QueryError::Transient`]; the retry skips scan sharing and pays
+//!   full solo admission cost ([`ServeConfig::retry_transient`]);
+//! * a **panic is contained at the query boundary** — the server
+//!   converts it to `Transient` instead of unwinding the caller's
+//!   thread, and keeps serving.
+//!
+//! A deterministic chaos harness ([`crate::faults`]) can be installed
+//! with [`Server::set_fault_plan`] to strike these paths on purpose.
 
 use crate::admission::{AdmissionStats, CostGate};
 use crate::batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
+use crate::faults::{FaultPlan, FaultSite, FaultStats};
 use crate::plan_cache::{config_fingerprint, BindingKey, CachedPlan, PlanCache, PlanCacheStats};
 use crate::prepared::Prepared;
 use crate::scan_queue::{GroupEntry, ScanQueue, ScanQueueConfig, ScanQueueStats};
@@ -32,9 +59,12 @@ use cx_exec::{
 };
 use cx_mqo::SharedScanExec;
 use cx_optimizer::{shared_scan_cost, OptimizerConfig};
-use cx_storage::{Error, Result, Scalar, Table};
+use cx_storage::{
+    CancelToken, Error, MemoryBudget, QueryContext, QueryError, Result, Scalar, Table,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +110,25 @@ pub struct ServeConfig {
     /// so shareable first-sight queries pay up to one linger; size this
     /// accordingly (adaptive linger is a roadmap rung).
     pub scan_linger: Duration,
+    /// Default per-query deadline, applied when [`QueryOptions::timeout`]
+    /// is unset (`None` = no deadline). A query past its deadline stops
+    /// at the next chunk/tile boundary with
+    /// [`QueryError::DeadlineExceeded`].
+    pub default_timeout: Option<Duration>,
+    /// Default per-query memory budget in bytes, applied when
+    /// [`QueryOptions::memory_budget`] is unset (0 = unlimited). Charged
+    /// by arena panels and materialized chunks; a query over budget
+    /// stops at the next cooperative check with
+    /// [`QueryError::MemoryBudget`].
+    pub default_memory_budget: u64,
+    /// Most queries allowed to *wait* at the admission gate. One more
+    /// would-block query is refused immediately with
+    /// [`QueryError::QueueFull`] instead of queueing (0 = unbounded).
+    pub max_queued: usize,
+    /// Retry a transiently failed query once, at full solo cost (no scan
+    /// sharing on the retry). Covers [`QueryError::Transient`] from
+    /// injected faults, contained panics, and failed group drains.
+    pub retry_transient: bool,
 }
 
 impl Default for ServeConfig {
@@ -94,11 +143,31 @@ impl Default for ServeConfig {
             mqo: true,
             scan_group_max: 16,
             scan_linger: Duration::from_millis(2),
+            default_timeout: None,
+            default_memory_budget: 0,
+            max_queued: 0,
+            retry_transient: true,
         }
     }
 }
 
+/// Per-query lifecycle options (everything unset falls back to the
+/// [`ServeConfig`] defaults).
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Deadline for this query, measured from entry into the server.
+    pub timeout: Option<Duration>,
+    /// Memory budget in bytes for this query (`Some(0)` = explicitly
+    /// unlimited, overriding a server default).
+    pub memory_budget: Option<u64>,
+    /// Cancellation token to observe; keep a clone and call
+    /// [`CancelToken::cancel`] from any thread to stop the query at its
+    /// next cooperative check.
+    pub cancel: Option<CancelToken>,
+}
+
 /// The outcome of one served query.
+#[derive(Debug)]
 pub struct ServeResult {
     /// Materialized result rows. `Arc`-shared with the plan's result memo
     /// so replays are zero-copy (`Arc<Table>` derefs to `Table`; clone the
@@ -126,6 +195,7 @@ pub struct ServeResult {
 /// scan grouping, admission and execution. Ad-hoc queries execute the
 /// cached tree itself and memoize at the plan level; prepared executions
 /// run a parameter-bound copy and memoize per binding vector.
+#[derive(Clone)]
 pub struct ExecUnit {
     /// The resolved plan-cache entry.
     pub cached: Arc<CachedPlan>,
@@ -142,6 +212,52 @@ pub struct ExecUnit {
     pub plan_cache_hit: bool,
     /// When the server started serving this query.
     pub started: Instant,
+    /// The query's lifecycle context (deadline, cancellation, budget) —
+    /// installed around its execution, consulted at admission, and
+    /// checked per member inside shared-scan groups.
+    pub ctx: QueryContext,
+}
+
+/// Lifecycle-policy counters: how queries died early and how the server
+/// recovered (see the module docs for the policies themselves).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Queries that returned [`QueryError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Queries that returned [`QueryError::Cancelled`].
+    pub cancelled: u64,
+    /// Queries that returned [`QueryError::MemoryBudget`].
+    pub budget_exceeded: u64,
+    /// Queries that (after any retry) returned [`QueryError::Transient`].
+    pub transient_failures: u64,
+    /// Solo retries taken after a transient first attempt.
+    pub retries: u64,
+    /// Panics contained at the query boundary (converted to
+    /// [`QueryError::Transient`] instead of unwinding the caller).
+    pub contained_panics: u64,
+}
+
+#[derive(Default)]
+struct LifecycleCounters {
+    deadline_exceeded: AtomicU64,
+    cancelled: AtomicU64,
+    budget_exceeded: AtomicU64,
+    transient_failures: AtomicU64,
+    retries: AtomicU64,
+    contained_panics: AtomicU64,
+}
+
+impl LifecycleCounters {
+    fn snapshot(&self) -> LifecycleStats {
+        LifecycleStats {
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
+            transient_failures: self.transient_failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Aggregate server counters.
@@ -162,6 +278,9 @@ pub struct ServerStats {
     pub admission: AdmissionStats,
     /// Multi-query scan-sharing counters.
     pub scan_sharing: ScanQueueStats,
+    /// Lifecycle-policy counters (deadlines, cancels, budgets, retries,
+    /// contained panics).
+    pub lifecycle: LifecycleStats,
     /// Per-model embed-batcher counters, sorted by model name.
     pub batchers: Vec<(String, BatcherStats)>,
 }
@@ -179,7 +298,10 @@ pub struct Server {
     sessions: AtomicU64,
     prepared_queries: AtomicU64,
     result_hits: AtomicU64,
-    /// Queries currently inside `execute_with_config` — the scan queue's
+    lifecycle: LifecycleCounters,
+    /// The installed chaos schedule, if any (see [`crate::faults`]).
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    /// Queries currently inside the server — the scan queue's
     /// contention signal: a query that is provably alone skips the
     /// group-forming linger (nobody exists who could join it).
     in_flight: AtomicU64,
@@ -212,6 +334,8 @@ impl Server {
             sessions: AtomicU64::new(0),
             prepared_queries: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
+            lifecycle: LifecycleCounters::default(),
+            fault_plan: RwLock::new(None),
             in_flight: AtomicU64::new(0),
         })
     }
@@ -225,6 +349,26 @@ impl Server {
     /// The serving configuration.
     pub fn config(&self) -> ServeConfig {
         self.config
+    }
+
+    /// Installs (or, with `None`, removes) a deterministic fault-injection
+    /// plan. While installed, the serving hot path consults it at the
+    /// [`FaultSite`] boundaries and injects panics, delays, or transient
+    /// errors per the plan's seeded schedule — the chaos harness the
+    /// robustness tests and `BENCH_chaos` drive. Takes effect for queries
+    /// entering after the call.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault_plan.write() = plan;
+    }
+
+    /// The installed fault plan's injection counters (`None` when no plan
+    /// is installed).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault_plan.read().as_ref().map(|p| p.stats())
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.read().clone()
     }
 
     /// Opens a session handle. Sessions are cheap tagged views over the
@@ -247,7 +391,17 @@ impl Server {
 
     /// Serves one query; safe to call from any number of threads.
     pub fn execute(&self, query: &Query) -> Result<ServeResult> {
-        self.execute_with_config(query, self.engine.config().optimizer)
+        self.serve_query(query, self.engine.config().optimizer, &QueryOptions::default())
+    }
+
+    /// Serves one query under explicit lifecycle options (deadline,
+    /// cancellation token, memory budget).
+    pub fn execute_with_options(
+        &self,
+        query: &Query,
+        options: &QueryOptions,
+    ) -> Result<ServeResult> {
+        self.serve_query(query, self.engine.config().optimizer, options)
     }
 
     /// Serves one query under an explicit optimizer configuration (the
@@ -260,31 +414,60 @@ impl Server {
         query: &Query,
         opt_config: OptimizerConfig,
     ) -> Result<ServeResult> {
+        self.serve_query(query, opt_config, &QueryOptions::default())
+    }
+
+    /// The full serving path: plan resolution, dispatch (memo → scan
+    /// sharing → solo), panic containment, and the transient retry-once
+    /// policy, all under the query's lifecycle context.
+    pub(crate) fn serve_query(
+        &self,
+        query: &Query,
+        opt_config: OptimizerConfig,
+        options: &QueryOptions,
+    ) -> Result<ServeResult> {
         let start = Instant::now();
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&self.in_flight);
+        let ctx = self.make_ctx(options);
         let cfg_fp = config_fingerprint(&opt_config);
         let exact = query.plan().fingerprint();
         let key = exact ^ cfg_fp;
-        let version = self.engine.catalog_version();
-        let (cached, hit) = match self.plan_cache.get(key, version) {
-            Some(cached) => (cached, true),
-            None => {
-                let cached = self.build_plan(query, opt_config, exact, version)?;
-                self.plan_cache.insert(key, cached.clone());
-                (cached, false)
+
+        let attempt = |solo: bool| -> Result<ServeResult> {
+            let version = self.engine.catalog_version();
+            let (cached, hit) = match self.plan_cache.get(key, version) {
+                Some(cached) => (cached, true),
+                None => {
+                    let cached = self.build_plan(query, opt_config, exact, version)?;
+                    self.plan_cache.insert(key, cached.clone());
+                    (cached, false)
+                }
+            };
+            let unit = ExecUnit {
+                root: cached.physical.clone(),
+                binding: None,
+                cost: cached.estimated_cost,
+                cached,
+                plan_cache_hit: hit,
+                started: start,
+                ctx: ctx.clone(),
+            };
+            if solo {
+                // Retry path: no scan sharing, full solo cost — but a
+                // result memoized since the first attempt still counts.
+                if let Some(result) = self.try_result_memo(&unit) {
+                    return Ok(result);
+                }
+                self.execute_solo(&unit)
+            } else {
+                self.dispatch(unit, cfg_fp, false)
             }
         };
 
-        let unit = ExecUnit {
-            root: cached.physical.clone(),
-            binding: None,
-            cost: cached.estimated_cost,
-            cached,
-            plan_cache_hit: hit,
-            started: start,
-        };
-        self.dispatch(unit, cfg_fp, false)
+        let result = self.run_with_recovery(attempt);
+        self.record_outcome(&result);
+        result
     }
 
     /// Executes a prepared statement under `params` (called through
@@ -293,7 +476,9 @@ impl Server {
     /// into a copy of the cached physical tree, admission is weighted by
     /// a cost estimate over the *bound* logical plan, and results are
     /// memoized per binding vector. Bound executions participate in
-    /// multi-query scan sharing exactly like ad-hoc queries.
+    /// multi-query scan sharing exactly like ad-hoc queries, and run
+    /// under the same lifecycle policies (server-default deadline/budget,
+    /// panic containment, transient retry).
     pub(crate) fn execute_prepared(
         &self,
         prepared: &Prepared,
@@ -309,44 +494,122 @@ impl Server {
         let start = Instant::now();
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&self.in_flight);
-        let version = self.engine.catalog_version();
-        let (cached, hit) = self.resolve_prepared(prepared, version)?;
-        let binding = BindingKey::new(params);
+        let ctx = self.make_ctx(&QueryOptions::default());
+        let cfg_fp = config_fingerprint(&prepared.config());
 
-        // Per-binding memo first: a replayed binding skips parameter
-        // rebinding, cost estimation, grouping and admission outright.
-        let unit = ExecUnit {
-            root: cached.physical.clone(), // placeholder until bound below
-            binding: Some(binding),
-            cost: cached.estimated_cost,
-            cached,
-            plan_cache_hit: hit,
-            started: start,
-        };
-        if let Some(result) = self.try_result_memo(&unit) {
-            self.prepared_queries.fetch_add(1, Ordering::Relaxed);
-            return Ok(result);
-        }
+        let attempt = |solo: bool| -> Result<ServeResult> {
+            let version = self.engine.catalog_version();
+            let (cached, hit) = self.resolve_prepared(prepared, version)?;
+            let binding = BindingKey::new(params);
 
-        // Bind the physical tree (subtrees without parameters stay
-        // shared) and re-cost the plan with the bound literals — the
-        // template was optimized with placeholder slots and default
-        // selectivities, but admission should weigh the real query.
-        let root = bind_physical(&unit.cached.physical, params)?;
-        let cost = if params.is_empty() {
-            unit.cached.estimated_cost
-        } else {
-            self.engine
-                .estimate_plan_cost(&unit.cached.optimized.bind_params(params)?, prepared.config())
+            // Per-binding memo first: a replayed binding skips parameter
+            // rebinding, cost estimation, grouping and admission outright.
+            let unit = ExecUnit {
+                root: cached.physical.clone(), // placeholder until bound below
+                binding: Some(binding),
+                cost: cached.estimated_cost,
+                cached,
+                plan_cache_hit: hit,
+                started: start,
+                ctx: ctx.clone(),
+            };
+            if let Some(result) = self.try_result_memo(&unit) {
+                return Ok(result);
+            }
+
+            // Bind the physical tree (subtrees without parameters stay
+            // shared) and re-cost the plan with the bound literals — the
+            // template was optimized with placeholder slots and default
+            // selectivities, but admission should weigh the real query.
+            let root = bind_physical(&unit.cached.physical, params)?;
+            let cost = if params.is_empty() {
+                unit.cached.estimated_cost
+            } else {
+                self.engine.estimate_plan_cost(
+                    &unit.cached.optimized.bind_params(params)?,
+                    prepared.config(),
+                )
+            };
+            let unit = ExecUnit { root, cost, ..unit };
+            if solo {
+                self.execute_solo(&unit)
+            } else {
+                self.dispatch(unit, cfg_fp, true)
+            }
         };
-        let unit = ExecUnit { root, cost, ..unit };
-        let result = self.dispatch(unit, config_fingerprint(&prepared.config()), true);
+
+        let result = self.run_with_recovery(attempt);
         if result.is_ok() {
             // Counted on success only, so the counter stays a subset of
             // `queries` even when bindings fail validation.
             self.prepared_queries.fetch_add(1, Ordering::Relaxed);
         }
+        self.record_outcome(&result);
         result
+    }
+
+    /// Builds a query's lifecycle context from its options over the
+    /// server defaults.
+    fn make_ctx(&self, options: &QueryOptions) -> QueryContext {
+        let mut ctx = QueryContext::unbounded();
+        if let Some(timeout) = options.timeout.or(self.config.default_timeout) {
+            ctx = ctx.with_timeout(timeout);
+        }
+        let budget = options.memory_budget.unwrap_or(self.config.default_memory_budget);
+        if budget > 0 {
+            ctx = ctx.with_budget(Arc::new(MemoryBudget::new(budget)));
+        }
+        if let Some(token) = &options.cancel {
+            ctx = ctx.with_cancel(token.clone());
+        }
+        ctx
+    }
+
+    /// Runs `attempt(false)` with panics contained at this boundary; on a
+    /// transient failure (injected fault, contained panic, failed group
+    /// drain) retries once with `attempt(true)` — the solo path — if
+    /// [`ServeConfig::retry_transient`] is on.
+    fn run_with_recovery(
+        &self,
+        attempt: impl Fn(bool) -> Result<ServeResult>,
+    ) -> Result<ServeResult> {
+        let first = self.contain(|| attempt(false));
+        match first {
+            Err(e) if e.is_transient() && self.config.retry_transient => {
+                self.lifecycle.retries.fetch_add(1, Ordering::Relaxed);
+                self.contain(|| attempt(true))
+            }
+            other => other,
+        }
+    }
+
+    /// Contains panics at the query boundary: the caller gets
+    /// [`QueryError::Transient`] instead of an unwinding thread, and the
+    /// server keeps serving. Every lock the serving path holds across
+    /// potentially-panicking code either recovers from poisoning or is
+    /// released before that code runs, so containment is safe here.
+    fn contain(&self, f: impl FnOnce() -> Result<ServeResult>) -> Result<ServeResult> {
+        match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(_) => {
+                self.lifecycle.contained_panics.fetch_add(1, Ordering::Relaxed);
+                Err(QueryError::Transient("query execution panicked (contained)".into()).into())
+            }
+        }
+    }
+
+    /// Folds a query's final outcome into the lifecycle counters.
+    fn record_outcome(&self, result: &Result<ServeResult>) {
+        let Err(e) = result else { return };
+        let counter = match e.as_query() {
+            Some(QueryError::DeadlineExceeded) => &self.lifecycle.deadline_exceeded,
+            Some(QueryError::Cancelled) => &self.lifecycle.cancelled,
+            Some(QueryError::MemoryBudget { .. }) => &self.lifecycle.budget_exceeded,
+            Some(QueryError::Transient(_)) => &self.lifecycle.transient_failures,
+            // QueueFull is counted by the admission gate itself.
+            Some(QueryError::QueueFull { .. }) | None => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Resolves a prepared statement's cached plan: a shape-keyed lookup
@@ -388,7 +651,7 @@ impl Server {
         exact_fingerprint: u64,
         version: u64,
     ) -> Result<Arc<CachedPlan>> {
-        self.warm_embeddings(query.plan());
+        self.warm_embeddings(query.plan())?;
         let planned = self.engine.optimize_query_with(query, opt_config);
         let physical = self.engine.lower_plan_with(&planned.plan, opt_config)?;
         Ok(Arc::new(CachedPlan {
@@ -474,19 +737,23 @@ impl Server {
         })
     }
 
-    /// Solo path: full-cost admission, then execution.
+    /// Solo path: full-cost lifecycle-aware admission (deadline-aware
+    /// waiting, `max_queued` shedding), then execution.
     fn execute_solo(&self, unit: &ExecUnit) -> Result<ServeResult> {
-        let _permit = self.gate.acquire(unit.cost);
+        if let Some(plan) = self.fault_plan() {
+            plan.strike(FaultSite::Admission)?;
+        }
+        let _permit = self.gate.acquire_ctx(unit.cost, &unit.ctx, self.config.max_queued)?;
         self.run_unit(unit, false)
     }
 
-    /// Executes the unit's tree (instrumented), memoizes, and assembles
-    /// the result. Admission is the caller's business: solo queries
-    /// acquire their own permit, shared groups hold one group permit
-    /// across all members.
+    /// Executes the unit's tree (instrumented) under its lifecycle
+    /// context, memoizes, and assembles the result. Admission is the
+    /// caller's business: solo queries acquire their own permit, shared
+    /// groups hold one group permit across all members.
     fn run_unit(&self, unit: &ExecUnit, shared_scan: bool) -> Result<ServeResult> {
         let root = InstrumentedExec::new(unit.root.clone(), &self.metrics);
-        let table = Arc::new(collect_table(&root)?);
+        let table = Arc::new(unit.ctx.scope(|| collect_table(&root))?);
         if self.config.cache_results {
             match &unit.binding {
                 None => *unit.cached.result.lock() = Some(table.clone()),
@@ -506,9 +773,51 @@ impl Server {
         })
     }
 
+    /// The context a group's shared sweep runs under: deadline = the
+    /// *latest* member deadline (any member with no deadline makes the
+    /// sweep unbounded). Per-member deadlines are enforced at the
+    /// epilogues; the sweep itself only dies when it can no longer serve
+    /// anyone.
+    fn group_context(entries: &[GroupEntry]) -> QueryContext {
+        let mut latest: Option<Instant> = None;
+        for e in entries {
+            match e.unit.ctx.deadline() {
+                None => return QueryContext::unbounded(),
+                Some(d) => latest = Some(latest.map_or(d, |cur| cur.max(d))),
+            }
+        }
+        match latest {
+            Some(d) => QueryContext::unbounded().with_deadline(d),
+            None => QueryContext::unbounded(),
+        }
+    }
+
     /// Drains one scan-queue group: one shared sweep, then every member's
     /// own epilogue. Runs on the group leader's thread.
+    ///
+    /// Failure domains, narrowest first: an expired/cancelled **member**
+    /// exits alone at its epilogue (the group survives); a failed or
+    /// panicked **sweep** falls back to solo execution per member; a
+    /// panicked **drain** is contained by the scan queue and every member
+    /// retries solo via the transient policy. Non-faulted members always
+    /// get bit-identical-to-solo results.
     fn drain_group(&self, entries: Vec<GroupEntry>) -> Vec<Result<ServeResult>> {
+        let fault = self.fault_plan();
+        if let Some(plan) = &fault {
+            // An injected drain *panic* deliberately propagates into the
+            // scan queue's containment (every member gets a transient
+            // error); an injected transient error is reported per member
+            // directly.
+            if plan.strike(FaultSite::Drain).is_err() {
+                return entries
+                    .iter()
+                    .map(|_| {
+                        Err(QueryError::Transient("injected fault at drain".into()).into())
+                    })
+                    .collect();
+            }
+        }
+
         let k = entries.len();
         if k == 1 {
             // Nobody joined inside the linger window: plain solo
@@ -539,19 +848,44 @@ impl Server {
         // One admission permit covers the whole group; each member is
         // charged its shared weight (sweep split k ways, epilogue whole),
         // so coalesced queries admit cheaper than k solo queries would.
+        // The wait honors the group deadline: if even the latest member
+        // deadline passes while queued, nobody is left to serve.
+        let group_ctx = Self::group_context(&entries);
         let weight: f64 = entries
             .iter()
             .map(|e| shared_scan_cost(e.unit.cost, k))
             .sum();
-        let permit = self.gate.acquire(weight);
+        let permit = match self.gate.acquire_ctx(weight, &group_ctx, 0) {
+            Ok(permit) => permit,
+            Err(_) => {
+                // The group deadline is the max over members, so every
+                // member's own deadline has passed too; report each with
+                // its own typed error.
+                return entries
+                    .iter()
+                    .map(|e| match e.unit.ctx.check() {
+                        Err(err) => Err(err),
+                        Ok(()) => Err(QueryError::DeadlineExceeded.into()),
+                    })
+                    .collect();
+            }
+        };
 
         let states = shared.and_then(|shared| {
+            if let Some(plan) = &fault {
+                // A sweep fault (transient) takes the solo-fallback path
+                // below; a sweep panic propagates to the scan queue's
+                // containment.
+                plan.strike(FaultSite::Sweep)?;
+            }
             // The sweep is consumed through its outcome, not its chunk
             // stream (materializing the pair table just to discard it
             // would cost O(hits) clones); record it into the operator
             // metrics by hand so reports still show SharedScan rows/time.
+            // It runs under the *group* context: member deadlines are
+            // enforced at the epilogues, not mid-sweep.
             let sweep_started = Instant::now();
-            let outcome = shared.sweep()?;
+            let outcome = group_ctx.scope(|| shared.sweep())?;
             self.metrics.handle(&shared.name()).record(
                 outcome.emitted_pairs(shared.min_threshold()),
                 1,
@@ -584,11 +918,26 @@ impl Server {
                 if let Some(result) = self.try_result_memo(&e.unit) {
                     return Ok(result);
                 }
-                // Injection failing (operator refuses the state) is fine:
-                // the member simply runs its solo scan inside the same
-                // execution.
-                e.node.inject_shared_scan(state);
-                self.run_unit(&e.unit, true)
+                // Per-member blast radius: a panicking epilogue (injected
+                // or genuine) costs this member a transient error — its
+                // siblings' epilogues still run off the same sweep. A
+                // member past its deadline (or cancelled, or over budget)
+                // exits here without killing the group.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = &fault {
+                        plan.strike(FaultSite::Epilogue)?;
+                    }
+                    e.unit.ctx.check()?;
+                    // Injection failing (operator refuses the state) is
+                    // fine: the member simply runs its solo scan inside
+                    // the same execution.
+                    e.node.inject_shared_scan(state);
+                    self.run_unit(&e.unit, true)
+                }));
+                outcome.unwrap_or_else(|_| {
+                    self.lifecycle.contained_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(QueryError::Transient("epilogue panicked (contained)".into()).into())
+                })
             })
             .collect()
     }
@@ -631,6 +980,11 @@ impl Server {
         self.scan_queue.stats()
     }
 
+    /// Lifecycle-policy counters.
+    pub fn lifecycle_stats(&self) -> LifecycleStats {
+        self.lifecycle.snapshot()
+    }
+
     /// Full counter snapshot.
     pub fn stats(&self) -> ServerStats {
         let mut batchers: Vec<(String, BatcherStats)> = self
@@ -648,6 +1002,7 @@ impl Server {
             plan_cache: self.plan_cache.stats(),
             admission: self.gate.stats(),
             scan_sharing: self.scan_queue.stats(),
+            lifecycle: self.lifecycle.snapshot(),
             batchers,
         }
     }
@@ -672,8 +1027,23 @@ impl Server {
             s.plan_cache.evictions,
         ));
         out.push_str(&format!(
-            "admission: {} admitted, {} waited (capacity {:.0}, in use {:.0})\n",
-            s.admission.admitted, s.admission.waited, self.gate.capacity(), s.admission.in_use,
+            "admission: {} admitted, {} waited, {} shed, {} abandoned (capacity {:.0}, in use {:.0})\n",
+            s.admission.admitted,
+            s.admission.waited,
+            s.admission.shed,
+            s.admission.abandoned,
+            self.gate.capacity(),
+            s.admission.in_use,
+        ));
+        out.push_str(&format!(
+            "lifecycle: {} deadline-exceeded, {} cancelled, {} over budget, \
+             {} transient failures, {} retries, {} contained panics\n",
+            s.lifecycle.deadline_exceeded,
+            s.lifecycle.cancelled,
+            s.lifecycle.budget_exceeded,
+            s.lifecycle.transient_failures,
+            s.lifecycle.retries,
+            s.lifecycle.contained_panics,
         ));
         out.push_str(&format!(
             "scan sharing: {} queries coalesced into {} shared groups (max group {}), \
@@ -685,6 +1055,21 @@ impl Server {
             s.scan_sharing.pairs_saved,
             s.scan_sharing.sweep_fallbacks,
         ));
+        if let Some(plan) = self.fault_plan() {
+            let f = plan.stats();
+            out.push_str(&format!(
+                "fault injection [seed {}]: {} faults (",
+                plan.seed(),
+                f.total()
+            ));
+            for (i, site) in FaultSite::ALL.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{site} {}", f.per_site[i]));
+            }
+            out.push_str(")\n");
+        }
         for (model, b) in &s.batchers {
             out.push_str(&format!(
                 "embed batcher [{model}]: {} batches / {} texts (max batch {}, max submitters {}), \
@@ -704,17 +1089,24 @@ impl Server {
 
     /// Submits every semantic operator's embedding working set to the
     /// per-model batchers and blocks until the cache holds it. Best-effort
-    /// and purely a performance hint: anything missed (renamed columns,
+    /// and purely a performance hint — except under an installed fault
+    /// plan, whose [`FaultSite::Embed`] strikes fire here (per model
+    /// batch) on the query thread. Anything missed (renamed columns,
     /// post-filter subsets, capped columns) embeds inside the operator
     /// exactly as before.
-    fn warm_embeddings(&self, plan: &LogicalPlan) {
+    fn warm_embeddings(&self, plan: &LogicalPlan) -> Result<()> {
+        let fault = self.fault_plan();
         let mut requests: BTreeMap<String, Vec<String>> = BTreeMap::new();
         collect_warm_requests(plan, self, &mut requests);
         for (model, texts) in requests {
             if let Some(batcher) = self.batcher(&model) {
+                if let Some(plan) = &fault {
+                    plan.strike(crate::faults::FaultSite::Embed)?;
+                }
                 batcher.warm(&texts);
             }
         }
+        Ok(())
     }
 
     /// Distinct string values of `column` across the base tables scanned
@@ -867,7 +1259,20 @@ impl Session {
     /// optimizer configuration.
     pub fn execute(&self, query: &Query) -> Result<ServeResult> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.server.execute_with_config(query, self.optimizer_config())
+        self.server
+            .serve_query(query, self.optimizer_config(), &QueryOptions::default())
+    }
+
+    /// Serves one query under explicit lifecycle options (deadline,
+    /// cancellation token, memory budget) and this session's optimizer
+    /// configuration.
+    pub fn execute_with_options(
+        &self,
+        query: &Query,
+        options: &QueryOptions,
+    ) -> Result<ServeResult> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.server.serve_query(query, self.optimizer_config(), options)
     }
 
     /// Prepares a query template for repeated execution with different

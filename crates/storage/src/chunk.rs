@@ -75,6 +75,12 @@ impl Chunk {
         self.rows == 0
     }
 
+    /// Approximate heap footprint in bytes (sum of column footprints),
+    /// used by the query memory-budget accountant.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
+    }
+
     /// All columns in schema order.
     pub fn columns(&self) -> &[Column] {
         &self.columns

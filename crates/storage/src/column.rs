@@ -104,6 +104,21 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate heap footprint in bytes (values + string payloads +
+    /// validity words), used by the query memory-budget accountant.
+    pub fn memory_bytes(&self) -> usize {
+        let validity_bytes = self.validity().map_or(0, |v| v.len().div_ceil(8));
+        let value_bytes = match self {
+            Column::Bool { values, .. } => values.len(),
+            Column::Int64 { values, .. } | Column::Timestamp { values, .. } => values.len() * 8,
+            Column::Float64 { values, .. } => values.len() * 8,
+            Column::Utf8 { values, .. } => {
+                values.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum()
+            }
+        };
+        value_bytes + validity_bytes
+    }
+
     /// The validity bitmap, if any rows may be null.
     pub fn validity(&self) -> Option<&Bitmap> {
         match self {

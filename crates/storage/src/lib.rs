@@ -11,6 +11,8 @@
 //! * [`Table`] — an in-memory table as a schema plus a list of chunks,
 //! * [`stats`] — per-column statistics (min/max, null count, distinct
 //!   estimate, equi-width histograms) driving optimizer decisions,
+//! * [`qctx`] — the query lifecycle context (deadline, cooperative
+//!   cancellation, memory budget) hot loops check between chunks/tiles,
 //! * [`csv`] — a small CSV import/export used by examples and tests.
 //!
 //! Everything is deliberately dependency-light and deterministic so the
@@ -22,6 +24,7 @@ pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod qctx;
 pub mod scalar;
 pub mod schema;
 pub mod stats;
@@ -32,7 +35,8 @@ pub use bitmap::Bitmap;
 pub use builder::{ColumnBuilder, RowBuilder};
 pub use chunk::Chunk;
 pub use column::Column;
-pub use error::{Error, Result};
+pub use error::{Error, QueryError, Result};
+pub use qctx::{CancelToken, MemoryBudget, QueryContext};
 pub use scalar::Scalar;
 pub use schema::{Field, Schema};
 pub use stats::{ColumnStats, Histogram, TableStats};

@@ -16,6 +16,15 @@
 use crate::kernels::norm;
 use crate::store::VectorStore;
 use cx_embed::EmbeddingCache;
+use cx_storage::QueryContext;
+
+/// Charges `floats` f32s (plus per-row norm floats) to the ambient
+/// query's memory budget. Panel construction is the dominant allocator
+/// on the semantic hot path, so arenas account for themselves rather
+/// than relying on every caller to remember.
+fn charge_floats(floats: usize) {
+    QueryContext::current().charge(floats * std::mem::size_of::<f32>());
+}
 
 /// Rows are padded to this many floats (32 bytes), the blocked kernels'
 /// natural vector width.
@@ -65,6 +74,7 @@ impl VectorArena {
     /// An empty arena with room for `rows` vectors.
     pub fn with_capacity(dim: usize, rows: usize) -> Self {
         let mut arena = Self::new(dim);
+        charge_floats(rows * (arena.stride + 1));
         arena.data.reserve(rows * arena.stride);
         arena.norms.reserve(rows);
         arena
@@ -76,6 +86,7 @@ impl VectorArena {
     pub fn from_texts<S: AsRef<str>>(cache: &EmbeddingCache, texts: &[S]) -> Self {
         let dim = cache.dim();
         let mut arena = Self::new(dim);
+        charge_floats(texts.len() * (arena.stride + 1));
         arena.data = vec![0.0f32; texts.len() * arena.stride];
         cache.get_batch_into(texts, arena.stride, &mut arena.data);
         arena.norms = (0..texts.len())
@@ -164,6 +175,7 @@ impl VectorArena {
     /// # Panics
     /// Panics if any id is out of bounds.
     pub fn gather_rows(&self, rows: &[u32]) -> VectorArena {
+        charge_floats(rows.len() * (self.stride + 1));
         let mut data = vec![0.0f32; rows.len() * self.stride];
         let mut norms = Vec::with_capacity(rows.len());
         for (k, &id) in rows.iter().enumerate() {
@@ -178,6 +190,7 @@ impl VectorArena {
     /// A copy with every row scaled to unit norm (zero rows left as-is),
     /// enabling prenormalized blocked scoring.
     pub fn normalized(&self) -> VectorArena {
+        charge_floats(self.data.len() + self.norms.len());
         let mut data = self.data.clone();
         for (row, &n) in data.chunks_exact_mut(self.stride).zip(&self.norms) {
             if n > 0.0 {

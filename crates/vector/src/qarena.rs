@@ -80,6 +80,7 @@ impl QuantizedArena {
         let data = match tier {
             QuantTier::F32 => return Err(UnsupportedTier(tier)),
             QuantTier::F16 => {
+                cx_storage::QueryContext::current().charge(rows * stride * 2);
                 let mut data = vec![0u16; rows * stride];
                 for r in 0..rows {
                     for (i, &x) in arena.row(r).iter().enumerate() {
@@ -89,6 +90,7 @@ impl QuantizedArena {
                 QuantizedRows::F16(data)
             }
             QuantTier::Int8 => {
+                cx_storage::QueryContext::current().charge(rows * (stride + 4));
                 let mut data = vec![0i8; rows * stride];
                 let mut scales = vec![0.0f32; rows];
                 for r in 0..rows {

@@ -44,4 +44,7 @@ pub use cx_vector as vector;
 pub use cx_vision as vision;
 
 pub use context_engine::{Engine, EngineConfig, PlannedQuery, Query, QueryResult};
-pub use cx_serve::{Prepared, ServeConfig, ServeResult, Server, Session};
+pub use cx_serve::{
+    FaultKind, FaultPlan, FaultSite, FaultStats, LifecycleStats, Prepared, QueryOptions,
+    ServeConfig, ServeResult, Server, Session,
+};
