@@ -180,8 +180,9 @@ fn main() {
             r.median_ns / pairs
         ));
     }
+    let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"block_kernels\",\n  \"candidates\": {CANDIDATES},\n  \"probes\": {PROBES},\n  \"unit\": \"ns\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"block_kernels\",\n  \"candidates\": {CANDIDATES},\n  \"probes\": {PROBES},\n  \"unit\": \"ns\",\n  \"simd\": \"{simd}\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     // Anchored to the workspace root: `cargo bench` sets cwd to the

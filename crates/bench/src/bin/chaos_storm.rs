@@ -264,8 +264,9 @@ fn main() {
         .map(|(i, s)| format!("\"{s}\": {}", faults.per_site[i]))
         .collect::<Vec<_>>()
         .join(", ");
+    let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"chaos_storm\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"seed\": {seed},\n  \"fault_rate\": {rate:.4},\n  \"fault_free\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"storm\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"goodput_ratio\": {:.4},\n  \"faults_injected\": {{{site_json}, \"total\": {}}},\n  \"lifecycle\": {{\"retries\": {}, \"contained_panics\": {}, \"transient_failures\": {}, \"deadline_exceeded\": {}, \"cancelled\": {}, \"budget_exceeded\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"chaos_storm\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"seed\": {seed},\n  \"fault_rate\": {rate:.4},\n  \"fault_free\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"storm\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"goodput_ratio\": {:.4},\n  \"faults_injected\": {{{site_json}, \"total\": {}}},\n  \"lifecycle\": {{\"retries\": {}, \"contained_panics\": {}, \"transient_failures\": {}, \"deadline_exceeded\": {}, \"cancelled\": {}, \"budget_exceeded\": {}}}\n}}\n",
         clean.goodput(),
         clean.percentile(0.5),
         clean.percentile(0.99),

@@ -314,8 +314,9 @@ fn main() {
             )
         })
         .collect();
+    let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"fig4_optimizations\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fig4_optimizations\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \"threshold\": {THRESHOLD},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     // Anchored to the workspace root regardless of invocation cwd.

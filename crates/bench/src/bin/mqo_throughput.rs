@@ -236,8 +236,9 @@ fn main() {
         sharing.sweep_fallbacks,
     );
 
+    let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"mqo_throughput\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"mqo\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"unshared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"scan_sharing\": {{\"groups\": {}, \"grouped_queries\": {}, \"shared_groups\": {}, \"shared_queries\": {}, \"max_group\": {}, \"panel_rows_saved\": {}, \"pairs_saved\": {}, \"sweep_fallbacks\": {}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"mqo_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"mqo\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"unshared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"scan_sharing\": {{\"groups\": {}, \"grouped_queries\": {}, \"shared_groups\": {}, \"shared_queries\": {}, \"max_group\": {}, \"panel_rows_saved\": {}, \"pairs_saved\": {}, \"sweep_fallbacks\": {}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
         shared.latencies.len(),
         shared.qps(),
         shared.percentile(0.5),

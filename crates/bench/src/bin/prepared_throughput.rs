@@ -277,8 +277,9 @@ fn main() {
         "bit-identity: {verified} sampled bindings identical to ad-hoc execution"
     );
 
+    let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"prepared_throughput\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"distinct_bindings\": {},\n  \"prepared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"adhoc\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}, \"plan_cache_hit_rate\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"prepared_plan_cache\": {{\"hits\": {}, \"misses\": {}, \"shape_hit_rate\": {:.4}}},\n  \"bit_identical_sampled_bindings\": {verified}\n}}\n",
+        "{{\n  \"bench\": \"prepared_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"distinct_bindings\": {},\n  \"prepared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"adhoc\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}, \"plan_cache_hit_rate\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"prepared_plan_cache\": {{\"hits\": {}, \"misses\": {}, \"shape_hit_rate\": {:.4}}},\n  \"bit_identical_sampled_bindings\": {verified}\n}}\n",
         clients * per_client,
         prep.qps(),
         prep.percentile(0.5),

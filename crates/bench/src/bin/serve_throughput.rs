@@ -257,8 +257,9 @@ fn main() {
         batcher.batches, batcher.batched_texts, batcher.texts_coalesced, batcher.max_batch_submitters
     );
 
+    let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"serve\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"serial\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"result_memo_hits\": {}}},\n  \"embed_batcher\": {{\"batches\": {}, \"batched_texts\": {}, \"texts_coalesced\": {}, \"max_batch_submitters\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"serve\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"serial\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"result_memo_hits\": {}}},\n  \"embed_batcher\": {{\"batches\": {}, \"batched_texts\": {}, \"texts_coalesced\": {}, \"max_batch_submitters\": {}}}\n}}\n",
         served.latencies.len(),
         served.qps(),
         served.percentile(0.5),

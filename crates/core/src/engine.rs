@@ -331,6 +331,10 @@ impl Engine {
         out.push_str(&format!("rules fired: {}\n", trace.join(", ")));
         out.push_str(&format!("estimated rows: {rows:.0}\n"));
         out.push_str(&format!("estimated cost: {cost:.0}\n"));
+        out.push_str(&format!(
+            "kernel dispatch: {}\n",
+            cx_vector::simd::KernelDispatch::active().report()
+        ));
         out.push_str("== physical plan ==\n");
         out.push_str(&display_physical(physical.as_ref()));
         Ok(out)

@@ -70,76 +70,11 @@ impl QuantTier {
     }
 }
 
-/// Converts an `f32` to IEEE-754 binary16 bits (round-to-nearest-even),
-/// handling subnormals, infinities and NaN.
-pub fn f32_to_f16(value: f32) -> u16 {
-    let bits = value.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xFF) as i32;
-    let frac = bits & 0x7F_FFFF;
-
-    if exp == 0xFF {
-        // Inf / NaN.
-        let nan_bit = if frac != 0 { 0x200 } else { 0 };
-        return sign | 0x7C00 | nan_bit | ((frac >> 13) as u16 & 0x3FF);
-    }
-
-    // Re-bias: f32 bias 127 -> f16 bias 15.
-    let unbiased = exp - 127;
-    let new_exp = unbiased + 15;
-
-    if new_exp >= 0x1F {
-        // Overflow to infinity.
-        return sign | 0x7C00;
-    }
-    if new_exp <= 0 {
-        // Subnormal or zero.
-        if new_exp < -10 {
-            return sign; // Rounds to zero.
-        }
-        let mantissa = frac | 0x80_0000; // implicit leading 1
-        let shift = 14 - new_exp;
-        let half = 1u32 << (shift - 1);
-        let rounded = (mantissa + half) >> shift;
-        return sign | rounded as u16;
-    }
-
-    // Normal case with round-to-nearest-even on the dropped 13 bits.
-    let mut out = ((new_exp as u32) << 10) | (frac >> 13);
-    let round_bits = frac & 0x1FFF;
-    if round_bits > 0x1000 || (round_bits == 0x1000 && (out & 1) == 1) {
-        out += 1; // may carry into exponent, which is correct behaviour
-    }
-    sign | out as u16
-}
-
-/// Converts IEEE-754 binary16 bits to `f32`.
-pub fn f16_to_f32(bits: u16) -> f32 {
-    let sign = ((bits & 0x8000) as u32) << 16;
-    let exp = ((bits >> 10) & 0x1F) as u32;
-    let frac = (bits & 0x3FF) as u32;
-
-    let out = if exp == 0 {
-        if frac == 0 {
-            sign // +-0
-        } else {
-            // Subnormal: normalize.
-            let mut e = 0i32;
-            let mut f = frac;
-            while f & 0x400 == 0 {
-                f <<= 1;
-                e -= 1;
-            }
-            let f = f & 0x3FF;
-            sign | (((e + 113) as u32) << 23) | (f << 13)
-        }
-    } else if exp == 0x1F {
-        sign | 0x7F80_0000 | (frac << 13) // Inf / NaN
-    } else {
-        sign | ((exp + 112) << 23) | (frac << 13)
-    };
-    f32::from_bits(out)
-}
+// The IEEE binary16 converters live in `cx_simd` now (the kernel layer
+// needs them for scalar tails); re-exported here so quantization callers
+// keep their historical import path. The *write* path stays software on
+// every ISA, so stored panels are host-independent.
+pub use cx_simd::{f16_to_f32, f32_to_f16};
 
 /// A vector quantized to one of the reduced formats.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -201,10 +136,11 @@ impl QuantizedVector {
 
     /// Approximate dot product with an f32 query.
     ///
-    /// Both arms run the 4-wide unrolled ladder of
-    /// `cx_vector::kernels::dot_unrolled` (independent partial sums, fixed
-    /// reduction tree, sequential tail) so the accumulation shape
-    /// auto-vectorizes and matches the panel kernels' per-row order.
+    /// The f16 arm runs the dispatched `cx_simd::dot_f16` kernel, so it is
+    /// bit-identical to the panel kernel [`dot_block_f16`] on every ISA.
+    /// The int8 arm keeps its f32-accumulating 4-wide ladder: it scores
+    /// *unquantized* queries (no query-side scale), a shape outside the
+    /// exact-i32 kernel family.
     pub fn dot(&self, query: &[f32]) -> f32 {
         match self {
             QuantizedVector::F16(d) => dot_f16(d, query),
@@ -233,50 +169,21 @@ fn reduce4(acc: &[f32; 4]) -> f32 {
     (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
-/// 4-wide unrolled dot of f16 row bits against an f32 query.
+/// Dot of f16 row bits against an f32 query on the active SIMD path
+/// (hardware `vcvtph2ps` when F16C is active, software otherwise — same
+/// bits either way).
 #[inline]
 fn dot_f16(row: &[u16], query: &[f32]) -> f32 {
-    let dim = row.len().min(query.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = dim / 4;
-    for c in 0..chunks {
-        let base = c * 4;
-        for i in 0..4 {
-            acc[i] += f16_to_f32(row[base + i]) * query[base + i];
-        }
-    }
-    let mut s = reduce4(&acc);
-    for i in chunks * 4..dim {
-        s += f16_to_f32(row[i]) * query[i];
-    }
-    s
-}
-
-/// 4-wide unrolled integer accumulation of two int8 vectors.
-#[inline]
-fn acc_int8(a: &[i8], b: &[i8]) -> i32 {
-    let dim = a.len().min(b.len());
-    let mut acc = [0i32; 4];
-    let chunks = dim / 4;
-    for c in 0..chunks {
-        let base = c * 4;
-        for i in 0..4 {
-            acc[i] += a[base + i] as i32 * b[base + i] as i32;
-        }
-    }
-    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for i in chunks * 4..dim {
-        s += a[i] as i32 * b[i] as i32;
-    }
-    s
+    cx_simd::dot_f16(row, query)
 }
 
 /// Dot product between two int8 vectors with scales (integer accumulate,
 /// the kernel shape TPU-class hardware runs natively). The accumulator is
-/// exact (i32), so any evaluation order gives bit-identical results; the
-/// 4-wide unroll exists purely so LLVM widens it to SIMD.
+/// exact (i32) — `cx_simd::dot_int8_i32` dispatches to `vpdpbusd` /
+/// `vpmaddwd` / NEON / scalar, all bit-identical because integer addition
+/// is associative.
 pub fn dot_int8(a: &[i8], a_scale: f32, b: &[i8], b_scale: f32) -> f32 {
-    acc_int8(a, b) as f32 * a_scale * b_scale
+    cx_simd::dot_int8_i32(a, b) as f32 * a_scale * b_scale
 }
 
 /// Quantizes an f32 query to symmetric int8 (scale = max|x| / 127), the
@@ -292,28 +199,16 @@ pub fn quantize_query_int8(q: &[f32]) -> (Vec<i8>, f32) {
 /// Scores `query` against `out.len()` f16 rows stored row-major in `block`
 /// at `stride` half-floats per row: `out[r] = dot(query, dequant(row_r))`.
 ///
-/// Per-row accumulation order is exactly [`QuantizedVector::dot`]'s f16
-/// arm (4-wide partial sums, fixed reduction tree, sequential tail), so
-/// panel scores are bit-identical to the pairwise quantized call.
+/// Forwards to `cx_simd::dot_block_f16`: F16C hardware conversion when
+/// active, software otherwise — bit-identical either way, and always
+/// bit-identical to the pairwise [`QuantizedVector::dot`] f16 arm.
 ///
 /// # Panics
 /// Panics if `stride < query.len()` or `block` is too short for
 /// `out.len()` rows.
+#[inline]
 pub fn dot_block_f16(query: &[f32], block: &[u16], stride: usize, out: &mut [f32]) {
-    let dim = query.len();
-    let rows = out.len();
-    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
-    if rows == 0 {
-        return;
-    }
-    assert!(
-        block.len() >= (rows - 1) * stride + dim,
-        "block of {} halfs too short for {rows} rows at stride {stride}",
-        block.len()
-    );
-    for (r, o) in out.iter_mut().enumerate() {
-        *o = dot_f16(&block[r * stride..r * stride + dim], query);
-    }
+    cx_simd::dot_block_f16(query, block, stride, out);
 }
 
 /// Integer panel kernel: accumulates `query · row_r` in exact i32 for
@@ -321,53 +216,16 @@ pub fn dot_block_f16(query: &[f32], block: &[u16], stride: usize, out: &mut [f32
 /// Callers apply scales afterwards (`acc as f32 * q_scale * row_scale`,
 /// the order of [`dot_int8`]).
 ///
-/// Four rows are processed per pass so the quantized query chunk is loaded
-/// once and reused; integer addition is exact, so results are bit-identical
-/// to pairwise [`dot_int8`] accumulation regardless of schedule.
+/// Forwards to `cx_simd::dot_block_int8` (`vpdpbusd` / `vpmaddwd` / NEON /
+/// scalar); integer addition is exact, so results are bit-identical to
+/// pairwise [`dot_int8`] accumulation on every path.
 ///
 /// # Panics
 /// Panics if `stride < query.len()` or `block` is too short for
 /// `out.len()` rows.
+#[inline]
 pub fn dot_block_int8(query: &[i8], block: &[i8], stride: usize, out: &mut [i32]) {
-    let dim = query.len();
-    let rows = out.len();
-    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
-    if rows == 0 {
-        return;
-    }
-    assert!(
-        block.len() >= (rows - 1) * stride + dim,
-        "block of {} bytes too short for {rows} rows at stride {stride}",
-        block.len()
-    );
-    const MICRO: usize = 4;
-    let mut r = 0;
-    while r + MICRO <= rows {
-        let mut acc = [[0i32; 4]; MICRO];
-        let rows4: [&[i8]; MICRO] =
-            std::array::from_fn(|k| &block[(r + k) * stride..(r + k) * stride + dim]);
-        let chunks = dim / 4;
-        for c in 0..chunks {
-            let base = c * 4;
-            for (k, row) in rows4.iter().enumerate() {
-                for i in 0..4 {
-                    acc[k][i] += query[base + i] as i32 * row[base + i] as i32;
-                }
-            }
-        }
-        for (k, row) in rows4.iter().enumerate() {
-            let mut s = (acc[k][0] + acc[k][1]) + (acc[k][2] + acc[k][3]);
-            for i in chunks * 4..dim {
-                s += query[i] as i32 * row[i] as i32;
-            }
-            out[r + k] = s;
-        }
-        r += MICRO;
-    }
-    while r < rows {
-        out[r] = acc_int8(query, &block[r * stride..r * stride + dim]);
-        r += 1;
-    }
+    cx_simd::dot_block_int8(query, block, stride, out);
 }
 
 #[cfg(test)]

@@ -56,6 +56,10 @@ impl OperatorMetrics {
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
     operators: RwLock<BTreeMap<String, Arc<OperatorMetrics>>>,
+    /// Free-form execution-environment annotation (e.g. the resolved SIMD
+    /// kernel dispatch), printed at the top of [`ExecMetrics::report`] so
+    /// recorded numbers are self-describing.
+    environment: RwLock<Option<String>>,
 }
 
 impl ExecMetrics {
@@ -76,6 +80,18 @@ impl ExecMetrics {
             .clone()
     }
 
+    /// Annotates this registry with the execution environment the numbers
+    /// were recorded under (e.g. `simd f32=avx512 f16=f16c+avx512
+    /// int8=vnni512`). Shown as the first line of [`ExecMetrics::report`].
+    pub fn set_environment(&self, env: impl Into<String>) {
+        *self.environment.write() = Some(env.into());
+    }
+
+    /// The environment annotation, if one was set.
+    pub fn environment(&self) -> Option<String> {
+        self.environment.read().clone()
+    }
+
     /// Snapshot of `(label, rows_out, elapsed_ns)` sorted by label.
     pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
         self.operators
@@ -87,7 +103,11 @@ impl ExecMetrics {
 
     /// Human-readable report.
     pub fn report(&self) -> String {
-        let mut out = String::from("operator | rows_out | time_ms\n");
+        let mut out = String::new();
+        if let Some(env) = self.environment() {
+            out.push_str(&format!("environment: {env}\n"));
+        }
+        out.push_str("operator | rows_out | time_ms\n");
         for (label, rows, ns) in self.snapshot() {
             out.push_str(&format!("{label} | {rows} | {:.3}\n", ns as f64 / 1e6));
         }

@@ -10,6 +10,7 @@ use crate::cardinality::estimate_rows;
 use crate::context::{OptimizerConfig, OptimizerContext};
 use cx_embed::QuantTier;
 use cx_exec::logical::LogicalPlan;
+use cx_simd::KernelDispatch;
 
 /// Per-row scan cost.
 const SCAN_ROW: f64 = 2.0;
@@ -46,17 +47,37 @@ const QUANT_MIN_PAIRS: f64 = 65_536.0;
 const QUANT_VALUE: f64 = 6.0;
 
 /// Picks the storage tier for a semantic scan expected to evaluate
-/// `est_pairs` similarity pairs: the cheapest tier whose documented score
-/// error stays within the configured `recall_tolerance`. Small scans stay
-/// f32 — quantizing the panel costs more than it saves below
-/// `QUANT_MIN_PAIRS`.
+/// `est_pairs` similarity pairs under the process's active kernel
+/// dispatch. See [`select_quant_tier_with`] for the selection rule.
 pub fn select_quant_tier(config: &OptimizerConfig, est_pairs: f64) -> QuantTier {
+    select_quant_tier_with(config, est_pairs, &KernelDispatch::active())
+}
+
+/// Picks the storage tier for a semantic scan expected to evaluate
+/// `est_pairs` similarity pairs under an explicit kernel `dispatch`: the
+/// cheapest tier whose documented score error stays within the configured
+/// `recall_tolerance` *and* whose kernel is actually a win on the active
+/// ISA. Small scans stay f32 — quantizing the panel costs more than it
+/// saves below `QUANT_MIN_PAIRS`.
+///
+/// The f16 tier is only selectable when the dispatch runs hardware
+/// conversion ([`KernelDispatch::f16_hardware`]): the software-conversion
+/// f16 kernel is a measured ~15× *loss* versus f32 (bit-twiddling per
+/// element swamps the bandwidth saving), so without F16C the tolerance
+/// ladder skips straight from int8 to f32. int8 stays selectable on every
+/// path — its accumulation is cheap integer math on all ISAs and the 4×
+/// byte shrink wins wherever the panel scan is bandwidth-bound.
+pub fn select_quant_tier_with(
+    config: &OptimizerConfig,
+    est_pairs: f64,
+    dispatch: &KernelDispatch,
+) -> QuantTier {
     if !config.quantization || est_pairs < QUANT_MIN_PAIRS {
         return QuantTier::F32;
     }
     if config.recall_tolerance >= INT8_SCORE_ERROR {
         QuantTier::Int8
-    } else if config.recall_tolerance >= F16_SCORE_ERROR {
+    } else if config.recall_tolerance >= F16_SCORE_ERROR && dispatch.f16_hardware() {
         QuantTier::F16
     } else {
         QuantTier::F32
@@ -81,20 +102,33 @@ pub fn shared_scan_cost(cost: f64, sharers: usize) -> f64 {
     cost * (SHARED_EPILOGUE_FRACTION + (1.0 - SHARED_EPILOGUE_FRACTION) / k)
 }
 
-/// Per-pair similarity cost at a storage tier.
+/// Per-pair cost factor of the f16 tier when no F16C path is active: the
+/// measured ratio of software-conversion `dot_block_f16` to f32
+/// `dot_block` (346 vs 22 ns/pair at dim 256). [`select_quant_tier_with`]
+/// never *chooses* f16 on such a dispatch, but externally forced tiers
+/// still get costed honestly.
+const F16_SOFTWARE_FACTOR: f64 = 15.0;
+
+/// Per-pair similarity cost at a storage tier under a kernel dispatch.
 ///
-/// The factors track bytes-per-element (f32 4 B → f16 2 B → int8 1 B),
-/// i.e. the data-movement economy of Section VI: at the cardinalities
-/// where quantization is admitted ([`QUANT_MIN_PAIRS`]+) panels exceed
-/// cache and the scan is bandwidth-bound, so moved bytes — not per-element
-/// ALU work — dominate. (On hardware without native f16 the *small*-panel
-/// latency story differs: software f16 conversion is ALU-heavy, which is
-/// one more reason the floor keeps small scans at f32.)
-fn sim_pair_cost(tier: QuantTier) -> f64 {
+/// On hardware paths the factors track bytes-per-element (f32 4 B →
+/// f16 2 B → int8 1 B), i.e. the data-movement economy of Section VI: at
+/// the cardinalities where quantization is admitted ([`QUANT_MIN_PAIRS`]+)
+/// panels exceed cache and the scan is bandwidth-bound, so moved bytes —
+/// not per-element ALU work — dominate. The one ISA-dependent exception is
+/// f16 without F16C, where per-element software conversion swamps
+/// everything ([`F16_SOFTWARE_FACTOR`]).
+fn sim_pair_cost(tier: QuantTier, dispatch: &KernelDispatch) -> f64 {
     SIM_PAIR
         * match tier {
             QuantTier::F32 => 1.0,
-            QuantTier::F16 => 0.55,
+            QuantTier::F16 => {
+                if dispatch.f16_hardware() {
+                    0.55
+                } else {
+                    F16_SOFTWARE_FACTOR
+                }
+            }
             QuantTier::Int8 => 0.4,
         }
 }
@@ -139,9 +173,10 @@ pub fn node_cost(plan: &LogicalPlan, ctx: &OptimizerContext) -> f64 {
             let dl = distinct_estimate(left, ctx);
             let dr = distinct_estimate(right, ctx);
             let embed = (dl + dr) * EMBED_VALUE;
-            let tier = select_quant_tier(&ctx.config, dl * dr);
+            let dispatch = KernelDispatch::active();
+            let tier = select_quant_tier_with(&ctx.config, dl * dr, &dispatch);
             let quantize = if tier == QuantTier::F32 { 0.0 } else { dr * QUANT_VALUE };
-            let scan_pairs = quantize + dl * dr * sim_pair_cost(tier);
+            let scan_pairs = quantize + dl * dr * sim_pair_cost(tier, &dispatch);
             if ctx.config.semantic_index_selection {
                 let index = dr * INDEX_BUILD_VALUE + dl * dr * INDEX_PROBE_FRACTION * SIM_PAIR;
                 embed + scan_pairs.min(index)
@@ -297,21 +332,74 @@ mod tests {
         assert!(estimate_cost(&large, &c) > estimate_cost(&small, &c));
     }
 
+    /// A dispatch with hardware f16 conversion (explicit, so these tests
+    /// hold regardless of the host CPU or `CX_SIMD`).
+    fn hw_dispatch() -> KernelDispatch {
+        KernelDispatch {
+            f32_path: cx_simd::F32Path::Avx2,
+            f16_path: cx_simd::F16Path::F16cAvx2,
+            int8_path: cx_simd::Int8Path::Avx2,
+        }
+    }
+
+    /// The `CX_SIMD=off` dispatch: every family on its scalar path.
+    fn scalar_dispatch() -> KernelDispatch {
+        cx_simd::resolve_mode(cx_simd::SimdMode::Off).expect("off always resolves")
+    }
+
     #[test]
     fn tier_selection_follows_tolerance_and_scale() {
+        let hw = hw_dispatch();
         let mut config = OptimizerConfig::all();
         // Default tolerance 0.0: always exact.
-        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::F32);
+        assert_eq!(select_quant_tier_with(&config, 1e9, &hw), QuantTier::F32);
         // Tolerance admits f16, then int8.
         config.recall_tolerance = 2e-3;
-        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::F16);
+        assert_eq!(select_quant_tier_with(&config, 1e9, &hw), QuantTier::F16);
         config.recall_tolerance = 5e-2;
-        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::Int8);
+        assert_eq!(select_quant_tier_with(&config, 1e9, &hw), QuantTier::Int8);
         // Small scans never quantize: build cost dominates.
-        assert_eq!(select_quant_tier(&config, 1_000.0), QuantTier::F32);
+        assert_eq!(select_quant_tier_with(&config, 1_000.0, &hw), QuantTier::F32);
         // Feature switch wins over tolerance.
         config.quantization = false;
-        assert_eq!(select_quant_tier(&config, 1e9), QuantTier::F32);
+        assert_eq!(select_quant_tier_with(&config, 1e9, &hw), QuantTier::F32);
+    }
+
+    #[test]
+    fn f16_tier_requires_hardware_conversion() {
+        let mut config = OptimizerConfig::all();
+        config.recall_tolerance = 2e-3; // admits f16, not int8
+        assert_eq!(select_quant_tier_with(&config, 1e9, &hw_dispatch()), QuantTier::F16);
+        // Without F16C the f16 tier is a measured 15× loss: never chosen.
+        assert_eq!(select_quant_tier_with(&config, 1e9, &scalar_dispatch()), QuantTier::F32);
+        // int8's exact integer kernels stay admissible on every path.
+        config.recall_tolerance = 5e-2;
+        assert_eq!(select_quant_tier_with(&config, 1e9, &scalar_dispatch()), QuantTier::Int8);
+    }
+
+    #[test]
+    fn tier_selection_consistent_under_every_host_mode() {
+        // Sweep every mode this host can run (side-effect-free resolution,
+        // not force_mode — other tests in this binary read the active
+        // dispatch concurrently).
+        let mut config = OptimizerConfig::all();
+        config.recall_tolerance = 2e-3;
+        for mode in cx_simd::available_modes() {
+            let d = cx_simd::resolve_mode(mode).expect("listed mode resolves");
+            let tier = select_quant_tier_with(&config, 1e9, &d);
+            if d.f16_hardware() {
+                assert_eq!(tier, QuantTier::F16, "mode {}", mode.label());
+            } else {
+                assert_eq!(tier, QuantTier::F32, "mode {}", mode.label());
+            }
+            // The costed f16 factor must mirror the same gate.
+            let f16_cost = sim_pair_cost(QuantTier::F16, &d);
+            if d.f16_hardware() {
+                assert!(f16_cost < SIM_PAIR, "mode {}", mode.label());
+            } else {
+                assert!(f16_cost > SIM_PAIR, "mode {}", mode.label());
+            }
+        }
     }
 
     #[test]

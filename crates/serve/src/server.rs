@@ -283,6 +283,9 @@ pub struct ServerStats {
     pub lifecycle: LifecycleStats,
     /// Per-model embed-batcher counters, sorted by model name.
     pub batchers: Vec<(String, BatcherStats)>,
+    /// The resolved SIMD kernel dispatch serving every similarity sweep
+    /// (e.g. `f32=avx512 f16=f16c+avx512 int8=vnni512`).
+    pub simd: String,
 }
 
 /// A concurrent query-serving layer over one shared [`Engine`].
@@ -319,6 +322,20 @@ impl Drop for InFlightGuard<'_> {
 impl Server {
     /// Wraps `engine` for concurrent serving under `config`.
     pub fn new(engine: Arc<Engine>, config: ServeConfig) -> Arc<Self> {
+        // Log the resolved kernel dispatch once per process, not per
+        // server: which ISA paths serve the sweeps is global state.
+        static SIMD_BANNER: std::sync::Once = std::sync::Once::new();
+        SIMD_BANNER.call_once(|| {
+            eprintln!(
+                "cx-serve: simd kernels {}",
+                cx_simd::KernelDispatch::active().report()
+            );
+        });
+        let metrics = ExecMetrics::new();
+        metrics.set_environment(format!(
+            "simd {}",
+            cx_simd::KernelDispatch::active().report()
+        ));
         Arc::new(Server {
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             gate: CostGate::new(config.admission_capacity),
@@ -329,7 +346,7 @@ impl Server {
             engine,
             config,
             batchers: RwLock::new(HashMap::new()),
-            metrics: ExecMetrics::new(),
+            metrics,
             queries: AtomicU64::new(0),
             sessions: AtomicU64::new(0),
             prepared_queries: AtomicU64::new(0),
@@ -1004,6 +1021,7 @@ impl Server {
             scan_sharing: self.scan_queue.stats(),
             lifecycle: self.lifecycle.snapshot(),
             batchers,
+            simd: cx_simd::KernelDispatch::active().report(),
         }
     }
 
@@ -1045,6 +1063,7 @@ impl Server {
             s.lifecycle.retries,
             s.lifecycle.contained_panics,
         ));
+        out.push_str(&format!("simd kernels: {}\n", s.simd));
         out.push_str(&format!(
             "scan sharing: {} queries coalesced into {} shared groups (max group {}), \
              {} panel rows saved, {} pairs deduped, {} fallbacks\n",

@@ -1,0 +1,443 @@
+//! f32 kernel family: pairwise [`dot`] and panel [`dot_block`].
+//!
+//! Per-ISA bit-identity: under one active [`F32Path`], `dot_block` row `r`
+//! equals `dot(query, row_r)` to the bit, because the block micro-kernels
+//! replay the pairwise accumulation order per row and only interleave rows
+//! for instruction-level parallelism. Across paths results may differ in
+//! the last bits (lane width and FMA change rounding); the scalar path is
+//! the historical `dot_unrolled` ladder, bit for bit.
+
+use crate::dispatch::{F32Path, KernelDispatch};
+use crate::{check_block, reduce8_tree};
+
+/// Dot product of `a` and `b` on the active f32 path.
+///
+/// Slices of unequal length are truncated to the shorter (callers pass
+/// equal lengths; the min keeps the unsafe paths in bounds regardless).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dim = a.len().min(b.len());
+    match KernelDispatch::active().f32_path {
+        F32Path::Scalar => dot_scalar(a, b, dim),
+        #[cfg(target_arch = "x86_64")]
+        F32Path::Avx2 => unsafe { x86::dot_avx2(a.as_ptr(), b.as_ptr(), dim) },
+        #[cfg(target_arch = "x86_64")]
+        F32Path::Avx512 => unsafe { x86::dot_avx512(a.as_ptr(), b.as_ptr(), dim) },
+        #[cfg(target_arch = "aarch64")]
+        F32Path::Neon => unsafe { neon::dot_neon(a.as_ptr(), b.as_ptr(), dim) },
+        #[allow(unreachable_patterns)]
+        _ => dot_scalar(a, b, dim),
+    }
+}
+
+/// Scores `query` against `out.len()` rows of a row-major `block`
+/// (`stride >= dim` floats per row), `out[r] = dot(query, row_r)` on the
+/// active path.
+///
+/// # Panics
+/// Panics if `stride < query.len()` or `block` is too short for the rows.
+pub fn dot_block(query: &[f32], block: &[f32], stride: usize, out: &mut [f32]) {
+    let dim = query.len();
+    if !check_block(block, stride, dim, out.len()) {
+        return;
+    }
+    match KernelDispatch::active().f32_path {
+        F32Path::Scalar => dot_block_scalar(query, block, stride, out),
+        #[cfg(target_arch = "x86_64")]
+        F32Path::Avx2 => unsafe { x86::dot_block_avx2(query, block, stride, out) },
+        #[cfg(target_arch = "x86_64")]
+        F32Path::Avx512 => unsafe { x86::dot_block_avx512(query, block, stride, out) },
+        #[cfg(target_arch = "aarch64")]
+        F32Path::Neon => unsafe { neon::dot_block_neon(query, block, stride, out) },
+        #[allow(unreachable_patterns)]
+        _ => dot_block_scalar(query, block, stride, out),
+    }
+}
+
+// ---------------------------------------------------------------- scalar --
+
+/// The historical `dot_unrolled` ladder over the first `dim` elements:
+/// eight independent accumulators over 8-wide chunks, the fixed reduction
+/// tree, then a sequential tail. `CX_SIMD=off` scores are these bits.
+#[inline]
+pub(crate) fn dot_scalar(a: &[f32], b: &[f32], dim: usize) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = dim / 8;
+    for c in 0..chunks {
+        let base = c * 8;
+        let ca: &[f32; 8] = a[base..base + 8].try_into().expect("8-wide chunk");
+        let cb: &[f32; 8] = b[base..base + 8].try_into().expect("8-wide chunk");
+        for i in 0..8 {
+            acc[i] += ca[i] * cb[i];
+        }
+    }
+    let mut sum = reduce8_tree(&acc);
+    for i in chunks * 8..dim {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Rows per scalar micro-kernel pass (the historical `MICRO_ROWS`).
+const SCALAR_MICRO: usize = 8;
+
+fn dot_block_scalar(query: &[f32], block: &[f32], stride: usize, out: &mut [f32]) {
+    let dim = query.len();
+    let rows = out.len();
+    let chunks = dim / 8;
+    let mut r = 0;
+    while r + SCALAR_MICRO <= rows {
+        // Eight rows × eight accumulators, query chunk loaded once per pass;
+        // per-row arithmetic order is exactly dot_scalar's.
+        let rs: [&[f32]; SCALAR_MICRO] =
+            std::array::from_fn(|k| &block[(r + k) * stride..(r + k) * stride + dim]);
+        let mut acc = [[0.0f32; 8]; SCALAR_MICRO];
+        for c in 0..chunks {
+            let base = c * 8;
+            let q: &[f32; 8] = query[base..base + 8].try_into().expect("8-wide chunk");
+            for k in 0..SCALAR_MICRO {
+                let x: &[f32; 8] = rs[k][base..base + 8].try_into().expect("8-wide chunk");
+                for i in 0..8 {
+                    acc[k][i] += q[i] * x[i];
+                }
+            }
+        }
+        for k in 0..SCALAR_MICRO {
+            let mut sum = reduce8_tree(&acc[k]);
+            for i in chunks * 8..dim {
+                sum += query[i] * rs[k][i];
+            }
+            out[r + k] = sum;
+        }
+        r += SCALAR_MICRO;
+    }
+    while r < rows {
+        out[r] = dot_scalar(query, &block[r * stride..r * stride + dim], dim);
+        r += 1;
+    }
+}
+
+// ------------------------------------------------------------------- x86 --
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::super::{reduce8_tree, reduce16_tree};
+    use std::arch::x86_64::*;
+
+    /// Rows per vector micro-kernel pass. Four rows × two accumulators keep
+    /// eight independent FMA chains in flight without spilling on AVX2's
+    /// sixteen ymm registers (4 row accum pairs + 2 query chunks + loads).
+    const MICRO: usize = 4;
+
+    /// AVX2+FMA dot: two 8-lane FMA accumulators over 16-wide chunks,
+    /// lane-wise combine, the 8-lane reduction tree, sequential tail.
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2+FMA are available and both pointers are
+    /// readable for `dim` floats.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot_avx2(a: *const f32, b: *const f32, dim: usize) -> f32 {
+        let chunks = dim / 16;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 16;
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(base)),
+                _mm256_loadu_ps(b.add(base)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(base + 8)),
+                _mm256_loadu_ps(b.add(base + 8)),
+                acc1,
+            );
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), _mm256_add_ps(acc0, acc1));
+        let mut sum = reduce8_tree(&lanes);
+        for i in chunks * 16..dim {
+            sum += *a.add(i) * *b.add(i);
+        }
+        sum
+    }
+
+    /// # Safety
+    /// AVX2+FMA available; `block` holds `out.len()` rows of `dim` floats
+    /// at `stride` (checked by the safe caller).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn dot_block_avx2(
+        query: &[f32],
+        block: &[f32],
+        stride: usize,
+        out: &mut [f32],
+    ) {
+        let dim = query.len();
+        let rows = out.len();
+        let q = query.as_ptr();
+        let b = block.as_ptr();
+        let chunks = dim / 16;
+        let mut r = 0;
+        while r + MICRO <= rows {
+            let rowp: [*const f32; MICRO] = std::array::from_fn(|k| b.add((r + k) * stride));
+            let mut acc = [[_mm256_setzero_ps(); 2]; MICRO];
+            for c in 0..chunks {
+                let base = c * 16;
+                let q0 = _mm256_loadu_ps(q.add(base));
+                let q1 = _mm256_loadu_ps(q.add(base + 8));
+                for k in 0..MICRO {
+                    // Same per-row order as dot_avx2: acc0 fma, then acc1.
+                    acc[k][0] = _mm256_fmadd_ps(q0, _mm256_loadu_ps(rowp[k].add(base)), acc[k][0]);
+                    acc[k][1] =
+                        _mm256_fmadd_ps(q1, _mm256_loadu_ps(rowp[k].add(base + 8)), acc[k][1]);
+                }
+            }
+            for k in 0..MICRO {
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), _mm256_add_ps(acc[k][0], acc[k][1]));
+                let mut sum = reduce8_tree(&lanes);
+                for i in chunks * 16..dim {
+                    sum += *q.add(i) * *rowp[k].add(i);
+                }
+                out[r + k] = sum;
+            }
+            r += MICRO;
+        }
+        while r < rows {
+            out[r] = dot_avx2(q, b.add(r * stride), dim);
+            r += 1;
+        }
+    }
+
+    /// AVX-512F dot: two 16-lane FMA accumulators over 32-wide chunks,
+    /// lane-wise combine, the 16-lane reduction tree, sequential tail.
+    ///
+    /// # Safety
+    /// AVX-512F available; pointers readable for `dim` floats.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn dot_avx512(a: *const f32, b: *const f32, dim: usize) -> f32 {
+        let chunks = dim / 32;
+        let mut acc0 = _mm512_setzero_ps();
+        let mut acc1 = _mm512_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 32;
+            acc0 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(a.add(base)),
+                _mm512_loadu_ps(b.add(base)),
+                acc0,
+            );
+            acc1 = _mm512_fmadd_ps(
+                _mm512_loadu_ps(a.add(base + 16)),
+                _mm512_loadu_ps(b.add(base + 16)),
+                acc1,
+            );
+        }
+        let mut lanes = [0.0f32; 16];
+        _mm512_storeu_ps(lanes.as_mut_ptr(), _mm512_add_ps(acc0, acc1));
+        let mut sum = reduce16_tree(&lanes);
+        for i in chunks * 32..dim {
+            sum += *a.add(i) * *b.add(i);
+        }
+        sum
+    }
+
+    /// # Safety
+    /// AVX-512F available; block layout checked by the safe caller.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn dot_block_avx512(
+        query: &[f32],
+        block: &[f32],
+        stride: usize,
+        out: &mut [f32],
+    ) {
+        let dim = query.len();
+        let rows = out.len();
+        let q = query.as_ptr();
+        let b = block.as_ptr();
+        let chunks = dim / 32;
+        let mut r = 0;
+        while r + MICRO <= rows {
+            let rowp: [*const f32; MICRO] = std::array::from_fn(|k| b.add((r + k) * stride));
+            let mut acc = [[_mm512_setzero_ps(); 2]; MICRO];
+            for c in 0..chunks {
+                let base = c * 32;
+                let q0 = _mm512_loadu_ps(q.add(base));
+                let q1 = _mm512_loadu_ps(q.add(base + 16));
+                for k in 0..MICRO {
+                    acc[k][0] = _mm512_fmadd_ps(q0, _mm512_loadu_ps(rowp[k].add(base)), acc[k][0]);
+                    acc[k][1] =
+                        _mm512_fmadd_ps(q1, _mm512_loadu_ps(rowp[k].add(base + 16)), acc[k][1]);
+                }
+            }
+            for k in 0..MICRO {
+                let mut lanes = [0.0f32; 16];
+                _mm512_storeu_ps(lanes.as_mut_ptr(), _mm512_add_ps(acc[k][0], acc[k][1]));
+                let mut sum = reduce16_tree(&lanes);
+                for i in chunks * 32..dim {
+                    sum += *q.add(i) * *rowp[k].add(i);
+                }
+                out[r + k] = sum;
+            }
+            r += MICRO;
+        }
+        while r < rows {
+            out[r] = dot_avx512(q, b.add(r * stride), dim);
+            r += 1;
+        }
+    }
+}
+
+// ------------------------------------------------------------------ neon --
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    const MICRO: usize = 4;
+
+    /// NEON dot: four 4-lane FMLA accumulators over 16-wide chunks,
+    /// pairwise lane combine, then the 4-lane tree `(l0+l1)+(l2+l3)`.
+    ///
+    /// # Safety
+    /// NEON available (always on aarch64); pointers readable for `dim`
+    /// floats.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_neon(a: *const f32, b: *const f32, dim: usize) -> f32 {
+        let chunks = dim / 16;
+        let mut acc = [vdupq_n_f32(0.0); 4];
+        for c in 0..chunks {
+            let base = c * 16;
+            for j in 0..4 {
+                acc[j] = vfmaq_f32(
+                    acc[j],
+                    vld1q_f32(a.add(base + j * 4)),
+                    vld1q_f32(b.add(base + j * 4)),
+                );
+            }
+        }
+        let v = vaddq_f32(vaddq_f32(acc[0], acc[1]), vaddq_f32(acc[2], acc[3]));
+        let mut lanes = [0.0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), v);
+        let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for i in chunks * 16..dim {
+            sum += *a.add(i) * *b.add(i);
+        }
+        sum
+    }
+
+    /// # Safety
+    /// NEON available; block layout checked by the safe caller.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_block_neon(
+        query: &[f32],
+        block: &[f32],
+        stride: usize,
+        out: &mut [f32],
+    ) {
+        let dim = query.len();
+        let rows = out.len();
+        let q = query.as_ptr();
+        let b = block.as_ptr();
+        let chunks = dim / 16;
+        let mut r = 0;
+        while r + MICRO <= rows {
+            let rowp: [*const f32; MICRO] = std::array::from_fn(|k| b.add((r + k) * stride));
+            let mut acc = [[vdupq_n_f32(0.0); 4]; MICRO];
+            for c in 0..chunks {
+                let base = c * 16;
+                let qv = [
+                    vld1q_f32(q.add(base)),
+                    vld1q_f32(q.add(base + 4)),
+                    vld1q_f32(q.add(base + 8)),
+                    vld1q_f32(q.add(base + 12)),
+                ];
+                for k in 0..MICRO {
+                    for j in 0..4 {
+                        acc[k][j] = vfmaq_f32(acc[k][j], qv[j], vld1q_f32(rowp[k].add(base + j * 4)));
+                    }
+                }
+            }
+            for k in 0..MICRO {
+                let v = vaddq_f32(
+                    vaddq_f32(acc[k][0], acc[k][1]),
+                    vaddq_f32(acc[k][2], acc[k][3]),
+                );
+                let mut lanes = [0.0f32; 4];
+                vst1q_f32(lanes.as_mut_ptr(), v);
+                let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+                for i in chunks * 16..dim {
+                    sum += *q.add(i) * *rowp[k].add(i);
+                }
+                out[r + k] = sum;
+            }
+            r += MICRO;
+        }
+        while r < rows {
+            out[r] = dot_neon(q, b.add(r * stride), dim);
+            r += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, seed: u64) -> Vec<f32> {
+        // SplitMix64-ish without depending on cx_embed.
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                let u = ((z ^ (z >> 31)) >> 40) as f32 / (1u64 << 24) as f32;
+                u * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_block_rows_match_scalar_pairwise_bitwise() {
+        for (dim, stride) in [(0, 4), (1, 8), (7, 8), (8, 8), (13, 16), (100, 104)] {
+            let q = vecs(dim, 1);
+            let rows = 11usize;
+            let block = vecs(rows * stride, 2);
+            let mut out = vec![0.0f32; rows];
+            dot_block_scalar(&q, &block, stride, &mut out);
+            for r in 0..rows {
+                let exact = dot_scalar(&q, &block[r * stride..r * stride + dim], dim);
+                assert_eq!(out[r].to_bits(), exact.to_bits(), "dim {dim} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_path_block_matches_active_pairwise_bitwise() {
+        // Whatever path resolved on this host, blocked ≡ pairwise.
+        for dim in [31, 32, 64, 96, 100] {
+            let q = vecs(dim, 3);
+            let rows = 13usize;
+            let block = vecs(rows * dim, 4);
+            let mut out = vec![0.0f32; rows];
+            dot_block(&q, &block, dim, &mut out);
+            for r in 0..rows {
+                let exact = dot(&q, &block[r * dim..(r + 1) * dim]);
+                assert_eq!(out[r].to_bits(), exact.to_bits(), "dim {dim} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_path_close_to_scalar() {
+        for dim in [33, 256] {
+            let a = vecs(dim, 7);
+            let b = vecs(dim, 8);
+            let fast = dot(&a, &b);
+            let exact = dot_scalar(&a, &b, dim);
+            assert!((fast - exact).abs() < 1e-3, "dim {dim}: {fast} vs {exact}");
+        }
+    }
+}

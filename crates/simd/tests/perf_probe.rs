@@ -1,0 +1,54 @@
+//! Manual perf probe (ignored): min-of-N timing for the block kernels,
+//! robust against noisy shared cores. Run with
+//! `cargo test -p cx-simd --release --test perf_probe -- --ignored --nocapture`.
+
+use cx_simd::{dot_block, dot_block_f16, dot_block_int8, f32_to_f16};
+use std::time::Instant;
+
+fn rows_f32(rows: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..rows * dim)
+        .map(|_| {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn min_ns(mut f: impl FnMut(), reps: usize, inner: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / inner as f64);
+    }
+    best
+}
+
+#[test]
+#[ignore = "manual perf probe"]
+fn block_kernel_floor() {
+    const ROWS: usize = 1024;
+    for dim in [256usize, 768] {
+        let q = rows_f32(1, dim, 3);
+        let block = rows_f32(ROWS, dim, 7);
+        let half: Vec<u16> = block.iter().map(|&x| f32_to_f16(x)).collect();
+        let bytes: Vec<i8> = block.iter().map(|&x| (x * 100.0) as i8).collect();
+        let qi: Vec<i8> = q.iter().map(|&x| (x * 100.0) as i8).collect();
+        let mut out = vec![0.0f32; ROWS];
+        let mut outi = vec![0i32; ROWS];
+
+        let f32_ns = min_ns(|| dot_block(&q, &block, dim, &mut out), 200, 5);
+        let f16_ns = min_ns(|| dot_block_f16(&q, &half, dim, &mut out), 200, 5);
+        let i8_ns = min_ns(|| dot_block_int8(&qi, &bytes, dim, &mut outi), 200, 5);
+        println!(
+            "dim {dim}: f32 {:.1} ns/pair, f16 {:.1} ns/pair (ratio {:.3}), int8 {:.1} ns/pair",
+            f32_ns / ROWS as f64,
+            f16_ns / ROWS as f64,
+            f16_ns / f32_ns,
+            i8_ns / ROWS as f64,
+        );
+    }
+}

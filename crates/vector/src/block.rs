@@ -6,25 +6,28 @@
 //! and bookkeeping overhead and reloads the query from memory for each
 //! candidate. The kernels here score one query against a *panel* of
 //! candidates laid out row-major (see [`crate::VectorArena`]), and panels
-//! against panels, processing [`MICRO_ROWS`] candidate rows per pass so the
-//! query chunk is loaded once and reused across rows.
+//! against panels, in micro-kernel passes that load each query chunk once
+//! and reuse it across candidate rows.
 //!
-//! Numerical contract: for every row, the accumulation order is *exactly*
-//! that of [`crate::kernels::dot_unrolled`] (eight independent partial sums
-//! over 8-wide chunks, the same reduction tree, then a sequential tail), so
-//! blocked scores are bit-identical to the pairwise rungs. Blocking changes
-//! the schedule, never the arithmetic.
+//! The panel arithmetic itself lives in `cx_simd`: [`dot_block`] forwards
+//! to `cx_simd::dot_block`, which picks an AVX-512 / AVX2+FMA / NEON /
+//! scalar implementation at runtime (overridable via `CX_SIMD`). The
+//! numerical contract is *per-ISA* bit-identity: under one active path,
+//! every row's accumulation order is exactly that of the pairwise
+//! [`crate::kernels::dot_unrolled`] on the same path, so blocked scores are
+//! bit-identical to the pairwise rungs. Blocking changes the schedule,
+//! never the arithmetic. (Across paths, f32 scores may differ in the last
+//! bits — FMA and lane width change rounding — which is why both pairwise
+//! and blocked rungs share one dispatch.)
 //!
 //! Layout contract: a block is `(data, stride)` where row `r` occupies
 //! `data[r * stride .. r * stride + dim]` and `stride >= dim`. Padding
 //! lanes (`dim..stride`) are never read.
 
-use crate::kernels::dot_unrolled;
-
-/// Candidate rows scored per micro-kernel pass. Eight rows keep eight
-/// independent FMA chains in flight (one 8-float accumulator block each),
-/// which saturates the FP units that a single pairwise chain leaves idle;
-/// measured on AVX2/AVX-512 hardware, 8 beats 4 and 16 adds nothing.
+/// Candidate rows scored per scalar micro-kernel pass. Eight rows keep
+/// eight independent FP chains in flight on the scalar path; the explicit
+/// AVX2/AVX-512/NEON paths in `cx_simd` use four rows × two vector
+/// accumulators, which saturates the FMA units without spilling registers.
 pub const MICRO_ROWS: usize = 8;
 
 /// Default square tile edge for [`scores_matrix`]: 64×64 f32 scores plus a
@@ -32,80 +35,18 @@ pub const MICRO_ROWS: usize = 8;
 /// matters.
 pub const TILE: usize = 64;
 
-#[inline]
-fn reduce8(acc: &[f32; 8]) -> f32 {
-    // Must match dot_unrolled's reduction tree exactly.
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
-}
-
-/// Dot products of `query` against [`MICRO_ROWS`] rows at once.
-///
-/// Each row keeps its own eight accumulators updated in `dot_unrolled`
-/// order; interleaving rows only improves instruction-level parallelism and
-/// query-chunk reuse, so each result is bit-identical to the pairwise call.
-#[inline]
-fn dot_micro8(query: &[f32], rows: &[&[f32]; MICRO_ROWS]) -> [f32; MICRO_ROWS] {
-    let dim = query.len();
-    let chunks = dim / 8;
-    let mut acc = [[0.0f32; 8]; MICRO_ROWS];
-    for c in 0..chunks {
-        let base = c * 8;
-        // Fixed-size array views let the compiler drop bounds checks and
-        // keep the whole pass in vector registers.
-        let q: &[f32; 8] = query[base..base + 8].try_into().expect("8-wide chunk");
-        for r in 0..MICRO_ROWS {
-            let x: &[f32; 8] = rows[r][base..base + 8].try_into().expect("8-wide chunk");
-            for i in 0..8 {
-                acc[r][i] += q[i] * x[i];
-            }
-        }
-    }
-    let mut s = [0.0f32; MICRO_ROWS];
-    for r in 0..MICRO_ROWS {
-        s[r] = reduce8(&acc[r]);
-        for i in chunks * 8..dim {
-            s[r] += query[i] * rows[r][i];
-        }
-    }
-    s
-}
-
-/// The [`MICRO_ROWS`] row slices starting at row `base` of a block.
-#[inline]
-fn micro_rows(block: &[f32], stride: usize, dim: usize, base: usize) -> [&[f32]; MICRO_ROWS] {
-    std::array::from_fn(|k| &block[(base + k) * stride..(base + k) * stride + dim])
-}
-
 /// Scores `query` against `out.len()` candidate rows stored row-major in
 /// `block` at `stride` floats per row, writing `out[r] = dot(query, row_r)`.
 ///
-/// Bit-identical to calling `dot_unrolled(query, row_r)` per row.
+/// Bit-identical to calling [`crate::kernels::dot_unrolled`] per row under
+/// the same active SIMD path.
 ///
 /// # Panics
 /// Panics if `stride < query.len()` or `block` is too short for `out.len()`
 /// rows.
+#[inline]
 pub fn dot_block(query: &[f32], block: &[f32], stride: usize, out: &mut [f32]) {
-    let dim = query.len();
-    let rows = out.len();
-    assert!(stride >= dim, "stride {stride} shorter than dim {dim}");
-    if rows == 0 {
-        return;
-    }
-    assert!(
-        block.len() >= (rows - 1) * stride + dim,
-        "block of {} floats too short for {rows} rows at stride {stride}",
-        block.len()
-    );
-    let mut r = 0;
-    while r + MICRO_ROWS <= rows {
-        let s = dot_micro8(query, &micro_rows(block, stride, dim, r));
-        out[r..r + MICRO_ROWS].copy_from_slice(&s);
-        r += MICRO_ROWS;
-    }
-    while r < rows {
-        out[r] = dot_unrolled(query, &block[r * stride..r * stride + dim]);
-        r += 1;
-    }
+    cx_simd::dot_block(query, block, stride, out);
 }
 
 /// Threshold-aware block scan: scores `query` against `rows` candidate rows
@@ -113,7 +54,9 @@ pub fn dot_block(query: &[f32], block: &[f32], stride: usize, out: &mut [f32]) {
 /// pruned candidates skip write-back entirely. Pass the current top-k floor
 /// (or the filter threshold) to avoid touching losers.
 ///
-/// Scores are bit-identical to [`dot_block`].
+/// Scores are bit-identical to [`dot_block`]: rows are scored through the
+/// same dispatched panel kernel in [`TILE`]-row strips (a stack buffer),
+/// then filtered.
 pub fn dot_block_threshold(
     query: &[f32],
     block: &[f32],
@@ -132,22 +75,17 @@ pub fn dot_block_threshold(
         "block of {} floats too short for {rows} rows at stride {stride}",
         block.len()
     );
+    let mut scores = [0.0f32; TILE];
     let mut r = 0;
-    while r + MICRO_ROWS <= rows {
-        let s = dot_micro8(query, &micro_rows(block, stride, dim, r));
-        for (k, &score) in s.iter().enumerate() {
+    while r < rows {
+        let strip = TILE.min(rows - r);
+        cx_simd::dot_block(query, &block[r * stride..], stride, &mut scores[..strip]);
+        for (k, &score) in scores[..strip].iter().enumerate() {
             if score >= floor {
                 emit(r + k, score);
             }
         }
-        r += MICRO_ROWS;
-    }
-    while r < rows {
-        let score = dot_unrolled(query, &block[r * stride..r * stride + dim]);
-        if score >= floor {
-            emit(r, score);
-        }
-        r += 1;
+        r += strip;
     }
 }
 
@@ -189,7 +127,8 @@ pub fn cosine_block_threshold(
 ///
 /// `probe`/`build` are row-major blocks with their own strides; `out` must
 /// hold `probe_rows * build_rows` floats. Bit-identical to the pairwise
-/// loop.
+/// loop under the same active SIMD path. Probe-row bases advance
+/// incrementally — no per-cell index multiplies in the scalar fallback.
 #[allow(clippy::too_many_arguments)]
 pub fn scores_matrix(
     probe: &[f32],
@@ -213,9 +152,15 @@ pub fn scores_matrix(
         for j0 in (0..build_rows).step_by(TILE) {
             let j1 = (j0 + TILE).min(build_rows);
             let tile = &build[j0 * build_stride..(j1 - 1) * build_stride + dim];
-            for i in i0..i1 {
-                let q = &probe[i * probe_stride..i * probe_stride + dim];
-                dot_block(q, tile, build_stride, &mut out[i * build_rows + j0..i * build_rows + j1]);
+            // Hoisted row bases: advance by stride instead of multiplying
+            // per (i, j0) pair.
+            let mut probe_base = i0 * probe_stride;
+            let mut out_base = i0 * build_rows + j0;
+            for _ in i0..i1 {
+                let q = &probe[probe_base..probe_base + dim];
+                dot_block(q, tile, build_stride, &mut out[out_base..out_base + (j1 - j0)]);
+                probe_base += probe_stride;
+                out_base += build_rows;
             }
         }
     }
@@ -224,7 +169,7 @@ pub fn scores_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::{cosine_with_norms, norm};
+    use crate::kernels::{cosine_with_norms, dot_unrolled, norm};
     use cx_embed::rng::SplitMix64;
 
     fn random_block(rows: usize, dim: usize, stride: usize, seed: u64) -> Vec<f32> {
@@ -260,12 +205,14 @@ mod tests {
             let mut rng = SplitMix64::new(5);
             (0..dim).map(|_| rng.next_f32_symmetric()).collect()
         };
-        let block = random_block(29, dim, dim, 6);
-        let mut full = vec![0.0f32; 29];
+        // Cross the TILE strip boundary so the strip loop is exercised.
+        let rows = TILE + 13;
+        let block = random_block(rows, dim, dim, 6);
+        let mut full = vec![0.0f32; rows];
         dot_block(&q, &block, dim, &mut full);
         let floor = full[14];
         let mut emitted = Vec::new();
-        dot_block_threshold(&q, &block, dim, 29, floor, |r, s| emitted.push((r, s)));
+        dot_block_threshold(&q, &block, dim, rows, floor, |r, s| emitted.push((r, s)));
         let expected: Vec<(usize, f32)> = full
             .iter()
             .enumerate()
@@ -273,7 +220,7 @@ mod tests {
             .map(|(r, &s)| (r, s))
             .collect();
         assert_eq!(emitted, expected);
-        assert!(emitted.len() < 29);
+        assert!(emitted.len() < rows);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Each function is a rung the experiments compare:
 //!
 //! 1. [`dot`] — straightforward iterator dot product,
-//! 2. [`dot_unrolled`] — 8-wide unrolled with independent accumulators,
-//!    the shape LLVM auto-vectorizes into SIMD ("CPU-specific
-//!    instructions" without `unsafe`),
+//! 2. [`dot_unrolled`] — the explicit-SIMD rung ("CPU-specific
+//!    instructions"): dispatches to `cx_simd::dot`, AVX-512/AVX2/NEON
+//!    with a scalar fallback that is the historical 8-wide unrolled
+//!    ladder bit-for-bit,
 //! 3. [`cosine_prenormalized`] — cosine as a bare dot product once inputs
 //!    are unit vectors (norms hoisted out of the O(n²) join loop),
 //! 4. [`crate::block`] — the batched rung: one query against a contiguous
@@ -31,28 +32,19 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// 8-wide unrolled dot product with independent accumulators.
+/// Fast dot product on the active SIMD path (see `cx_simd::dispatch`).
 ///
-/// The independent partial sums break the sequential FP dependency chain,
-/// letting the compiler emit packed SIMD adds/mults; this is the portable
-/// stand-in for the paper's hand-tuned C++ kernel.
+/// Historically this was the 8-wide unrolled ladder that LLVM
+/// auto-vectorizes; it now dispatches to `cx_simd::dot`, whose scalar path
+/// (`CX_SIMD=off`) is that exact ladder bit-for-bit and whose AVX2 /
+/// AVX-512 / NEON paths use explicit FMA intrinsics. Routing the *pairwise*
+/// rung through the same dispatch as the blocked kernels keeps the
+/// per-ISA bit-identity contract: under one active path, blocked ≡
+/// pairwise to the bit.
 #[inline]
 pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    let (a_main, a_rest) = a.split_at(chunks * 8);
-    let (b_main, b_rest) = b.split_at(chunks * 8);
-    for (ca, cb) in a_main.chunks_exact(8).zip(b_main.chunks_exact(8)) {
-        for i in 0..8 {
-            acc[i] += ca[i] * cb[i];
-        }
-    }
-    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-    for (x, y) in a_rest.iter().zip(b_rest) {
-        sum += x * y;
-    }
-    sum
+    cx_simd::dot(a, b)
 }
 
 /// Cosine similarity with norms computed inline (the naive rung: three

@@ -63,6 +63,10 @@ pub mod store;
 pub mod topk;
 
 pub use arena::{RowBlock, VectorArena};
+/// The explicit-SIMD kernel layer the blocked and pairwise kernels
+/// dispatch through (re-exported so operators can surface the active ISA
+/// without a direct `cx-simd` dependency).
+pub use cx_simd as simd;
 pub use cx_embed::quant::QuantTier;
 pub use qarena::{QuantizedArena, UnsupportedTier};
 pub use block::{cosine_block_threshold, dot_block, dot_block_threshold, scores_matrix};

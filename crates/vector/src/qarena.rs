@@ -185,8 +185,10 @@ impl QuantizedArena {
                 let (q, q_scale) = quantize_query_int8(query);
                 let mut acc = vec![0i32; self.rows];
                 dot_block_int8(&q, data, self.stride, &mut acc);
-                for (r, (&a, o)) in acc.iter().zip(out.iter_mut()).enumerate() {
-                    *o = a as f32 * q_scale * scales[r];
+                // Scale application zips the per-row scales directly — no
+                // indexed lookup in the inner loop.
+                for ((&a, &scale), o) in acc.iter().zip(scales).zip(out.iter_mut()) {
+                    *o = a as f32 * q_scale * scale;
                 }
             }
         }
