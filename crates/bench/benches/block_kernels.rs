@@ -174,9 +174,12 @@ fn main() {
             CANDIDATES as f64
         };
         entries.push(format!(
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"ns_per_pair\": {:.4}}}",
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}, \"ns_per_pair\": {:.4}}}",
             r.id,
             r.median_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
             r.median_ns / pairs
         ));
     }

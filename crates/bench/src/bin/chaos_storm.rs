@@ -125,6 +125,17 @@ impl Side {
         let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
         sorted[idx].as_secs_f64() * 1e3
     }
+
+    /// p50/p95/p99 in ms through a `cx_obs` log-linear histogram (the
+    /// machinery every `BENCH_*.json` sources its quantiles from).
+    fn hist_quantiles_ms(&self) -> (f64, f64, f64) {
+        let h = cx_obs::Histogram::new();
+        for d in &self.latencies {
+            h.record_duration(*d);
+        }
+        let s = h.snapshot();
+        (s.p50 as f64 / 1e6, s.p95 as f64 / 1e6, s.p99 as f64 / 1e6)
+    }
 }
 
 /// Runs the full storm (all clients × replays) through `server`,
@@ -265,17 +276,21 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
     let simd = cx_vector::simd::KernelDispatch::active().report();
+    let clean_q = clean.hist_quantiles_ms();
+    let stormy_q = stormy.hist_quantiles_ms();
     let json = format!(
-        "{{\n  \"bench\": \"chaos_storm\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"seed\": {seed},\n  \"fault_rate\": {rate:.4},\n  \"fault_free\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"storm\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"goodput_ratio\": {:.4},\n  \"faults_injected\": {{{site_json}, \"total\": {}}},\n  \"lifecycle\": {{\"retries\": {}, \"contained_panics\": {}, \"transient_failures\": {}, \"deadline_exceeded\": {}, \"cancelled\": {}, \"budget_exceeded\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"chaos_storm\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"seed\": {seed},\n  \"fault_rate\": {rate:.4},\n  \"fault_free\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"storm\": {{\"goodput_qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"ok\": {}, \"failed\": {}, \"total_secs\": {:.4}}},\n  \"goodput_ratio\": {:.4},\n  \"faults_injected\": {{{site_json}, \"total\": {}}},\n  \"lifecycle\": {{\"retries\": {}, \"contained_panics\": {}, \"transient_failures\": {}, \"deadline_exceeded\": {}, \"cancelled\": {}, \"budget_exceeded\": {}}}\n}}\n",
         clean.goodput(),
-        clean.percentile(0.5),
-        clean.percentile(0.99),
+        clean_q.0,
+        clean_q.1,
+        clean_q.2,
         clean.latencies.len(),
         clean.failed,
         clean.total_secs,
         stormy.goodput(),
-        stormy.percentile(0.5),
-        stormy.percentile(0.99),
+        stormy_q.0,
+        stormy_q.1,
+        stormy_q.2,
         stormy.latencies.len(),
         stormy.failed,
         stormy.total_secs,

@@ -23,7 +23,10 @@
 //!
 //! Entries marked `*` were measured on a subsample and extrapolated by the
 //! exact pair-count ratio (the honest way to report a 10k×10k interpreted
-//! join that would run for hours).
+//! join that would run for hours). The pushdown leg is small enough to
+//! repeat: it runs [`PUSH_SAMPLES`] times per rung through a `cx_obs`
+//! histogram, reporting the median plus p50/p95/p99 sample latency in
+//! `BENCH_fig4.json`.
 //!
 //! Usage: `cargo run --release -p cx-bench --bin fig4_optimizations`
 //! (env `FIG4_N` overrides the 10_000 default).
@@ -36,9 +39,40 @@ use cx_vector::kernels::{dot, dot_unrolled};
 use cx_vector::VectorStore;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 const THRESHOLD: f32 = 0.9;
 const PUSHDOWN_SELECTIVITY: f64 = 0.01;
+/// Samples per pushdown-sized rung for the latency quantiles.
+const PUSH_SAMPLES: usize = 10;
+
+/// One report row: rung label, no-pushdown and pushdown measurements,
+/// and the pushdown leg's (p50, p95, p99) sample latency in ms.
+type Rung = (&'static str, Measured, Measured, (f64, f64, f64));
+
+/// Runs the pushdown-sized rung `PUSH_SAMPLES` times, recording each
+/// sample into a `cx_obs` log-linear histogram. Returns the median as the
+/// rung's pushdown measurement (non-extrapolated, like before, but now
+/// noise-damped) plus (p50, p95, p99) sample latency in ms — the
+/// histogram-sourced quantile keys every `BENCH_*.json` carries.
+fn sample_push(pushed: usize, f: impl Fn(usize)) -> (Measured, (f64, f64, f64)) {
+    let h = cx_obs::Histogram::new();
+    let mut secs = Vec::with_capacity(PUSH_SAMPLES);
+    for _ in 0..PUSH_SAMPLES {
+        let start = Instant::now();
+        f(pushed);
+        let d = start.elapsed();
+        h.record_duration(d);
+        secs.push(d.as_secs_f64());
+    }
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let med = secs[secs.len() / 2];
+    let s = h.snapshot();
+    (
+        Measured { measured_secs: med, full_secs: med, extrapolated: false },
+        (s.p50 as f64 / 1e6, s.p95 as f64 / 1e6, s.p99 as f64 / 1e6),
+    )
+}
 
 fn corpus(n: usize, seed: u64) -> Vec<String> {
     let clusters = synthetic_clusters(200, 10, 0xF164);
@@ -185,17 +219,17 @@ fn main() {
     let sub_interp = 300.min(n);
     let sub_prefetch = 2_000.min(n);
 
-    let mut rows: Vec<(&str, Measured, Measured)> = Vec::new();
+    let mut rows: Vec<Rung> = Vec::new();
 
     // ---- L0: interpreted -------------------------------------------------
     let interp = InterpretedModel::load(&m, &[left.clone(), right.clone()].concat());
     let no_push = measure_or_extrapolate(n, sub_interp, |k| {
         std::hint::black_box(interp.similarity_join(&left[..k], &right[..k], THRESHOLD as f64));
     });
-    let push = measure_or_extrapolate(pushed, pushed, |k| {
+    let (push, push_q) = sample_push(pushed, |k| {
         std::hint::black_box(interp.similarity_join(&left[..k], &right[..k], THRESHOLD as f64));
     });
-    rows.push(("L0 interpreted (Python-style)", no_push, push));
+    rows.push(("L0 interpreted (Python-style)", no_push, push, push_q));
 
     // ---- L1: + prefetch ---------------------------------------------------
     let left_vecs: Vec<Vec<f32>> = left.iter().map(|v| m.embed(v)).collect();
@@ -203,10 +237,10 @@ fn main() {
     let no_push = measure_or_extrapolate(n, sub_prefetch, |k| {
         std::hint::black_box(join_prefetched(&left_vecs[..k], &right_vecs[..k]));
     });
-    let push = measure_or_extrapolate(pushed, pushed, |k| {
+    let (push, push_q) = sample_push(pushed, |k| {
         std::hint::black_box(join_prefetched(&left_vecs[..k], &right_vecs[..k]));
     });
-    rows.push(("L1 + prefetch (no dict in loop)", no_push, push));
+    rows.push(("L1 + prefetch (no dict in loop)", no_push, push, push_q));
 
     // ---- L2: + tight loop ("C++") ----------------------------------------
     let left_store = embed_all(&m, &left);
@@ -216,12 +250,12 @@ fn main() {
         let r = slice_store(&right_store, k);
         std::hint::black_box(join_tight(&l, &r));
     });
-    let push = measure_or_extrapolate(pushed, pushed, |k| {
+    let (push, push_q) = sample_push(pushed, |k| {
         let l = slice_store(&left_store, k);
         let r = slice_store(&right_store, k);
         std::hint::black_box(join_tight(&l, &r));
     });
-    rows.push(("L2 + tight loop, cached norms", no_push, push));
+    rows.push(("L2 + tight loop, cached norms", no_push, push, push_q));
 
     // ---- L3: + SIMD-shaped kernel ----------------------------------------
     let left_norm = left_store.normalized();
@@ -231,12 +265,12 @@ fn main() {
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_simd(&l, &r));
     });
-    let push = measure_or_extrapolate(pushed, pushed, |k| {
+    let (push, push_q) = sample_push(pushed, |k| {
         let l = slice_store(&left_norm, k);
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_simd(&l, &r));
     });
-    rows.push(("L3 + SIMD-shaped unrolled kernel", no_push, push));
+    rows.push(("L3 + SIMD-shaped unrolled kernel", no_push, push, push_q));
 
     // ---- L4: + blocked batch kernel ----------------------------------------
     let no_push = measure_or_extrapolate(n, n, |k| {
@@ -244,12 +278,12 @@ fn main() {
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_blocked(&l, &r));
     });
-    let push = measure_or_extrapolate(pushed, pushed, |k| {
+    let (push, push_q) = sample_push(pushed, |k| {
         let l = slice_store(&left_norm, k);
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_blocked(&l, &r));
     });
-    rows.push(("L4 + blocked batch kernel", no_push, push));
+    rows.push(("L4 + blocked batch kernel", no_push, push, push_q));
 
     // ---- L5: + scale-up ----------------------------------------------------
     let no_push = measure_or_extrapolate(n, n, |k| {
@@ -257,12 +291,12 @@ fn main() {
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_parallel(&l, &r, threads));
     });
-    let push = measure_or_extrapolate(pushed, pushed, |k| {
+    let (push, push_q) = sample_push(pushed, |k| {
         let l = slice_store(&left_norm, k);
         let r = slice_store(&right_norm, k);
         std::hint::black_box(join_parallel(&l, &r, threads));
     });
-    rows.push(("L5 + parallel scale-up", no_push, push));
+    rows.push(("L5 + parallel scale-up", no_push, push, push_q));
 
     // ---- report ------------------------------------------------------------
     println!(
@@ -270,7 +304,7 @@ fn main() {
         "execution optimizations (additive)", "no pushdown s", "pushdown 1% s", "log10", "log10"
     );
     println!("{}", "-".repeat(90));
-    for (name, no_push, push) in &rows {
+    for (name, no_push, push, _) in &rows {
         println!(
             "{:<34} | {} | {} | {:>8.2} | {:>8.2}",
             name,
@@ -303,13 +337,16 @@ fn main() {
     let pair_count = (n as f64) * (n as f64);
     let entries: Vec<String> = rows
         .iter()
-        .map(|(name, no_push, push)| {
+        .map(|(name, no_push, push, push_q)| {
             format!(
-                "    {{\"rung\": \"{}\", \"ns_per_pair\": {:.4}, \"no_pushdown_secs\": {:.6}, \"pushdown_secs\": {:.6}, \"extrapolated\": {}}}",
+                "    {{\"rung\": \"{}\", \"ns_per_pair\": {:.4}, \"no_pushdown_secs\": {:.6}, \"pushdown_secs\": {:.6}, \"pushdown_p50_ms\": {:.4}, \"pushdown_p95_ms\": {:.4}, \"pushdown_p99_ms\": {:.4}, \"extrapolated\": {}}}",
                 name,
                 no_push.full_secs * 1e9 / pair_count,
                 no_push.full_secs,
                 push.full_secs,
+                push_q.0,
+                push_q.1,
+                push_q.2,
                 no_push.extrapolated
             )
         })

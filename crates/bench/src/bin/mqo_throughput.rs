@@ -128,6 +128,17 @@ impl Side {
         let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
         sorted[idx].as_secs_f64() * 1e3
     }
+
+    /// p50/p95/p99 in ms through a `cx_obs` log-linear histogram (the
+    /// machinery every `BENCH_*.json` sources its quantiles from).
+    fn hist_quantiles_ms(&self) -> (f64, f64, f64) {
+        let h = cx_obs::Histogram::new();
+        for d in &self.latencies {
+            h.record_duration(*d);
+        }
+        let s = h.snapshot();
+        (s.p50 as f64 / 1e6, s.p95 as f64 / 1e6, s.p99 as f64 / 1e6)
+    }
 }
 
 /// Runs the full storm (all clients × replays) through `server`.
@@ -237,16 +248,20 @@ fn main() {
     );
 
     let simd = cx_vector::simd::KernelDispatch::active().report();
+    let shared_q = shared.hist_quantiles_ms();
+    let unshared_q = unshared.hist_quantiles_ms();
     let json = format!(
-        "{{\n  \"bench\": \"mqo_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"mqo\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"unshared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"scan_sharing\": {{\"groups\": {}, \"grouped_queries\": {}, \"shared_groups\": {}, \"shared_queries\": {}, \"max_group\": {}, \"panel_rows_saved\": {}, \"pairs_saved\": {}, \"sweep_fallbacks\": {}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"mqo_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"mqo\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"unshared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"scan_sharing\": {{\"groups\": {}, \"grouped_queries\": {}, \"shared_groups\": {}, \"shared_queries\": {}, \"max_group\": {}, \"panel_rows_saved\": {}, \"pairs_saved\": {}, \"sweep_fallbacks\": {}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}\n",
         shared.latencies.len(),
         shared.qps(),
-        shared.percentile(0.5),
-        shared.percentile(0.95),
+        shared_q.0,
+        shared_q.1,
+        shared_q.2,
         shared.total_secs,
         unshared.qps(),
-        unshared.percentile(0.5),
-        unshared.percentile(0.95),
+        unshared_q.0,
+        unshared_q.1,
+        unshared_q.2,
         unshared.total_secs,
         speedup,
         sharing.groups,

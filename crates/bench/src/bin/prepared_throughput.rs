@@ -120,6 +120,17 @@ impl Side {
         let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
         sorted[idx].as_secs_f64() * 1e3
     }
+
+    /// p50/p95/p99 in ms through a `cx_obs` log-linear histogram (the
+    /// machinery every `BENCH_*.json` sources its quantiles from).
+    fn hist_quantiles_ms(&self) -> (f64, f64, f64) {
+        let h = cx_obs::Histogram::new();
+        for d in &self.latencies {
+            h.record_duration(*d);
+        }
+        let s = h.snapshot();
+        (s.p50 as f64 / 1e6, s.p95 as f64 / 1e6, s.p99 as f64 / 1e6)
+    }
 }
 
 fn main() {
@@ -278,16 +289,20 @@ fn main() {
     );
 
     let simd = cx_vector::simd::KernelDispatch::active().report();
+    let prep_q = prep.hist_quantiles_ms();
+    let adhoc_q = adhoc.hist_quantiles_ms();
     let json = format!(
-        "{{\n  \"bench\": \"prepared_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"distinct_bindings\": {},\n  \"prepared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"adhoc\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"total_secs\": {:.4}, \"plan_cache_hit_rate\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"prepared_plan_cache\": {{\"hits\": {}, \"misses\": {}, \"shape_hit_rate\": {:.4}}},\n  \"bit_identical_sampled_bindings\": {verified}\n}}\n",
+        "{{\n  \"bench\": \"prepared_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"distinct_bindings\": {},\n  \"prepared\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"adhoc\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}, \"plan_cache_hit_rate\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"prepared_plan_cache\": {{\"hits\": {}, \"misses\": {}, \"shape_hit_rate\": {:.4}}},\n  \"bit_identical_sampled_bindings\": {verified}\n}}\n",
         clients * per_client,
         prep.qps(),
-        prep.percentile(0.5),
-        prep.percentile(0.95),
+        prep_q.0,
+        prep_q.1,
+        prep_q.2,
         prep.total_secs,
         adhoc.qps(),
-        adhoc.percentile(0.5),
-        adhoc.percentile(0.95),
+        adhoc_q.0,
+        adhoc_q.1,
+        adhoc_q.2,
         adhoc.total_secs,
         adhoc_plan.hit_rate(),
         speedup,

@@ -226,6 +226,7 @@ impl Engine {
     /// configuration — the hook per-session overrides (e.g. a session's
     /// own `recall_tolerance`) use without forking the engine.
     pub fn optimize_query_with(&self, query: &Query, config: OptimizerConfig) -> PlannedQuery {
+        let _span = cx_obs::span("optimize");
         let ctx = self.optimizer_context_with(config);
         self.optimize_in(&ctx, query)
     }
@@ -280,6 +281,7 @@ impl Engine {
         plan: &cx_exec::logical::LogicalPlan,
         config: OptimizerConfig,
     ) -> Result<Arc<dyn PhysicalOperator>> {
+        let _span = cx_obs::span("lower");
         let mut ctx = self.optimizer_context_with(config);
         let env = self.planner_env();
         create_physical_plan(plan, &mut ctx, &env)

@@ -1,7 +1,8 @@
 //! Per-operator execution metrics (EXPLAIN ANALYZE-style reporting).
 
 use crate::physical::{ChunkStream, PhysicalOperator};
-use cx_storage::{Result, Schema};
+use cx_obs::Histogram;
+use cx_storage::{Chunk, Result, Schema};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +16,9 @@ pub struct OperatorMetrics {
     chunks_out: AtomicU64,
     elapsed_ns: AtomicU64,
     executions: AtomicU64,
+    /// Per-execution wall-time distribution (setup + chunk production),
+    /// recorded once per `execute()` when its stream is dropped.
+    latency: Histogram,
 }
 
 impl OperatorMetrics {
@@ -38,6 +42,12 @@ impl OperatorMetrics {
         self.executions.load(Ordering::Relaxed)
     }
 
+    /// Per-execution wall-time distribution. Quantiles are approximate
+    /// (log-linear buckets, ≤ ~3.2% relative error); count/sum/max exact.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
     /// Folds one externally driven execution into the counters — for
     /// operators whose work is consumed outside the chunk-stream path
     /// (e.g. a shared sweep read through its outcome rather than its
@@ -49,6 +59,7 @@ impl OperatorMetrics {
         self.chunks_out.fetch_add(chunks, Ordering::Relaxed);
         self.elapsed_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.latency.record_duration(elapsed);
     }
 }
 
@@ -101,15 +112,34 @@ impl ExecMetrics {
             .collect()
     }
 
-    /// Human-readable report.
+    /// All `(label, metrics)` handles sorted by label — for exporters
+    /// that need the full counters and latency histograms.
+    pub fn handles(&self) -> Vec<(String, Arc<OperatorMetrics>)> {
+        self.operators
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Human-readable report with per-execution latency quantiles.
     pub fn report(&self) -> String {
         let mut out = String::new();
         if let Some(env) = self.environment() {
             out.push_str(&format!("environment: {env}\n"));
         }
-        out.push_str("operator | rows_out | time_ms\n");
-        for (label, rows, ns) in self.snapshot() {
-            out.push_str(&format!("{label} | {rows} | {:.3}\n", ns as f64 / 1e6));
+        out.push_str("operator | rows_out | time_ms | p50_ms | p95_ms | p99_ms | max_ms\n");
+        for (label, m) in self.handles() {
+            let lat = m.latency().snapshot();
+            out.push_str(&format!(
+                "{label} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3}\n",
+                m.rows_out(),
+                m.elapsed_ns() as f64 / 1e6,
+                lat.p50 as f64 / 1e6,
+                lat.p95 as f64 / 1e6,
+                lat.p99 as f64 / 1e6,
+                lat.max as f64 / 1e6,
+            ));
         }
         out
     }
@@ -168,20 +198,46 @@ impl PhysicalOperator for InstrumentedExec {
         let start = Instant::now();
         let stream = self.inner.execute()?;
         // Setup cost (eager operators do all work here) is charged upfront.
-        self.metrics
-            .elapsed_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let metrics = self.metrics.clone();
-        Ok(Box::new(stream.map(move |chunk| {
-            let t = Instant::now();
-            let chunk = chunk?;
-            metrics.rows_out.fetch_add(chunk.num_rows() as u64, Ordering::Relaxed);
-            metrics.chunks_out.fetch_add(1, Ordering::Relaxed);
-            metrics
-                .elapsed_ns
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            Ok(chunk)
-        })))
+        let setup_ns = start.elapsed().as_nanos() as u64;
+        self.metrics.elapsed_ns.fetch_add(setup_ns, Ordering::Relaxed);
+        Ok(Box::new(InstrumentedStream {
+            inner: stream,
+            metrics: self.metrics.clone(),
+            execution_ns: setup_ns,
+        }))
+    }
+}
+
+/// Wraps one execution's chunk stream: accumulates per-chunk wall time
+/// into the shared counters as chunks are pulled, and records the
+/// execution's total wall time (setup + production) into the operator's
+/// latency histogram when the stream is dropped.
+struct InstrumentedStream {
+    inner: ChunkStream,
+    metrics: Arc<OperatorMetrics>,
+    execution_ns: u64,
+}
+
+impl Iterator for InstrumentedStream {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Result<Chunk>> {
+        let t = Instant::now();
+        let item = self.inner.next()?;
+        let ns = t.elapsed().as_nanos() as u64;
+        self.execution_ns += ns;
+        self.metrics.elapsed_ns.fetch_add(ns, Ordering::Relaxed);
+        if let Ok(chunk) = &item {
+            self.metrics.rows_out.fetch_add(chunk.num_rows() as u64, Ordering::Relaxed);
+            self.metrics.chunks_out.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(item)
+    }
+}
+
+impl Drop for InstrumentedStream {
+    fn drop(&mut self) {
+        self.metrics.latency.record(self.execution_ns);
     }
 }
 
@@ -224,6 +280,22 @@ mod tests {
         let report = registry.report();
         assert!(report.contains("TableScan"));
         assert!(report.contains("100"));
+    }
+
+    #[test]
+    fn latency_histogram_records_per_execution() {
+        let registry = ExecMetrics::new();
+        let op = InstrumentedExec::new(scan(), &registry);
+        collect_table(&op).unwrap();
+        collect_table(&op).unwrap();
+        let m = registry.handle(&op.name());
+        assert_eq!(m.latency().count(), 2);
+        assert!(m.latency().max() > 0);
+        // External record() feeds the same histogram.
+        m.record(10, 1, std::time::Duration::from_micros(50));
+        assert_eq!(m.latency().count(), 3);
+        let report = registry.report();
+        assert!(report.contains("p99_ms"), "{report}");
     }
 
     #[test]

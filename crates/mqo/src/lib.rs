@@ -225,7 +225,10 @@ impl SharedScanExec {
         if let Some(out) = self.outcome.lock().clone() {
             return Ok(out);
         }
-        let candidates = distinct_valid_values(&self.candidate, self.candidate_column)?;
+        let candidates = {
+            let _span = cx_obs::span("candidate_scan");
+            distinct_valid_values(&self.candidate, self.candidate_column)?
+        };
 
         // Stacked probe panel with cross-query deduplication: a probe row
         // requested by five members is swept once and sliced five times.
@@ -237,6 +240,7 @@ impl SharedScanExec {
         // (determinism + fingerprint equality), so its distinct values
         // are materialized once for the whole group.
         let mut subtree_memo: HashMap<(u64, usize), Vec<String>> = HashMap::new();
+        let probe_span = cx_obs::span("probe_gather");
         for spec in &self.members {
             let texts = match &spec.probe {
                 MemberProbe::Literal(s) => vec![s.clone()],
@@ -265,6 +269,7 @@ impl SharedScanExec {
             member_probe_rows.push(rows);
         }
 
+        drop(probe_span);
         let scores = self.compute_scores(&candidates, &probes)?;
         let stats = SweepStats {
             members: self.members.len(),
@@ -338,6 +343,14 @@ impl SharedScanExec {
                 ScanKind::DotJoin => SweepScores::Hits(Vec::new()),
             });
         }
+        let _span = cx_obs::span_with("panel_sweep", || {
+            format!(
+                "kind={:?} tier={:?} probes={p} candidates={c} simd={}",
+                self.kind,
+                self.quant,
+                cx_vector::simd::KernelDispatch::active().report()
+            )
+        });
         // Sweeps run under the *group* context installed by the server
         // (deadline = max member deadline), so one slow member cannot be
         // killed by another's tighter deadline mid-sweep; per-member

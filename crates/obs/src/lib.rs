@@ -1,0 +1,42 @@
+//! Low-overhead observability for the context-analytics engine.
+//!
+//! Three layers, deliberately dependency-free so every crate in the
+//! workspace can instrument itself without cycles:
+//!
+//! 1. **Query traces** ([`QueryTrace`], [`span`], [`install_trace`]) — a
+//!    per-query record of timestamped, nested spans plus point-in-time
+//!    events (retries, injected faults). The span API follows the same
+//!    discipline as `cx_serve`'s `FaultPlan`: when tracing is disabled the
+//!    cost of an instrumentation site is **one relaxed atomic load** — no
+//!    allocation, no lock, no clock read. That property is regression
+//!    tested through [`span_allocations`].
+//! 2. **Histograms** ([`Histogram`]) — HDR-style log-linear latency
+//!    histograms with bounded relative error (32 sub-buckets per power of
+//!    two, ≤ ~3.2% quantile error) and exact count/sum/min/max, safe to
+//!    record into concurrently from any thread.
+//! 3. **Export** ([`MetricsSnapshot`]) — a flat registry of named metrics
+//!    (counters, gauges, histogram summaries) serializable to the
+//!    Prometheus text exposition format and to JSON, with an in-tree
+//!    exposition-format parser ([`promparse`]) used as a lint by benches
+//!    and CI.
+//!
+//! Tracing is enabled process-wide by holding a [`TracingSession`] (a
+//! server holds one for its lifetime when configured with tracing on);
+//! instrumentation sites attach to whatever trace is ambiently installed
+//! on the current thread via [`install_trace`].
+
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod promparse;
+pub mod ring;
+pub mod trace;
+
+pub use export::{Metric, MetricValue, MetricsSnapshot};
+pub use hist::{HistSnapshot, Histogram};
+pub use ring::TraceRing;
+pub use trace::{
+    event, install_trace, span, span_allocations, span_with, tracing_enabled, EventRecord,
+    QueryTrace, Span, SpanRecord, TraceScope, TracingSession,
+};

@@ -1,0 +1,493 @@
+//! Per-query traces: timestamped nested spans plus point events.
+//!
+//! Ownership model: the server creates one [`QueryTrace`] per query (only
+//! when tracing is on), installs it on the executing thread with
+//! [`install_trace`], and instrumentation sites anywhere in the engine
+//! attach spans with [`span`] / [`span_with`] without knowing about the
+//! server. Cross-thread work done on a query's behalf (an MQO leader
+//! sweeping for its followers) is attributed explicitly with
+//! [`QueryTrace::add_span`] and a `shared = true` tag.
+//!
+//! When tracing is disabled — no [`TracingSession`] alive — every site
+//! costs exactly one relaxed atomic load: [`span`] and [`event`] return
+//! before touching thread-locals, clocks, or the heap. The global
+//! [`span_allocations`] counter only moves when a span actually records,
+//! which is what the overhead regression test pins to zero.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Count of live [`TracingSession`]s; tracing is on while nonzero.
+static TRACING_SESSIONS: AtomicU32 = AtomicU32::new(0);
+
+/// Total spans ever allocated (recorded) process-wide. Used by the
+/// overhead regression test: with tracing off this must not move.
+static SPAN_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether any [`TracingSession`] is alive. One relaxed load.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING_SESSIONS.load(Ordering::Relaxed) != 0
+}
+
+/// Total spans recorded process-wide since start.
+pub fn span_allocations() -> u64 {
+    SPAN_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// RAII enablement of tracing: the process traces while at least one
+/// session is alive. Servers configured with tracing hold one.
+#[derive(Debug)]
+pub struct TracingSession(());
+
+impl TracingSession {
+    /// Enables tracing for the lifetime of the returned guard.
+    pub fn new() -> Self {
+        TRACING_SESSIONS.fetch_add(1, Ordering::Relaxed);
+        TracingSession(())
+    }
+}
+
+impl Default for TracingSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TracingSession {
+    fn drop(&mut self) {
+        TRACING_SESSIONS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One recorded span: a named interval relative to the trace start.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Site name, e.g. `plan_cache`, `shared_sweep`.
+    pub name: &'static str,
+    /// Free-form detail, e.g. `hit`, `leader k=4`.
+    pub detail: String,
+    /// Start offset from the trace's start, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth (0 = top-level lifecycle stage).
+    pub depth: u16,
+    /// True when the interval covers work shared across an MQO group and
+    /// is attributed to every member (so per-member sums include it).
+    pub shared: bool,
+}
+
+/// One point-in-time event (retry, injected fault, containment).
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Event name, e.g. `fault`, `retry`.
+    pub name: &'static str,
+    /// Free-form detail, e.g. the fault site label.
+    pub detail: String,
+    /// Offset from the trace's start, in nanoseconds.
+    pub at_ns: u64,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    label: String,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    outcome: Option<String>,
+    total_ns: u64,
+}
+
+/// A per-query trace: a shared, cloneable handle to the span list.
+/// Created by the serving layer when tracing is enabled; finished with
+/// the query's outcome and retained in a bounded ring.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    started: Instant,
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+impl QueryTrace {
+    /// A new, empty trace labeled with the query's description.
+    pub fn new(label: impl Into<String>) -> Self {
+        QueryTrace {
+            started: Instant::now(),
+            inner: Arc::new(Mutex::new(TraceInner {
+                label: label.into(),
+                spans: Vec::new(),
+                events: Vec::new(),
+                outcome: None,
+                total_ns: 0,
+            })),
+        }
+    }
+
+    /// The instant this trace started (query admission into the server).
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// The query label supplied at creation.
+    pub fn label(&self) -> String {
+        self.lock().label.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn offset_ns(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.started).as_nanos() as u64
+    }
+
+    /// Explicitly records a span (used for cross-thread attribution, e.g.
+    /// an MQO leader crediting a shared sweep to every member's trace).
+    pub fn add_span(
+        &self,
+        name: &'static str,
+        detail: impl Into<String>,
+        start: Instant,
+        dur: Duration,
+        depth: u16,
+        shared: bool,
+    ) {
+        SPAN_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let rec = SpanRecord {
+            name,
+            detail: detail.into(),
+            start_ns: self.offset_ns(start),
+            dur_ns: dur.as_nanos() as u64,
+            depth,
+            shared,
+        };
+        self.lock().spans.push(rec);
+    }
+
+    /// Records a point event on this trace.
+    pub fn add_event(&self, name: &'static str, detail: impl Into<String>) {
+        let at_ns = self.offset_ns(Instant::now());
+        self.lock().events.push(EventRecord { name, detail: detail.into(), at_ns });
+    }
+
+    /// Marks the trace complete with an outcome (`ok` or an error label)
+    /// and freezes the end-to-end duration. Idempotent: the first call
+    /// wins.
+    pub fn finish(&self, outcome: impl Into<String>) {
+        let total = self.offset_ns(Instant::now());
+        let mut inner = self.lock();
+        if inner.outcome.is_none() {
+            inner.outcome = Some(outcome.into());
+            inner.total_ns = total;
+        }
+    }
+
+    /// The recorded outcome, if [`QueryTrace::finish`] was called.
+    pub fn outcome(&self) -> Option<String> {
+        self.lock().outcome.clone()
+    }
+
+    /// End-to-end duration in nanoseconds (0 until finished).
+    pub fn total_ns(&self) -> u64 {
+        self.lock().total_ns
+    }
+
+    /// Snapshot of recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// Snapshot of recorded events, in recording order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.lock().events.clone()
+    }
+
+    /// Renders the span tree EXPLAIN-ANALYZE-style: one line per span,
+    /// indented by depth, ordered by start offset, with durations in
+    /// milliseconds, `[shared]` tags, and trailing events.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut out = format!(
+            "query `{}` — {:.3} ms total ({})\n",
+            inner.label,
+            inner.total_ns as f64 / 1e6,
+            inner.outcome.as_deref().unwrap_or("in flight"),
+        );
+        let mut spans: Vec<&SpanRecord> = inner.spans.iter().collect();
+        spans.sort_by_key(|s| (s.start_ns, s.depth));
+        for s in spans {
+            let indent = "  ".repeat(s.depth as usize + 1);
+            let mut line = format!(
+                "{indent}{:<24} {:>9.3} ms  @{:>9.3} ms",
+                s.name,
+                s.dur_ns as f64 / 1e6,
+                s.start_ns as f64 / 1e6,
+            );
+            if !s.detail.is_empty() {
+                line.push_str(&format!("  [{}]", s.detail));
+            }
+            if s.shared {
+                line.push_str("  [shared]");
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for e in &inner.events {
+            out.push_str(&format!(
+                "  ! {:<22} @{:>9.3} ms  [{}]\n",
+                e.name,
+                e.at_ns as f64 / 1e6,
+                e.detail
+            ));
+        }
+        out
+    }
+
+    /// Sum of top-level (`depth == 0`) span durations — the attributed
+    /// portion of the query's wall time.
+    pub fn attributed_ns(&self) -> u64 {
+        self.lock().spans.iter().filter(|s| s.depth == 0).map(|s| s.dur_ns).sum()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<QueryTrace>> = const { RefCell::new(None) };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Restores the previously installed trace on drop.
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: Option<QueryTrace>,
+    prev_depth: u16,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+        DEPTH.with(|d| d.set(self.prev_depth));
+    }
+}
+
+/// Installs `trace` as the current thread's ambient trace until the
+/// returned guard drops (`None` clears it, isolating callees). Nested
+/// installs restore the previous trace — an MQO leader temporarily
+/// installs each follower's trace around that follower's epilogue.
+pub fn install_trace(trace: Option<&QueryTrace>) -> TraceScope {
+    let prev = CURRENT.with(|c| c.borrow_mut().take());
+    let prev_depth = DEPTH.with(|d| d.replace(0));
+    CURRENT.with(|c| *c.borrow_mut() = trace.cloned());
+    TraceScope { prev, prev_depth }
+}
+
+/// The trace ambiently installed on this thread, if any.
+pub fn current_trace() -> Option<QueryTrace> {
+    if !tracing_enabled() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// An in-flight span guard: records into the ambient trace on drop.
+/// Inert (and allocation-free) when tracing is off or no trace is
+/// installed.
+#[derive(Debug)]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    trace: QueryTrace,
+    name: &'static str,
+    detail: String,
+    start: Instant,
+    depth: u16,
+    shared: bool,
+}
+
+impl Span {
+    /// Tags this span as shared work attributed to multiple traces.
+    pub fn shared(mut self) -> Self {
+        if let Some(a) = self.0.as_mut() {
+            a.shared = true;
+        }
+        self
+    }
+
+    /// Replaces the span's detail (e.g. once a cache hit/miss is known).
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        if let Some(a) = self.0.as_mut() {
+            a.detail = detail.into();
+        }
+    }
+
+    /// Whether this span will record (tracing on and a trace installed).
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            let dur = a.start.elapsed();
+            DEPTH.with(|d| d.set(a.depth));
+            let rec = SpanRecord {
+                name: a.name,
+                detail: a.detail,
+                start_ns: a.trace.offset_ns(a.start),
+                dur_ns: dur.as_nanos() as u64,
+                depth: a.depth,
+                shared: a.shared,
+            };
+            a.trace.lock().spans.push(rec);
+        }
+    }
+}
+
+/// Opens a span named `name` on the ambient trace. One relaxed load when
+/// tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_with(name, String::new)
+}
+
+/// Opens a span with a lazily computed detail string — the closure only
+/// runs when the span will actually record.
+#[inline]
+pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> Span {
+    if !tracing_enabled() {
+        return Span(None);
+    }
+    let Some(trace) = CURRENT.with(|c| c.borrow().clone()) else {
+        return Span(None);
+    };
+    SPAN_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span(Some(ActiveSpan {
+        trace,
+        name,
+        detail: detail(),
+        start: Instant::now(),
+        depth,
+        shared: false,
+    }))
+}
+
+/// Records a point event on the ambient trace (detail computed lazily).
+/// One relaxed load when tracing is disabled.
+#[inline]
+pub fn event(name: &'static str, detail: impl FnOnce() -> String) {
+    if !tracing_enabled() {
+        return;
+    }
+    if let Some(trace) = CURRENT.with(|c| c.borrow().clone()) {
+        trace.add_event(name, detail());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sites_do_not_record() {
+        // No TracingSession alive in this test: spans must be inert.
+        // (Runs in the same process as other tests that *do* enable
+        // tracing, so only assert local behavior, not the global
+        // counter — the dedicated overhead test owns that.)
+        if tracing_enabled() {
+            return; // another test's session is alive; skip
+        }
+        let t = QueryTrace::new("q");
+        let _scope = install_trace(Some(&t));
+        let s = span("stage");
+        let recorded = s.is_recording();
+        drop(s);
+        event("e", || "detail".into());
+        if tracing_enabled() {
+            return; // a parallel test enabled tracing mid-flight; skip
+        }
+        assert!(!recorded);
+        assert!(t.spans().is_empty());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let _session = TracingSession::new();
+        let t = QueryTrace::new("nested");
+        let scope = install_trace(Some(&t));
+        {
+            let _outer = span("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span_with("inner", || "detail".into());
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(scope);
+        t.finish("ok");
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.detail, "detail");
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.dur_ns <= outer.dur_ns);
+        assert!(outer.start_ns + outer.dur_ns <= t.total_ns());
+        assert_eq!(t.outcome().as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn install_is_scoped_and_restores() {
+        let _session = TracingSession::new();
+        let a = QueryTrace::new("a");
+        let b = QueryTrace::new("b");
+        let _sa = install_trace(Some(&a));
+        {
+            let _sb = install_trace(Some(&b));
+            let _s = span("in_b");
+        }
+        let _s = span("in_a");
+        drop(_s);
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(a.spans()[0].name, "in_a");
+        assert_eq!(b.spans()[0].name, "in_b");
+    }
+
+    #[test]
+    fn explicit_shared_span_and_events() {
+        let _session = TracingSession::new();
+        let t = QueryTrace::new("member");
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        t.add_span("shared_sweep", "k=3", start, start.elapsed(), 0, true);
+        t.add_event("fault", "sweep");
+        t.finish("transient");
+        let spans = t.spans();
+        assert!(spans[0].shared);
+        assert_eq!(t.events()[0].name, "fault");
+        let r = t.render();
+        assert!(r.contains("shared_sweep"), "{r}");
+        assert!(r.contains("[shared]"), "{r}");
+        assert!(r.contains("fault"), "{r}");
+        assert!(r.contains("transient"), "{r}");
+    }
+
+    #[test]
+    fn attributed_sums_top_level_only() {
+        let t = QueryTrace::new("sum");
+        let now = Instant::now();
+        t.add_span("a", "", now, Duration::from_nanos(100), 0, false);
+        t.add_span("b", "", now, Duration::from_nanos(50), 1, false);
+        t.add_span("c", "", now, Duration::from_nanos(25), 0, true);
+        assert_eq!(t.attributed_ns(), 125);
+    }
+}

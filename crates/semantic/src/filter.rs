@@ -244,6 +244,14 @@ impl PhysicalOperator for SemanticFilterExec {
                 }));
                 return chunk.filter(&mask);
             }
+            let _sweep = cx_obs::span_with("panel_sweep", || {
+                format!(
+                    "kind=cosine-filter tier={} panel_rows={} simd={}",
+                    quant.label(),
+                    distinct.len(),
+                    cx_vector::simd::KernelDispatch::active().report()
+                )
+            });
             let arena = VectorArena::from_texts(&cache, &distinct);
             match quant {
                 QuantTier::F32 => {

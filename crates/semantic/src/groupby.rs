@@ -126,6 +126,9 @@ impl PhysicalOperator for SemanticGroupByExec {
         let mut cluster_accs: Vec<Vec<Accumulator>> = Vec::new();
         let mut null_accs: Option<Vec<Accumulator>> = None;
 
+        let _sweep = cx_obs::span_with("semantic_cluster", || {
+            format!("kind=group-by threshold={}", self.threshold)
+        });
         let ctx = cx_storage::QueryContext::current();
         for chunk in self.input.execute()? {
             ctx.check()?;

@@ -438,6 +438,16 @@ impl SemanticJoinExec {
         if left.is_empty() || right.is_empty() {
             return Ok(Vec::new());
         }
+        let _sweep = cx_obs::span_with("panel_sweep", || {
+            format!(
+                "kind=dot-join strategy={} tier={} probes={} candidates={} simd={}",
+                self.strategy.label(),
+                self.quant.label(),
+                left.len(),
+                right.len(),
+                cx_vector::simd::KernelDispatch::active().report()
+            )
+        });
         let threshold = self.threshold;
         // Captured here so the probe workers can check it: the fan-out
         // spawns fresh threads whose TLS is empty, so the lifecycle

@@ -37,6 +37,12 @@
 //!   physical tree, re-costs admission with the bound literals, memoizes
 //!   results per binding vector, and still participates in multi-query
 //!   scan sharing.
+//! * **Observability** (`cx_obs`) — per-query lifecycle traces
+//!   ([`ServeConfig::tracing`], rendered EXPLAIN-ANALYZE-style and kept
+//!   in a bounded ring plus an optional slow-query log), always-on
+//!   latency/queue-wait/sweep histograms with p50/p95/p99, and a full
+//!   counter registry exportable as Prometheus text or JSON
+//!   ([`Server::metrics_snapshot`], [`Server::prometheus`]).
 //!
 //! ```
 //! use context_engine::{Engine, EngineConfig};

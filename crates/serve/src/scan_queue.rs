@@ -46,6 +46,9 @@ pub struct GroupEntry {
     pub node: Arc<dyn PhysicalOperator>,
     /// Its scan signature (per-query probe/threshold included).
     pub signature: ScanSignature,
+    /// When the query entered the scan queue — the start of its
+    /// `scan_queue_wait` trace span and group queue-wait accounting.
+    pub queued_at: Instant,
 }
 
 /// Counter snapshot of a [`ScanQueue`].

@@ -58,12 +58,13 @@ use cx_exec::{
     bind_physical, collect_table, find_shared_scan, ExecMetrics, PhysicalOperator, ScanSignature,
 };
 use cx_mqo::SharedScanExec;
+use cx_obs::{Histogram, MetricsSnapshot, QueryTrace, TraceRing, TracingSession};
 use cx_optimizer::{shared_scan_cost, OptimizerConfig};
 use cx_storage::{
     CancelToken, Error, MemoryBudget, QueryContext, QueryError, Result, Scalar, Table,
 };
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -129,6 +130,21 @@ pub struct ServeConfig {
     /// sharing on the retry). Covers [`QueryError::Transient`] from
     /// injected faults, contained panics, and failed group drains.
     pub retry_transient: bool,
+    /// Record a per-query [`QueryTrace`] of lifecycle spans (plan cache,
+    /// embed warm, queue waits, shared sweeps, epilogues) for every
+    /// query. Off by default: with tracing off every instrumentation
+    /// site costs one relaxed atomic load. Latency histograms are always
+    /// on regardless (they are counter-cheap).
+    pub tracing: bool,
+    /// Finished traces retained in the in-memory ring
+    /// ([`Server::traces`] / [`Server::last_trace`]); 0 disables
+    /// retention. Only meaningful with [`ServeConfig::tracing`] on.
+    pub trace_ring_capacity: usize,
+    /// Queries slower than this get their rendered span tree appended to
+    /// the slow-query log ([`Server::slow_queries`], bounded). `None`
+    /// (the default) disables the slow log. Only meaningful with
+    /// [`ServeConfig::tracing`] on.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +163,9 @@ impl Default for ServeConfig {
             default_memory_budget: 0,
             max_queued: 0,
             retry_transient: true,
+            tracing: false,
+            trace_ring_capacity: 64,
+            slow_query_threshold: None,
         }
     }
 }
@@ -189,6 +208,10 @@ pub struct ServeResult {
     /// Whether this query's panel sweep was answered by a shared
     /// multi-query scan (`cx_mqo`) rather than a solo sweep.
     pub shared_scan: bool,
+    /// The query's lifecycle trace, when [`ServeConfig::tracing`] is on
+    /// (`None` otherwise). The same trace is pushed into the server's
+    /// trace ring; render it with [`QueryTrace::render`].
+    pub trace: Option<QueryTrace>,
 }
 
 /// One query's execution state as it flows through result memoization,
@@ -216,6 +239,10 @@ pub struct ExecUnit {
     /// installed around its execution, consulted at admission, and
     /// checked per member inside shared-scan groups.
     pub ctx: QueryContext,
+    /// The query's trace, when tracing is on. Carried inside the unit so
+    /// the group leader's thread can attribute shared-sweep and epilogue
+    /// spans to *every* member's trace, not just its own.
+    pub trace: Option<QueryTrace>,
 }
 
 /// Lifecycle-policy counters: how queries died early and how the server
@@ -308,7 +335,25 @@ pub struct Server {
     /// contention signal: a query that is provably alone skips the
     /// group-forming linger (nobody exists who could join it).
     in_flight: AtomicU64,
+    /// Finished traces, newest last (tracing on; capacity from config).
+    trace_ring: TraceRing,
+    /// Rendered span trees of queries past the slow-query threshold,
+    /// newest last, bounded.
+    slow_log: Mutex<VecDeque<String>>,
+    /// End-to-end serve latency (memo hits included). Always on.
+    latency_hist: Histogram,
+    /// Time spent waiting at the admission gate (solo and group
+    /// acquisitions). Always on.
+    queue_wait_hist: Histogram,
+    /// Shared-sweep duration per drained group. Always on.
+    sweep_hist: Histogram,
+    /// Keeps process-wide tracing enabled while this server is configured
+    /// for it (span sites everywhere check one relaxed atomic).
+    _tracing_session: Option<TracingSession>,
 }
+
+/// Most rendered slow-query traces retained.
+const SLOW_LOG_CAPACITY: usize = 32;
 
 /// RAII decrement for [`Server::in_flight`].
 struct InFlightGuard<'a>(&'a AtomicU64);
@@ -354,6 +399,16 @@ impl Server {
             lifecycle: LifecycleCounters::default(),
             fault_plan: RwLock::new(None),
             in_flight: AtomicU64::new(0),
+            trace_ring: TraceRing::new(if config.tracing {
+                config.trace_ring_capacity
+            } else {
+                0
+            }),
+            slow_log: Mutex::new(VecDeque::new()),
+            latency_hist: Histogram::new(),
+            queue_wait_hist: Histogram::new(),
+            sweep_hist: Histogram::new(),
+            _tracing_session: config.tracing.then(TracingSession::new),
         })
     }
 
@@ -450,13 +505,28 @@ impl Server {
         let cfg_fp = config_fingerprint(&opt_config);
         let exact = query.plan().fingerprint();
         let key = exact ^ cfg_fp;
+        let trace = self
+            .config
+            .tracing
+            .then(|| QueryTrace::new(format!("query#{exact:016x}")));
 
         let attempt = |solo: bool| -> Result<ServeResult> {
+            let _scope = cx_obs::install_trace(trace.as_ref());
+            if solo {
+                cx_obs::event("retry", || "solo (no scan sharing)".into());
+            }
             let version = self.engine.catalog_version();
+            let mut pc_span = cx_obs::span("plan_cache");
             let (cached, hit) = match self.plan_cache.get(key, version) {
-                Some(cached) => (cached, true),
+                Some(cached) => {
+                    pc_span.set_detail("hit");
+                    drop(pc_span);
+                    (cached, true)
+                }
                 None => {
+                    pc_span.set_detail("miss");
                     let cached = self.build_plan(query, opt_config, exact, version)?;
+                    drop(pc_span);
                     self.plan_cache.insert(key, cached.clone());
                     (cached, false)
                 }
@@ -469,6 +539,7 @@ impl Server {
                 plan_cache_hit: hit,
                 started: start,
                 ctx: ctx.clone(),
+                trace: trace.clone(),
             };
             if solo {
                 // Retry path: no scan sharing, full solo cost — but a
@@ -482,8 +553,9 @@ impl Server {
             }
         };
 
-        let result = self.run_with_recovery(attempt);
+        let mut result = self.run_with_recovery(attempt);
         self.record_outcome(&result);
+        self.finish_query(trace, start, &mut result);
         result
     }
 
@@ -513,10 +585,24 @@ impl Server {
         let _in_flight = InFlightGuard(&self.in_flight);
         let ctx = self.make_ctx(&QueryOptions::default());
         let cfg_fp = config_fingerprint(&prepared.config());
+        let trace = self.config.tracing.then(|| {
+            QueryTrace::new(format!(
+                "prepared#{:016x}({} params)",
+                prepared.exact_fingerprint(),
+                params.len()
+            ))
+        });
 
         let attempt = |solo: bool| -> Result<ServeResult> {
+            let _scope = cx_obs::install_trace(trace.as_ref());
+            if solo {
+                cx_obs::event("retry", || "solo (no scan sharing)".into());
+            }
             let version = self.engine.catalog_version();
+            let mut pc_span = cx_obs::span("plan_cache");
             let (cached, hit) = self.resolve_prepared(prepared, version)?;
+            pc_span.set_detail(if hit { "hit" } else { "miss" });
+            drop(pc_span);
             let binding = BindingKey::new(params);
 
             // Per-binding memo first: a replayed binding skips parameter
@@ -529,6 +615,7 @@ impl Server {
                 plan_cache_hit: hit,
                 started: start,
                 ctx: ctx.clone(),
+                trace: trace.clone(),
             };
             if let Some(result) = self.try_result_memo(&unit) {
                 return Ok(result);
@@ -538,6 +625,7 @@ impl Server {
             // shared) and re-cost the plan with the bound literals — the
             // template was optimized with placeholder slots and default
             // selectivities, but admission should weigh the real query.
+            let bind_span = cx_obs::span("bind_params");
             let root = bind_physical(&unit.cached.physical, params)?;
             let cost = if params.is_empty() {
                 unit.cached.estimated_cost
@@ -547,6 +635,7 @@ impl Server {
                     prepared.config(),
                 )
             };
+            drop(bind_span);
             let unit = ExecUnit { root, cost, ..unit };
             if solo {
                 self.execute_solo(&unit)
@@ -555,14 +644,56 @@ impl Server {
             }
         };
 
-        let result = self.run_with_recovery(attempt);
+        let mut result = self.run_with_recovery(attempt);
         if result.is_ok() {
             // Counted on success only, so the counter stays a subset of
             // `queries` even when bindings fail validation.
             self.prepared_queries.fetch_add(1, Ordering::Relaxed);
         }
         self.record_outcome(&result);
+        self.finish_query(trace, start, &mut result);
         result
+    }
+
+    /// Seals a query's observability record: the end-to-end latency lands
+    /// in the histogram (always), and when tracing is on the trace is
+    /// finished with the outcome, pushed into the ring, rendered into the
+    /// slow log if over threshold, and attached to a successful result.
+    fn finish_query(
+        &self,
+        trace: Option<QueryTrace>,
+        start: Instant,
+        result: &mut Result<ServeResult>,
+    ) {
+        let elapsed = start.elapsed();
+        self.latency_hist.record_duration(elapsed);
+        let Some(trace) = trace else { return };
+        let outcome = match &*result {
+            Ok(r) => {
+                if r.result_cache_hit {
+                    "ok (result memo)".to_string()
+                } else if r.shared_scan {
+                    "ok (shared scan)".to_string()
+                } else {
+                    "ok".to_string()
+                }
+            }
+            Err(e) => format!("error: {e}"),
+        };
+        trace.finish(outcome);
+        if let Some(threshold) = self.config.slow_query_threshold {
+            if elapsed >= threshold {
+                let mut log = self.slow_log.lock();
+                if log.len() >= SLOW_LOG_CAPACITY {
+                    log.pop_front();
+                }
+                log.push_back(trace.render());
+            }
+        }
+        self.trace_ring.push(trace.clone());
+        if let Ok(r) = result {
+            r.trace = Some(trace);
+        }
     }
 
     /// Builds a query's lifecycle context from its options over the
@@ -716,7 +847,8 @@ impl Server {
                 let group_key = sig.group_key()
                     ^ cfg_fp
                     ^ unit.cached.catalog_version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                let entry = GroupEntry { unit, node, signature: sig };
+                let entry =
+                    GroupEntry { unit, node, signature: sig, queued_at: Instant::now() };
                 // A query with no other query in flight cannot be joined
                 // by anyone: skip the linger and sweep immediately.
                 let contended = self.in_flight.load(Ordering::Relaxed) > 1;
@@ -751,16 +883,28 @@ impl Server {
             plan_cache_hit: unit.plan_cache_hit,
             result_cache_hit: true,
             shared_scan: false,
+            trace: None,
         })
     }
 
     /// Solo path: full-cost lifecycle-aware admission (deadline-aware
     /// waiting, `max_queued` shedding), then execution.
     fn execute_solo(&self, unit: &ExecUnit) -> Result<ServeResult> {
+        // Installed explicitly (not inherited from the caller's thread):
+        // a group leader running a solo fallback for a *foreign* member
+        // must attribute this wait to that member's trace, not its own.
+        let _scope = cx_obs::install_trace(unit.trace.as_ref());
         if let Some(plan) = self.fault_plan() {
-            plan.strike(FaultSite::Admission)?;
+            if let Err(e) = plan.strike(FaultSite::Admission) {
+                cx_obs::event("fault", || "admission".into());
+                return Err(e);
+            }
         }
+        let wait_started = Instant::now();
+        let _span = cx_obs::span("admission");
         let _permit = self.gate.acquire_ctx(unit.cost, &unit.ctx, self.config.max_queued)?;
+        drop(_span);
+        self.queue_wait_hist.record_duration(wait_started.elapsed());
         self.run_unit(unit, false)
     }
 
@@ -768,9 +912,15 @@ impl Server {
     /// context, memoizes, and assembles the result. Admission is the
     /// caller's business: solo queries acquire their own permit, shared
     /// groups hold one group permit across all members.
+    /// Tracing: callers install the unit's trace before calling (the
+    /// solo path installs it at [`Server::execute_solo`], the group path
+    /// around each epilogue), so the `execute` span here nests under
+    /// whatever stage span the caller holds open.
     fn run_unit(&self, unit: &ExecUnit, shared_scan: bool) -> Result<ServeResult> {
         let root = InstrumentedExec::new(unit.root.clone(), &self.metrics);
+        let exec_span = cx_obs::span("execute");
         let table = Arc::new(unit.ctx.scope(|| collect_table(&root))?);
+        drop(exec_span);
         if self.config.cache_results {
             match &unit.binding {
                 None => *unit.cached.result.lock() = Some(table.clone()),
@@ -787,6 +937,7 @@ impl Server {
             plan_cache_hit: unit.plan_cache_hit,
             result_cache_hit: false,
             shared_scan,
+            trace: None,
         })
     }
 
@@ -820,6 +971,26 @@ impl Server {
     /// get bit-identical-to-solo results.
     fn drain_group(&self, entries: Vec<GroupEntry>) -> Vec<Result<ServeResult>> {
         let fault = self.fault_plan();
+        let k = entries.len();
+        let drain_started = Instant::now();
+        if cx_obs::tracing_enabled() {
+            // Attribute the linger to every member: how long each query
+            // sat in the scan queue before its group drained. The leader
+            // waited the whole linger; late joiners waited less.
+            for (i, e) in entries.iter().enumerate() {
+                if let Some(trace) = &e.unit.trace {
+                    let role = if i == 0 { "leader" } else { "follower" };
+                    trace.add_span(
+                        "scan_queue_wait",
+                        format!("{role} k={k}"),
+                        e.queued_at,
+                        drain_started.saturating_duration_since(e.queued_at),
+                        0,
+                        false,
+                    );
+                }
+            }
+        }
         if let Some(plan) = &fault {
             // An injected drain *panic* deliberately propagates into the
             // scan queue's containment (every member gets a transient
@@ -828,14 +999,16 @@ impl Server {
             if plan.strike(FaultSite::Drain).is_err() {
                 return entries
                     .iter()
-                    .map(|_| {
+                    .map(|e| {
+                        if let Some(trace) = &e.unit.trace {
+                            trace.add_event("fault", "drain");
+                        }
                         Err(QueryError::Transient("injected fault at drain".into()).into())
                     })
                     .collect();
             }
         }
 
-        let k = entries.len();
         if k == 1 {
             // Nobody joined inside the linger window: plain solo
             // execution, no sweep overhead beyond the wait itself.
@@ -872,7 +1045,20 @@ impl Server {
             .iter()
             .map(|e| shared_scan_cost(e.unit.cost, k))
             .sum();
-        let permit = match self.gate.acquire_ctx(weight, &group_ctx, 0) {
+        let admit_started = Instant::now();
+        let admitted = self.gate.acquire_ctx(weight, &group_ctx, 0);
+        let admit_dur = admit_started.elapsed();
+        self.queue_wait_hist.record_duration(admit_dur);
+        if cx_obs::tracing_enabled() {
+            // One group permit covers everyone: the wait is shared work,
+            // attributed to every member's trace.
+            for e in &entries {
+                if let Some(trace) = &e.unit.trace {
+                    trace.add_span("admission", "group", admit_started, admit_dur, 0, true);
+                }
+            }
+        }
+        let permit = match admitted {
             Ok(permit) => permit,
             Err(_) => {
                 // The group deadline is the max over members, so every
@@ -893,7 +1079,14 @@ impl Server {
                 // A sweep fault (transient) takes the solo-fallback path
                 // below; a sweep panic propagates to the scan queue's
                 // containment.
-                plan.strike(FaultSite::Sweep)?;
+                if let Err(e) = plan.strike(FaultSite::Sweep) {
+                    for en in &entries {
+                        if let Some(trace) = &en.unit.trace {
+                            trace.add_event("fault", "sweep");
+                        }
+                    }
+                    return Err(e);
+                }
             }
             // The sweep is consumed through its outcome, not its chunk
             // stream (materializing the pair table just to discard it
@@ -902,11 +1095,39 @@ impl Server {
             // It runs under the *group* context: member deadlines are
             // enforced at the epilogues, not mid-sweep.
             let sweep_started = Instant::now();
-            let outcome = group_ctx.scope(|| shared.sweep())?;
+            let outcome = {
+                // The leader's trace hosts the live span so the sweep's
+                // internal spans (candidate scan, probe gather, panel
+                // sweep) nest beneath it; every other member gets the
+                // same interval attributed below, tagged shared — the
+                // sweep ran once but served them all.
+                let _scope = cx_obs::install_trace(entries[0].unit.trace.as_ref());
+                let _sweep_span = cx_obs::span_with("shared_sweep", || {
+                    format!("leader k={k} model={}", entries[0].signature.model)
+                })
+                .shared();
+                group_ctx.scope(|| shared.sweep())?
+            };
+            let sweep_dur = sweep_started.elapsed();
+            self.sweep_hist.record_duration(sweep_dur);
+            if cx_obs::tracing_enabled() {
+                for e in entries.iter().skip(1) {
+                    if let Some(trace) = &e.unit.trace {
+                        trace.add_span(
+                            "shared_sweep",
+                            format!("follower k={k}"),
+                            sweep_started,
+                            sweep_dur,
+                            0,
+                            true,
+                        );
+                    }
+                }
+            }
             self.metrics.handle(&shared.name()).record(
                 outcome.emitted_pairs(shared.min_threshold()),
                 1,
-                sweep_started.elapsed(),
+                sweep_dur,
             );
             self.scan_queue
                 .record_sweep(outcome.stats.panel_rows_saved, outcome.stats.pairs_saved);
@@ -925,15 +1146,34 @@ impl Server {
             }
         };
 
+        // Epilogues run sequentially on this (leader) thread; followers
+        // later in line spend that time waiting, which their traces show
+        // as `epilogue_wait` so per-member span sums still cover the
+        // member's wall clock.
+        let epilogues_base = Instant::now();
         entries
             .iter()
             .zip(states)
-            .map(|(e, state)| {
+            .enumerate()
+            .map(|(i, (e, state))| {
                 // A member whose result got memoized since it queued (an
                 // identical query in this very group, say) skips
                 // execution — memo hits never re-execute.
                 if let Some(result) = self.try_result_memo(&e.unit) {
                     return Ok(result);
+                }
+                let epi_started = Instant::now();
+                if i > 0 {
+                    if let Some(trace) = &e.unit.trace {
+                        trace.add_span(
+                            "epilogue_wait",
+                            format!("behind {i} sibling epilogue(s)"),
+                            epilogues_base,
+                            epi_started.saturating_duration_since(epilogues_base),
+                            0,
+                            false,
+                        );
+                    }
                 }
                 // Per-member blast radius: a panicking epilogue (injected
                 // or genuine) costs this member a transient error — its
@@ -941,8 +1181,13 @@ impl Server {
                 // member past its deadline (or cancelled, or over budget)
                 // exits here without killing the group.
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _scope = cx_obs::install_trace(e.unit.trace.as_ref());
+                    let _epi = cx_obs::span_with("epilogue", || format!("member {i}/{k}"));
                     if let Some(plan) = &fault {
-                        plan.strike(FaultSite::Epilogue)?;
+                        if let Err(err) = plan.strike(FaultSite::Epilogue) {
+                            cx_obs::event("fault", || "epilogue".into());
+                            return Err(err);
+                        }
                     }
                     e.unit.ctx.check()?;
                     // Injection failing (operator refuses the state) is
@@ -1025,6 +1270,300 @@ impl Server {
         }
     }
 
+    /// Recent finished traces, oldest first (empty unless
+    /// [`ServeConfig::tracing`] is on).
+    pub fn traces(&self) -> Vec<QueryTrace> {
+        self.trace_ring.recent()
+    }
+
+    /// The most recently finished trace, if any.
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.trace_ring.last()
+    }
+
+    /// Rendered span trees of queries that exceeded
+    /// [`ServeConfig::slow_query_threshold`], oldest first, bounded.
+    pub fn slow_queries(&self) -> Vec<String> {
+        self.slow_log.lock().iter().cloned().collect()
+    }
+
+    /// End-to-end serve latency distribution (always recorded).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    /// Admission queue-wait distribution (always recorded).
+    pub fn queue_wait_histogram(&self) -> &Histogram {
+        &self.queue_wait_hist
+    }
+
+    /// Shared-sweep duration distribution (always recorded).
+    pub fn sweep_histogram(&self) -> &Histogram {
+        &self.sweep_hist
+    }
+
+    /// Captures every server counter, cache rate, histogram quantile, and
+    /// per-operator metric into one exportable [`MetricsSnapshot`] —
+    /// render it with [`MetricsSnapshot::to_prometheus`] /
+    /// [`MetricsSnapshot::to_json`] (or the [`Server::prometheus`] /
+    /// [`Server::metrics_json`] shorthands).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let s = self.stats();
+        let mut m = MetricsSnapshot::new();
+        m.counter("cx_serve_queries_total", "Queries served", &[], s.queries);
+        m.counter("cx_serve_sessions_total", "Sessions opened", &[], s.sessions);
+        m.counter(
+            "cx_serve_prepared_queries_total",
+            "Prepared-statement executions served",
+            &[],
+            s.prepared_queries,
+        );
+        m.counter(
+            "cx_serve_result_cache_hits_total",
+            "Queries answered from a result memo",
+            &[],
+            s.result_cache_hits,
+        );
+        let pc = &s.plan_cache;
+        m.counter("cx_serve_plan_cache_hits_total", "Plan cache hits", &[], pc.hits);
+        m.counter("cx_serve_plan_cache_misses_total", "Plan cache misses", &[], pc.misses);
+        m.counter(
+            "cx_serve_plan_cache_invalidations_total",
+            "Plans invalidated by catalog changes",
+            &[],
+            pc.invalidations,
+        );
+        m.counter(
+            "cx_serve_plan_cache_evictions_total",
+            "Plans evicted by capacity",
+            &[],
+            pc.evictions,
+        );
+        m.gauge("cx_serve_plan_cache_len", "Plans currently cached", &[], pc.len as f64);
+        m.gauge("cx_serve_plan_cache_hit_rate", "Plan cache hit rate", &[], pc.hit_rate());
+        let a = &s.admission;
+        m.counter("cx_serve_admission_admitted_total", "Queries admitted", &[], a.admitted);
+        m.counter(
+            "cx_serve_admission_waited_total",
+            "Admissions that had to wait",
+            &[],
+            a.waited,
+        );
+        m.counter(
+            "cx_serve_admission_shed_total",
+            "Queries shed at the admission gate",
+            &[],
+            a.shed,
+        );
+        m.counter(
+            "cx_serve_admission_abandoned_total",
+            "Admission waits abandoned (deadline/cancel)",
+            &[],
+            a.abandoned,
+        );
+        m.gauge("cx_serve_admission_in_use", "Admitted cost currently executing", &[], a.in_use);
+        m.gauge(
+            "cx_serve_admission_active",
+            "Queries currently holding permits",
+            &[],
+            a.active as f64,
+        );
+        m.gauge(
+            "cx_serve_admission_capacity",
+            "Total admission capacity",
+            &[],
+            self.gate.capacity(),
+        );
+        let sc = &s.scan_sharing;
+        m.counter("cx_serve_scan_submitted_total", "Queries entering the scan queue", &[], sc.submitted);
+        m.counter("cx_serve_scan_groups_total", "Scan groups drained", &[], sc.groups);
+        m.counter(
+            "cx_serve_scan_grouped_queries_total",
+            "Queries drained through groups",
+            &[],
+            sc.grouped_queries,
+        );
+        m.counter(
+            "cx_serve_scan_shared_groups_total",
+            "Groups that actually coalesced",
+            &[],
+            sc.shared_groups,
+        );
+        m.counter(
+            "cx_serve_scan_shared_queries_total",
+            "Queries answered by a shared sweep",
+            &[],
+            sc.shared_queries,
+        );
+        m.gauge("cx_serve_scan_max_group", "Largest group drained", &[], sc.max_group as f64);
+        m.counter(
+            "cx_serve_scan_panel_rows_saved_total",
+            "Panel row materializations avoided by sharing",
+            &[],
+            sc.panel_rows_saved,
+        );
+        m.counter(
+            "cx_serve_scan_pairs_saved_total",
+            "Similarity pairs deduplicated across queries",
+            &[],
+            sc.pairs_saved,
+        );
+        m.counter(
+            "cx_serve_scan_sweep_fallbacks_total",
+            "Shared sweeps that fell back to solo execution",
+            &[],
+            sc.sweep_fallbacks,
+        );
+        let l = &s.lifecycle;
+        m.counter(
+            "cx_serve_deadline_exceeded_total",
+            "Queries past their deadline",
+            &[],
+            l.deadline_exceeded,
+        );
+        m.counter("cx_serve_cancelled_total", "Queries cancelled", &[], l.cancelled);
+        m.counter(
+            "cx_serve_budget_exceeded_total",
+            "Queries over memory budget",
+            &[],
+            l.budget_exceeded,
+        );
+        m.counter(
+            "cx_serve_transient_failures_total",
+            "Queries that failed transiently (after any retry)",
+            &[],
+            l.transient_failures,
+        );
+        m.counter("cx_serve_retries_total", "Solo retries after transient failures", &[], l.retries);
+        m.counter(
+            "cx_serve_contained_panics_total",
+            "Panics contained at the query boundary",
+            &[],
+            l.contained_panics,
+        );
+        if let Some(f) = self.fault_stats() {
+            for (i, site) in FaultSite::ALL.iter().enumerate() {
+                m.counter(
+                    "cx_serve_faults_injected_total",
+                    "Faults injected by the installed plan, by site",
+                    &[("site", site.label())],
+                    f.per_site[i],
+                );
+            }
+        }
+        for (model, b) in &s.batchers {
+            let labels: &[(&str, &str)] = &[("model", model.as_str())];
+            m.counter("cx_serve_batcher_requests_total", "Warm requests submitted", labels, b.requests);
+            m.counter(
+                "cx_serve_batcher_texts_requested_total",
+                "Texts requested for warming",
+                labels,
+                b.texts_requested,
+            );
+            m.counter(
+                "cx_serve_batcher_texts_enqueued_total",
+                "Texts enqueued for embedding",
+                labels,
+                b.texts_enqueued,
+            );
+            m.counter(
+                "cx_serve_batcher_texts_already_cached_total",
+                "Texts skipped as already cached",
+                labels,
+                b.texts_already_cached,
+            );
+            m.counter(
+                "cx_serve_batcher_texts_coalesced_total",
+                "Texts coalesced with concurrent requests",
+                labels,
+                b.texts_coalesced,
+            );
+            m.counter("cx_serve_batcher_batches_total", "Batches flushed", labels, b.batches);
+            m.counter(
+                "cx_serve_batcher_batched_texts_total",
+                "Texts embedded through batches",
+                labels,
+                b.batched_texts,
+            );
+            m.counter(
+                "cx_serve_batcher_coalesced_batches_total",
+                "Batches serving more than one submitter",
+                labels,
+                b.coalesced_batches,
+            );
+            m.gauge(
+                "cx_serve_batcher_max_batch_size",
+                "Largest batch flushed",
+                labels,
+                b.max_batch_size as f64,
+            );
+            m.gauge(
+                "cx_serve_batcher_max_batch_submitters",
+                "Most submitters served by one batch",
+                labels,
+                b.max_batch_submitters as f64,
+            );
+            m.counter(
+                "cx_serve_batcher_failed_batches_total",
+                "Batches that failed to embed",
+                labels,
+                b.failed_batches,
+            );
+        }
+        m.summary_from_hist(
+            "cx_serve_query_latency_ns",
+            "End-to-end serve latency (ns)",
+            &[],
+            &self.latency_hist,
+        );
+        m.summary_from_hist(
+            "cx_serve_queue_wait_ns",
+            "Admission queue wait (ns)",
+            &[],
+            &self.queue_wait_hist,
+        );
+        m.summary_from_hist(
+            "cx_serve_sweep_ns",
+            "Shared-sweep duration (ns)",
+            &[],
+            &self.sweep_hist,
+        );
+        for (op, h) in self.metrics.handles() {
+            let labels: &[(&str, &str)] = &[("operator", op.as_str())];
+            m.counter(
+                "cx_exec_operator_rows_total",
+                "Rows emitted per operator",
+                labels,
+                h.rows_out(),
+            );
+            m.summary_from_hist(
+                "cx_exec_operator_latency_ns",
+                "Per-execution operator latency (ns)",
+                labels,
+                h.latency(),
+            );
+        }
+        m.gauge("cx_obs_trace_ring_len", "Finished traces retained", &[], self.trace_ring.len() as f64);
+        m.gauge(
+            "cx_serve_simd_info",
+            &format!("Resolved SIMD dispatch: {}", s.simd),
+            &[("dispatch", s.simd.as_str())],
+            1.0,
+        );
+        m
+    }
+
+    /// The metrics snapshot rendered in the Prometheus text exposition
+    /// format (scrape surface; also written by the bench binaries).
+    pub fn prometheus(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
+    }
+
+    /// The metrics snapshot rendered as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
     /// Human-readable server report: serving counters plus the aggregated
     /// per-operator execution metrics.
     pub fn report(&self) -> String {
@@ -1063,6 +1602,44 @@ impl Server {
             s.lifecycle.retries,
             s.lifecycle.contained_panics,
         ));
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let lat = self.latency_hist.snapshot();
+        out.push_str(&format!(
+            "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms ({} samples)\n",
+            ms(lat.p50),
+            ms(lat.p95),
+            ms(lat.p99),
+            ms(lat.max),
+            lat.count,
+        ));
+        let qw = self.queue_wait_hist.snapshot();
+        out.push_str(&format!(
+            "queue wait: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms ({} samples)\n",
+            ms(qw.p50),
+            ms(qw.p95),
+            ms(qw.p99),
+            ms(qw.max),
+            qw.count,
+        ));
+        let sw = self.sweep_hist.snapshot();
+        if sw.count > 0 {
+            out.push_str(&format!(
+                "shared sweeps: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms ({} samples)\n",
+                ms(sw.p50),
+                ms(sw.p95),
+                ms(sw.p99),
+                ms(sw.max),
+                sw.count,
+            ));
+        }
+        if self.config.tracing {
+            out.push_str(&format!(
+                "tracing: on, {} trace(s) retained (capacity {}), {} slow-query log entries\n",
+                self.trace_ring.len(),
+                self.trace_ring.capacity(),
+                self.slow_log.lock().len(),
+            ));
+        }
         out.push_str(&format!("simd kernels: {}\n", s.simd));
         out.push_str(&format!(
             "scan sharing: {} queries coalesced into {} shared groups (max group {}), \
@@ -1114,17 +1691,24 @@ impl Server {
     /// post-filter subsets, capped columns) embeds inside the operator
     /// exactly as before.
     fn warm_embeddings(&self, plan: &LogicalPlan) -> Result<()> {
+        let mut warm_span = cx_obs::span("embed_warm");
         let fault = self.fault_plan();
         let mut requests: BTreeMap<String, Vec<String>> = BTreeMap::new();
         collect_warm_requests(plan, self, &mut requests);
+        let mut warmed = 0usize;
         for (model, texts) in requests {
             if let Some(batcher) = self.batcher(&model) {
                 if let Some(plan) = &fault {
-                    plan.strike(crate::faults::FaultSite::Embed)?;
+                    if let Err(e) = plan.strike(crate::faults::FaultSite::Embed) {
+                        cx_obs::event("fault", || "embed".into());
+                        return Err(e);
+                    }
                 }
+                warmed += texts.len();
                 batcher.warm(&texts);
             }
         }
+        warm_span.set_detail(format!("{warmed} texts"));
         Ok(())
     }
 
@@ -1340,5 +1924,43 @@ impl Session {
     /// Queries served through this session.
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The most recently finished query trace on the shared server
+    /// (`None` unless the server was configured with
+    /// [`ServeConfig::tracing`]). The trace is also attached to the
+    /// [`ServeResult`] itself; this accessor serves clients that only
+    /// kept the table.
+    ///
+    /// ```
+    /// use context_engine::{Engine, EngineConfig};
+    /// use cx_embed::HashNGramModel;
+    /// use cx_serve::{ServeConfig, Server};
+    /// use cx_storage::{Column, DataType, Field, Schema, Table};
+    /// use std::sync::Arc;
+    ///
+    /// let engine = Arc::new(Engine::new(EngineConfig::default()));
+    /// engine.register_model(Arc::new(HashNGramModel::new(42)));
+    /// let names = Table::from_columns(
+    ///     Schema::new(vec![Field::new("name", DataType::Utf8)]),
+    ///     vec![Column::from_strings(["boots", "mug", "boots"])],
+    /// ).unwrap();
+    /// engine.register_table("products", names).unwrap();
+    ///
+    /// let config = ServeConfig { tracing: true, ..ServeConfig::default() };
+    /// let server = Server::new(engine, config);
+    /// let session = server.session();
+    /// let query = session.table("products").unwrap()
+    ///     .semantic_filter("name", "boots", "hash-ngram", 0.99);
+    /// let result = session.execute(&query).unwrap();
+    ///
+    /// let trace = session.last_trace().expect("tracing is on");
+    /// let rendered = trace.render();
+    /// assert!(rendered.contains("plan_cache"), "{rendered}");
+    /// assert!(rendered.contains("execute"), "{rendered}");
+    /// assert_eq!(result.trace.as_ref().unwrap().outcome().as_deref(), Some("ok"));
+    /// ```
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.server.last_trace()
     }
 }

@@ -27,6 +27,12 @@ pub struct BenchRecord {
     pub min_ns: f64,
     /// Slowest sample, ns per iteration.
     pub max_ns: f64,
+    /// p50 across samples, ns per iteration (`cx_obs` log-linear histogram).
+    pub p50_ns: f64,
+    /// p95 across samples, ns per iteration.
+    pub p95_ns: f64,
+    /// p99 across samples, ns per iteration.
+    pub p99_ns: f64,
 }
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -176,6 +182,9 @@ impl BenchmarkGroup<'_> {
                     median_ns: r.median,
                     min_ns: r.min,
                     max_ns: r.max,
+                    p50_ns: r.hist.p50 as f64,
+                    p95_ns: r.hist.p95 as f64,
+                    p99_ns: r.hist.p99 as f64,
                 });
             }
             None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
@@ -208,6 +217,7 @@ struct SampleStats {
     min: f64,
     median: f64,
     max: f64,
+    hist: cx_obs::HistSnapshot,
 }
 
 /// Runs the measured closure; one `iter` call per benchmark.
@@ -241,10 +251,17 @@ impl Bencher {
             samples.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let hist = cx_obs::Histogram::new();
+        for s in &samples {
+            // Round (don't truncate) so sub-nanosecond per-iteration
+            // samples still register as 1 ns instead of vanishing.
+            hist.record_duration(Duration::from_nanos(s.round().max(1.0) as u64));
+        }
         self.result = Some(SampleStats {
             min: samples[0],
             median: samples[samples.len() / 2],
             max: samples[samples.len() - 1],
+            hist: hist.snapshot(),
         });
     }
 }
@@ -316,6 +333,7 @@ mod tests {
         let recorded = take_results();
         let r = recorded.iter().find(|r| r.id == "rec/f").expect("recorded");
         assert!(r.median_ns > 0.0 && r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.p50_ns > 0.0 && r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);
         // Drained: a second take returns nothing new.
         assert!(take_results().iter().all(|r| r.id != "rec/f"));
     }

@@ -39,7 +39,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Active implementation of the f32 kernel family ([`crate::dot`],
-/// [`crate::dot_block`], [`crate::dot_block_threshold`]).
+/// [`crate::dot_block`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum F32Path {
     /// Portable 8-accumulator ladder (LLVM auto-vectorizes it).

@@ -97,9 +97,10 @@ fn blocked_equals_pairwise_bitwise_under_every_mode() {
 #[test]
 fn f16_blocked_equals_pairwise_and_scalar_bitwise() {
     let _guard = lock_modes();
-    // Scalar reference scores, computed once under Off.
-    force_mode(SimdMode::Off).expect("off always resolves");
-    let mut refs: Vec<(usize, Vec<u16>, Vec<f32>, Vec<f32>)> = Vec::new();
+    // Scalar reference scores, computed once under Off:
+    // (dim, f16 block, query, expected scores) per tested dimension.
+    type F16Case = (usize, Vec<u16>, Vec<f32>, Vec<f32>);
+    let mut refs: Vec<F16Case> = Vec::new();
     let mut rng = Rng(0xF16);
     for dim in dims() {
         let rows = 5usize;

@@ -23,10 +23,13 @@
 //! | [`datagen`] | `cx-datagen` | deterministic workload generators |
 //! | [`engine`] | `context-engine` | the end-to-end engine |
 //! | [`mqo`] | `cx-mqo` | multi-query scan sharing: one panel sweep, many queries |
+//! | [`obs`] | `cx-obs` | query traces, latency histograms, metrics export |
 //! | [`serve`] | `cx-serve` | concurrent serving: plan cache, embed batching, admission |
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and
-//! `examples/serving.rs` for the concurrent serving layer.
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/serving.rs` for the concurrent serving layer, and
+//! `examples/observability.rs` for traces, histograms, and Prometheus
+//! export.
 
 pub use context_engine as engine;
 pub use cx_datagen as datagen;
@@ -36,6 +39,7 @@ pub use cx_expr as expr;
 pub use cx_hardware as hardware;
 pub use cx_kb as kb;
 pub use cx_mqo as mqo;
+pub use cx_obs as obs;
 pub use cx_optimizer as optimizer;
 pub use cx_semantic as semantic;
 pub use cx_serve as serve;
@@ -44,6 +48,7 @@ pub use cx_vector as vector;
 pub use cx_vision as vision;
 
 pub use context_engine::{Engine, EngineConfig, PlannedQuery, Query, QueryResult};
+pub use cx_obs::{Histogram, MetricsSnapshot, QueryTrace};
 pub use cx_serve::{
     FaultKind, FaultPlan, FaultSite, FaultStats, LifecycleStats, Prepared, QueryOptions,
     ServeConfig, ServeResult, Server, Session,
