@@ -189,10 +189,10 @@ fn run_served(
     clients: usize,
     replays: usize,
     targets: &[String],
-    tracing: bool,
+    config: ServeConfig,
 ) -> (Side, Arc<Server>) {
     let engine = build_engine(n);
-    let server = Server::new(engine, ServeConfig { tracing, ..ServeConfig::default() });
+    let server = Server::new(engine, config);
     let barrier = Arc::new(Barrier::new(clients));
     let start = Instant::now();
     let mut latencies: Vec<Duration> = Vec::new();
@@ -227,18 +227,19 @@ fn run_served(
 }
 
 /// Best of `runs` served storms (by QPS); identical treatment for the
-/// tracing-off and tracing-on legs keeps the overhead comparison fair.
+/// plain, tracing-on, and profiling-on legs keeps the overhead
+/// comparisons fair.
 fn best_served(
     n: usize,
     clients: usize,
     replays: usize,
     targets: &[String],
-    tracing: bool,
+    config: ServeConfig,
     runs: usize,
 ) -> (Side, Arc<Server>) {
     let mut best: Option<(Side, Arc<Server>)> = None;
     for _ in 0..runs.max(1) {
-        let run = run_served(n, clients, replays, targets, tracing);
+        let run = run_served(n, clients, replays, targets, config);
         if best.as_ref().is_none_or(|(b, _)| run.0.qps() > b.qps()) {
             best = Some(run);
         }
@@ -287,7 +288,7 @@ fn main() {
     // five runs each for the tracing-off and tracing-on legs (one storm
     // lasts well under 100ms, so single-run QPS carries ~10% scheduler
     // noise — far more than the tracing overhead being measured) ----
-    let (served, server) = best_served(n, clients, replays, &targets, false, 5);
+    let (served, server) = best_served(n, clients, replays, &targets, ServeConfig::default(), 5);
     println!(
         "cx_serve ({clients} clients): {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  ({} queries in {:.2}s)",
         served.qps(),
@@ -297,7 +298,14 @@ fn main() {
         served.total_secs
     );
 
-    let (traced, traced_server) = best_served(n, clients, replays, &targets, true, 5);
+    let (traced, traced_server) = best_served(
+        n,
+        clients,
+        replays,
+        &targets,
+        ServeConfig { tracing: true, ..ServeConfig::default() },
+        5,
+    );
     let overhead_pct = 100.0 * (1.0 - traced.qps() / served.qps());
     println!(
         "  + tracing on      : {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  (overhead {:+.2}%, acceptance < 3%)",
@@ -305,6 +313,23 @@ fn main() {
         traced.percentile(0.5),
         traced.percentile(0.95),
         overhead_pct,
+    );
+
+    let (profiled, _) = best_served(
+        n,
+        clients,
+        replays,
+        &targets,
+        ServeConfig { profiling: true, ..ServeConfig::default() },
+        5,
+    );
+    let profiling_overhead_pct = 100.0 * (1.0 - profiled.qps() / served.qps());
+    println!(
+        "  + profiling on    : {:>8.1} qps  p50 {:>7.2} ms  p95 {:>7.2} ms  (overhead {:+.2}%, acceptance < 5%)",
+        profiled.qps(),
+        profiled.percentile(0.5),
+        profiled.percentile(0.95),
+        profiling_overhead_pct,
     );
 
     let speedup = served.qps() / serial.qps();
@@ -329,11 +354,12 @@ fn main() {
     // serial leg through the same machinery over its latency vector.
     let served_q = served.hist_quantiles_ms();
     let traced_q = traced.hist_quantiles_ms();
+    let profiled_q = profiled.hist_quantiles_ms();
     let serial_q = serial.hist_quantiles_ms();
 
     let simd = cx_vector::simd::KernelDispatch::active().report();
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"serve\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"serve_traced\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"tracing_overhead_pct\": {:.3},\n  \"serial\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"result_memo_hits\": {}}},\n  \"embed_batcher\": {{\"batches\": {}, \"batched_texts\": {}, \"texts_coalesced\": {}, \"max_batch_submitters\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"replays\": {replays},\n  \"queries_per_side\": {},\n  \"serve\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"serve_traced\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"tracing_overhead_pct\": {:.3},\n  \"serve_profiled\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"profiling_overhead_pct\": {:.3},\n  \"serial\": {{\"qps\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"total_secs\": {:.4}}},\n  \"qps_speedup\": {:.3},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"result_memo_hits\": {}}},\n  \"embed_batcher\": {{\"batches\": {}, \"batched_texts\": {}, \"texts_coalesced\": {}, \"max_batch_submitters\": {}}}\n}}\n",
         served.latencies.len(),
         served.qps(),
         served_q.0,
@@ -346,6 +372,12 @@ fn main() {
         traced_q.2,
         traced.total_secs,
         overhead_pct,
+        profiled.qps(),
+        profiled_q.0,
+        profiled_q.1,
+        profiled_q.2,
+        profiled.total_secs,
+        profiling_overhead_pct,
         serial.qps(),
         serial_q.0,
         serial_q.1,

@@ -2,7 +2,7 @@
 
 use cx_embed::{EmbeddingModel, ModelRegistry};
 use cx_kb::KnowledgeBase;
-use cx_storage::{Result, Table, TableStats};
+use cx_storage::{Error, Result, SystemTableSource, Table, TableStats};
 use cx_vision::{ImageStore, ObjectDetector};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -27,6 +27,7 @@ pub struct Catalog {
     samples: RwLock<HashMap<(String, String), Vec<String>>>,
     kbs: RwLock<HashMap<String, Arc<KnowledgeBase>>>,
     image_stores: RwLock<HashMap<String, Arc<ImageStore>>>,
+    system_tables: RwLock<HashMap<String, Arc<dyn SystemTableSource>>>,
     models: Arc<ModelRegistry>,
     /// Bumped on every registration (tables, KBs, images, models). Cached
     /// plans are valid only for the version they were built against:
@@ -45,6 +46,11 @@ impl Catalog {
     /// samples for the optimizer.
     pub fn register_table(&self, name: impl Into<String>, table: Table) -> Result<()> {
         let name = name.into();
+        if cx_obs::is_reserved_name(&name) {
+            return Err(Error::InvalidArgument(format!(
+                "table name `{name}` is reserved for the cx system schema"
+            )));
+        }
         let stats = TableStats::compute(&table)?;
         let mut samples = Vec::new();
         for field in table.schema().fields() {
@@ -108,6 +114,38 @@ impl Catalog {
     pub fn register_model(&self, model: Arc<dyn EmbeddingModel>) {
         self.models.register(model);
         self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Registers a live system-table source under the reserved `cx.*`
+    /// schema. Re-registering the same name replaces the source (a new
+    /// server over the same engine takes over its telemetry tables).
+    pub fn register_system_table(&self, source: Arc<dyn SystemTableSource>) -> Result<()> {
+        let name = source.name().to_string();
+        if !name.starts_with("cx.") {
+            return Err(Error::InvalidArgument(format!(
+                "system table `{name}` must live in the reserved cx schema"
+            )));
+        }
+        self.system_tables.write().insert(name, source);
+        self.version.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Resolves a system-table source.
+    pub fn system_table(&self, name: &str) -> Option<Arc<dyn SystemTableSource>> {
+        self.system_tables.read().get(name).cloned()
+    }
+
+    /// Snapshot of all system-table sources (for the physical planner).
+    pub fn system_tables_snapshot(&self) -> HashMap<String, Arc<dyn SystemTableSource>> {
+        self.system_tables.read().clone()
+    }
+
+    /// Registered system-table names, sorted.
+    pub fn system_table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.system_tables.read().keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Resolves a table.
@@ -203,6 +241,68 @@ mod tests {
         kb.assert_is_a("boots", "shoes");
         c.register_kb("kb", kb).unwrap();
         assert!(c.version() > v3);
+    }
+
+    #[derive(Debug)]
+    struct OneRow {
+        schema: Arc<cx_storage::Schema>,
+    }
+
+    impl OneRow {
+        fn new() -> Self {
+            OneRow { schema: Arc::new(Schema::new(vec![Field::required("v", DataType::Int64)])) }
+        }
+    }
+
+    impl SystemTableSource for OneRow {
+        fn name(&self) -> &str {
+            "cx.onerow"
+        }
+        fn schema(&self) -> Arc<cx_storage::Schema> {
+            self.schema.clone()
+        }
+        fn snapshot(&self) -> Result<Vec<cx_storage::Chunk>> {
+            Ok(vec![cx_storage::Chunk::new(
+                self.schema.clone(),
+                vec![Column::from_i64(vec![7])],
+            )?])
+        }
+    }
+
+    #[test]
+    fn reserved_schema_is_enforced() {
+        let c = Catalog::new();
+        let err = c.register_table("cx.queries", table()).unwrap_err();
+        assert!(err.to_string().contains("reserved"), "{err}");
+        assert!(c.register_system_table(Arc::new(OneRow::new())).is_ok());
+        assert!(c.system_table("cx.onerow").is_some());
+        assert_eq!(c.system_table_names(), vec!["cx.onerow".to_string()]);
+        // System tables live in their own namespace, not the user one.
+        assert!(c.table("cx.onerow").is_none());
+        // A source outside the reserved schema is rejected.
+        #[derive(Debug)]
+        struct BadName(Arc<cx_storage::Schema>);
+        impl SystemTableSource for BadName {
+            fn name(&self) -> &str {
+                "products"
+            }
+            fn schema(&self) -> Arc<cx_storage::Schema> {
+                self.0.clone()
+            }
+            fn snapshot(&self) -> Result<Vec<cx_storage::Chunk>> {
+                Ok(vec![])
+            }
+        }
+        let bad = BadName(Arc::new(Schema::new(vec![Field::required("v", DataType::Int64)])));
+        assert!(c.register_system_table(Arc::new(bad)).is_err());
+    }
+
+    #[test]
+    fn system_table_registration_bumps_version() {
+        let c = Catalog::new();
+        let v0 = c.version();
+        c.register_system_table(Arc::new(OneRow::new())).unwrap();
+        assert!(c.version() > v0);
     }
 
     #[test]

@@ -148,14 +148,18 @@ impl Engine {
         self.catalog.register_model(model);
     }
 
-    /// Starts a query over table `name`.
+    /// Starts a query over table `name` (a registered user table or a
+    /// reserved `cx.*` system table).
     pub fn table(&self, name: &str) -> Result<Query> {
-        let table = self
-            .catalog
-            .table(name)
-            .ok_or_else(|| cx_storage::Error::ColumnNotFound(format!("table {name}")))?;
-        let schema = Schema::new(table.schema().fields().to_vec());
-        Ok(Query::scan(name, schema))
+        if let Some(table) = self.catalog.table(name) {
+            let schema = Schema::new(table.schema().fields().to_vec());
+            return Ok(Query::scan(name, schema));
+        }
+        if let Some(sys) = self.catalog.system_table(name) {
+            let schema = Schema::new(sys.schema().fields().to_vec());
+            return Ok(Query::scan(name, schema));
+        }
+        Err(cx_storage::Error::ColumnNotFound(format!("table {name}")))
     }
 
     /// The shared embedding cache for `model` (useful for prefetch
@@ -202,6 +206,9 @@ impl Engine {
         let mut env = PhysicalPlannerEnv::new();
         for (name, table) in self.catalog.tables_snapshot() {
             env.register_table(name, table);
+        }
+        for (_, source) in self.catalog.system_tables_snapshot() {
+            env.register_system_table(source);
         }
         env
     }

@@ -34,7 +34,7 @@ pub use metrics::{ExecMetrics, OperatorMetrics};
 pub use operators::{
     scalar_cmp, Accumulator,
     DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec,
-    ProjectExec, SortExec, TableScanExec, UnionExec,
+    ProjectExec, SortExec, SystemTableScanExec, TableScanExec, UnionExec,
 };
 pub use parallel::parallel_map_chunks;
 pub use physical::{bind_physical, collect, collect_table, ChunkStream, PhysicalOperator};

@@ -79,6 +79,52 @@ impl PhysicalOperator for TableScanExec {
 }
 
 // ---------------------------------------------------------------------------
+// SystemTableScan
+// ---------------------------------------------------------------------------
+
+/// Scans a live system-table source (`cx.*`): every `execute` takes a
+/// fresh snapshot, so repeated scans of the same physical plan observe
+/// the state as of each scan, not of plan creation.
+pub struct SystemTableScanExec {
+    source: Arc<dyn cx_storage::SystemTableSource>,
+}
+
+impl SystemTableScanExec {
+    /// A scan over the live source.
+    pub fn new(source: Arc<dyn cx_storage::SystemTableSource>) -> Self {
+        SystemTableScanExec { source }
+    }
+}
+
+impl PhysicalOperator for SystemTableScanExec {
+    fn name(&self) -> String {
+        format!("SystemTableScan [{}]", self.source.name())
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        self.source.schema()
+    }
+
+    fn children(&self) -> Vec<Arc<dyn PhysicalOperator>> {
+        vec![]
+    }
+
+    fn execute(&self) -> Result<ChunkStream> {
+        let schema = self.source.schema();
+        let chunks = self.source.snapshot()?;
+        for c in &chunks {
+            if c.schema().fields() != schema.fields() {
+                return Err(Error::InvalidArgument(format!(
+                    "system table {} produced a chunk not matching its declared schema",
+                    self.source.name()
+                )));
+            }
+        }
+        Ok(Box::new(chunks.into_iter().map(Ok)))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Filter
 // ---------------------------------------------------------------------------
 

@@ -351,6 +351,11 @@ impl SharedScanExec {
                 cx_vector::simd::KernelDispatch::active().report()
             )
         });
+        // Profile attribution: the shared sweep runs on the group
+        // leader's thread, so its pairs land in the leader's profile —
+        // the same convention shared spans use.
+        cx_obs::add_pairs((p * c) as u64);
+        cx_obs::add_tiles(1);
         // Sweeps run under the *group* context installed by the server
         // (deadline = max member deadline), so one slow member cannot be
         // killed by another's tighter deadline mid-sweep; per-member

@@ -43,6 +43,7 @@ pub struct Metric {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     metrics: Vec<Metric>,
+    stamp: Option<(u64, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -54,6 +55,25 @@ impl MetricsSnapshot {
     /// All metrics, in insertion order.
     pub fn metrics(&self) -> &[Metric] {
         &self.metrics
+    }
+
+    /// Stamps the snapshot with a capture time (milliseconds since an
+    /// epoch chosen by the caller — wall clock in production, an injected
+    /// fake in tests) and a monotonically increasing sequence number, so
+    /// two diffed exports are orderable even when the clock is frozen.
+    pub fn set_timestamp(&mut self, timestamp_ms: u64, sequence: u64) -> &mut Self {
+        self.stamp = Some((timestamp_ms, sequence));
+        self
+    }
+
+    /// The capture timestamp in milliseconds, if stamped.
+    pub fn timestamp_ms(&self) -> Option<u64> {
+        self.stamp.map(|(ts, _)| ts)
+    }
+
+    /// The capture sequence number, if stamped.
+    pub fn sequence(&self) -> Option<u64> {
+        self.stamp.map(|(_, seq)| seq)
     }
 
     /// Adds a counter.
@@ -139,6 +159,14 @@ impl MetricsSnapshot {
     /// samples plus `_sum` / `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        if let Some((ts, seq)) = self.stamp {
+            out.push_str("# HELP cx_obs_snapshot_timestamp_ms Snapshot capture time (ms)\n");
+            out.push_str("# TYPE cx_obs_snapshot_timestamp_ms gauge\n");
+            out.push_str(&format!("cx_obs_snapshot_timestamp_ms {ts}\n"));
+            out.push_str("# HELP cx_obs_snapshot_sequence Snapshot sequence number\n");
+            out.push_str("# TYPE cx_obs_snapshot_sequence counter\n");
+            out.push_str(&format!("cx_obs_snapshot_sequence {seq}\n"));
+        }
         let mut seen_header: Vec<&str> = Vec::new();
         for m in &self.metrics {
             if !seen_header.contains(&m.name.as_str()) {
@@ -193,7 +221,11 @@ impl MetricsSnapshot {
     /// Renders the snapshot as a JSON array of
     /// `{name, labels, type, value | {quantiles, count, sum}}` objects.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"metrics\": [\n");
+        let mut out = String::from("{\n");
+        if let Some((ts, seq)) = self.stamp {
+            out.push_str(&format!("  \"timestamp_ms\": {ts},\n  \"sequence\": {seq},\n"));
+        }
+        out.push_str("  \"metrics\": [\n");
         for (i, m) in self.metrics.iter().enumerate() {
             let labels = m
                 .labels
@@ -334,6 +366,25 @@ mod tests {
         assert!(json.contains("\"value\": 42"));
         assert!(json.contains("\"site\": \"embed\""));
         assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    fn timestamp_stamp_appears_in_both_renderings() {
+        let mut s = sample_snapshot();
+        s.set_timestamp(1_234_567, 9);
+        assert_eq!(s.timestamp_ms(), Some(1_234_567));
+        assert_eq!(s.sequence(), Some(9));
+        let text = s.to_prometheus();
+        let parsed = promparse::parse(&text).expect("stamped exposition parses");
+        assert_eq!(parsed.value("cx_obs_snapshot_timestamp_ms", &[]), Some(1_234_567.0));
+        assert_eq!(parsed.value("cx_obs_snapshot_sequence", &[]), Some(9.0));
+        let json = s.to_json();
+        assert!(json.contains("\"timestamp_ms\": 1234567"));
+        assert!(json.contains("\"sequence\": 9"));
+        // Unstamped snapshots render exactly as before.
+        let bare = sample_snapshot();
+        assert!(!bare.to_prometheus().contains("cx_obs_snapshot"));
+        assert!(!bare.to_json().contains("timestamp_ms"));
     }
 
     #[test]

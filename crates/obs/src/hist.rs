@@ -153,6 +153,46 @@ impl Histogram {
         self.max()
     }
 
+    /// Folds another histogram into this one: bucket counts, count and
+    /// sum add; min/max tighten. Both sides may be recorded into
+    /// concurrently — the merge is then a point-in-time-ish snapshot with
+    /// the same per-bucket consistency as `snapshot()`.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The non-empty buckets as `(low, mid, count)` rows, lowest value
+    /// first. This is the raw shape behind the `cx.histograms` system
+    /// table; `low` is the smallest value mapping to the bucket and `mid`
+    /// its representative midpoint.
+    pub fn nonzero_buckets(&self) -> Vec<BucketCount> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| BucketCount {
+                    low: bucket_low(idx),
+                    mid: bucket_mid(idx),
+                    count,
+                })
+            })
+            .collect()
+    }
+
     /// A point-in-time summary of this histogram.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
@@ -165,6 +205,18 @@ impl Histogram {
             p99: self.quantile(0.99),
         }
     }
+}
+
+/// One non-empty histogram bucket: the value range it covers and how
+/// many observations landed in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Smallest value mapping to this bucket.
+    pub low: u64,
+    /// Representative midpoint of the bucket's range.
+    pub mid: u64,
+    /// Number of observations in the bucket.
+    pub count: u64,
 }
 
 /// A point-in-time histogram summary (all values in the recorded unit,
@@ -277,6 +329,46 @@ mod tests {
         }
         // p100 is the exact max.
         assert_eq!(h.quantile(1.0), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [10u64, 100, 1_000] {
+            a.record(v);
+        }
+        for v in [5u64, 50_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 51_115);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 50_000);
+        // Quantiles track the merged population.
+        let q = a.quantile(1.0);
+        assert_eq!(q, 50_000);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_observations() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 700, 1_000_000] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+        assert!(buckets.windows(2).all(|w| w[0].low < w[1].low), "sorted by low");
+        assert_eq!(buckets[0].low, 3);
+        assert_eq!(buckets[0].count, 2);
+        for b in &buckets {
+            assert!(b.low <= b.mid);
+        }
     }
 
     #[test]

@@ -29,13 +29,20 @@
 
 pub mod export;
 pub mod hist;
+pub mod profile;
 pub mod promparse;
 pub mod ring;
+pub mod systab;
 pub mod trace;
 
 pub use export::{Metric, MetricValue, MetricsSnapshot};
-pub use hist::{HistSnapshot, Histogram};
+pub use hist::{BucketCount, HistSnapshot, Histogram};
+pub use profile::{
+    add_pairs, add_tiles, profiling_enabled, CountingAlloc, ProfileSpan, ProfilerSession,
+    QueryProfile,
+};
 pub use ring::TraceRing;
+pub use systab::{is_reserved_name, IncidentLog, IncidentRecord};
 pub use trace::{
     event, install_trace, span, span_allocations, span_with, tracing_enabled, EventRecord,
     QueryTrace, Span, SpanRecord, TraceScope, TracingSession,

@@ -1,0 +1,328 @@
+//! Opt-in per-query resource profiling.
+//!
+//! The same discipline as tracing: profiling is enabled process-wide by
+//! holding a [`ProfilerSession`] (a server holds one for its lifetime
+//! when configured with profiling on), and every instrumentation site —
+//! the allocator hook, [`add_pairs`], [`add_tiles`] — costs exactly one
+//! relaxed atomic load when no session is alive. Counters are plain
+//! thread-locals, so a profile window ([`ProfileSpan`]) measures the
+//! thread it was started on: work an MQO leader performs on behalf of
+//! its followers is attributed to the *leader's* profile, mirroring how
+//! shared spans credit wall time.
+//!
+//! Allocation counting needs the embedding binary to opt in by
+//! installing [`CountingAlloc`] as its `#[global_allocator]`; without it
+//! the `alloc_count` / `alloc_bytes` fields stay zero. CPU time is the
+//! per-thread CPU clock (`CLOCK_THREAD_CPUTIME_ID`), zero on platforms
+//! without one.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Count of live [`ProfilerSession`]s; profiling is on while nonzero.
+static PROFILER_SESSIONS: AtomicU32 = AtomicU32::new(0);
+
+/// Whether any [`ProfilerSession`] is alive. One relaxed load.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILER_SESSIONS.load(Ordering::Relaxed) != 0
+}
+
+/// RAII enablement of profiling: the process profiles while at least one
+/// session is alive. Servers configured with `profiling: true` hold one.
+#[derive(Debug)]
+pub struct ProfilerSession(());
+
+impl ProfilerSession {
+    /// Enables profiling for the lifetime of the returned guard.
+    pub fn new() -> Self {
+        PROFILER_SESSIONS.fetch_add(1, Ordering::Relaxed);
+        ProfilerSession(())
+    }
+}
+
+impl Default for ProfilerSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ProfilerSession {
+    fn drop(&mut self) {
+        PROFILER_SESSIONS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+    static PAIRS: Cell<u64> = const { Cell::new(0) };
+    static TILES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credits `n` scored vector pairs to the current thread's profile
+/// window. Called by similarity kernels; one relaxed load when off.
+#[inline]
+pub fn add_pairs(n: u64) {
+    if profiling_enabled() {
+        let _ = PAIRS.try_with(|c| c.set(c.get().wrapping_add(n)));
+    }
+}
+
+/// Credits `n` panel tiles (distinct panel rows / blocks touched) to the
+/// current thread's profile window. One relaxed load when off.
+#[inline]
+pub fn add_tiles(n: u64) {
+    if profiling_enabled() {
+        let _ = TILES.try_with(|c| c.set(c.get().wrapping_add(n)));
+    }
+}
+
+/// Credits one heap allocation of `bytes` to the current thread's
+/// profile window. Called from [`CountingAlloc`]; safe in allocator
+/// context (const-initialized thread-locals, `try_with` tolerates TLS
+/// teardown).
+#[inline]
+pub fn record_alloc(bytes: usize) {
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = ALLOC_BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes as u64)));
+}
+
+/// A `#[global_allocator]` wrapper that counts allocations into the
+/// profiler's thread-local counters while a [`ProfilerSession`] is
+/// alive, and is a pure pass-through (one relaxed load) otherwise.
+///
+/// ```
+/// // In a binary that wants allocation profiles:
+/// #[global_allocator]
+/// static ALLOC: cx_obs::CountingAlloc = cx_obs::CountingAlloc::system();
+/// # fn main() {}
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingAlloc<A = System> {
+    inner: A,
+}
+
+impl CountingAlloc<System> {
+    /// A counting wrapper around the system allocator.
+    pub const fn system() -> Self {
+        CountingAlloc { inner: System }
+    }
+}
+
+impl<A> CountingAlloc<A> {
+    /// Wraps an arbitrary inner allocator.
+    pub const fn new(inner: A) -> Self {
+        CountingAlloc { inner }
+    }
+}
+
+// SAFETY: pure delegation to the inner allocator; the counting side
+// effect touches only const-initialized thread-local `Cell`s and never
+// allocates or unwinds.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc(layout);
+        if !p.is_null() && profiling_enabled() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.inner.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = self.inner.alloc_zeroed(layout);
+        if !p.is_null() && profiling_enabled() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = self.inner.realloc(ptr, layout, new_size);
+        if !p.is_null() && profiling_enabled() {
+            record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// The resources one query consumed, captured by a [`ProfileSpan`] on
+/// the serving thread. All fields are deltas over the span's window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryProfile {
+    /// CPU time of the serving thread (ns, per-thread CPU clock; 0 on
+    /// platforms without one).
+    pub cpu_ns: u64,
+    /// Heap allocations observed (0 unless the binary installs
+    /// [`CountingAlloc`]).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Vector pairs scored by similarity kernels on this thread.
+    pub pairs_scored: u64,
+    /// Panel tiles (distinct panel rows / blocks) touched.
+    pub panel_tiles: u64,
+    /// Bytes charged against the query's memory budget.
+    pub bytes_charged: u64,
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu {:.3} ms · allocs {} ({} B) · pairs {} · tiles {} · charged {} B",
+            self.cpu_ns as f64 / 1e6,
+            self.alloc_count,
+            self.alloc_bytes,
+            self.pairs_scored,
+            self.panel_tiles,
+            self.bytes_charged,
+        )
+    }
+}
+
+/// An open profiling window on the current thread: snapshots the
+/// thread-local counters and CPU clock at start, and [`finish`] returns
+/// the deltas as a [`QueryProfile`]. Must be finished on the thread that
+/// started it.
+///
+/// [`finish`]: ProfileSpan::finish
+#[derive(Debug)]
+pub struct ProfileSpan {
+    cpu0: u64,
+    alloc_count0: u64,
+    alloc_bytes0: u64,
+    pairs0: u64,
+    tiles0: u64,
+}
+
+impl ProfileSpan {
+    /// Opens a window at the current thread's counter values.
+    pub fn start() -> Self {
+        ProfileSpan {
+            cpu0: thread_cpu_ns(),
+            alloc_count0: ALLOC_COUNT.with(Cell::get),
+            alloc_bytes0: ALLOC_BYTES.with(Cell::get),
+            pairs0: PAIRS.with(Cell::get),
+            tiles0: TILES.with(Cell::get),
+        }
+    }
+
+    /// Closes the window, charging `bytes_charged` (from the query's
+    /// memory budget) into the resulting profile.
+    pub fn finish(self, bytes_charged: u64) -> QueryProfile {
+        QueryProfile {
+            cpu_ns: thread_cpu_ns().saturating_sub(self.cpu0),
+            alloc_count: ALLOC_COUNT.with(Cell::get).wrapping_sub(self.alloc_count0),
+            alloc_bytes: ALLOC_BYTES.with(Cell::get).wrapping_sub(self.alloc_bytes0),
+            pairs_scored: PAIRS.with(Cell::get).wrapping_sub(self.pairs0),
+            panel_tiles: TILES.with(Cell::get).wrapping_sub(self.tiles0),
+            bytes_charged,
+        }
+    }
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: clock_gettime writes a timespec through a valid pointer.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc == 0 {
+        (ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64
+    } else {
+        0
+    }
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds (always 0 on
+/// platforms without a per-thread CPU clock binding).
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+pub fn thread_cpu_ns() -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_only_move_while_enabled() {
+        // No session: kernel hooks are inert.
+        if profiling_enabled() {
+            return; // a parallel test holds a session; skip
+        }
+        let span = ProfileSpan::start();
+        add_pairs(100);
+        add_tiles(10);
+        let p = span.finish(0);
+        assert_eq!(p.pairs_scored, 0);
+        assert_eq!(p.panel_tiles, 0);
+
+        let _session = ProfilerSession::new();
+        let span = ProfileSpan::start();
+        add_pairs(100);
+        add_pairs(23);
+        add_tiles(10);
+        let p = span.finish(4096);
+        assert_eq!(p.pairs_scored, 123);
+        assert_eq!(p.panel_tiles, 10);
+        assert_eq!(p.bytes_charged, 4096);
+    }
+
+    #[test]
+    fn cpu_clock_advances_under_load() {
+        let span = ProfileSpan::start();
+        // Busy work the optimizer can't remove.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        assert_ne!(acc, 1); // keep `acc` observable
+        let p = span.finish(0);
+        if cfg!(any(target_os = "linux", target_os = "android")) {
+            assert!(p.cpu_ns > 0, "thread CPU clock did not advance");
+        }
+    }
+
+    #[test]
+    fn windows_are_deltas() {
+        let _session = ProfilerSession::new();
+        add_pairs(50);
+        let span = ProfileSpan::start();
+        add_pairs(7);
+        let p = span.finish(0);
+        assert_eq!(p.pairs_scored, 7, "baseline pairs must not leak into the window");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = QueryProfile {
+            cpu_ns: 1_500_000,
+            alloc_count: 3,
+            alloc_bytes: 1024,
+            pairs_scored: 99,
+            panel_tiles: 4,
+            bytes_charged: 2048,
+        };
+        let s = p.to_string();
+        assert!(s.contains("cpu 1.500 ms"), "{s}");
+        assert!(s.contains("pairs 99"), "{s}");
+        assert!(s.contains("charged 2048 B"), "{s}");
+    }
+}

@@ -98,6 +98,7 @@ struct TraceInner {
     events: Vec<EventRecord>,
     outcome: Option<String>,
     total_ns: u64,
+    profile: Option<crate::profile::QueryProfile>,
 }
 
 /// A per-query trace: a shared, cloneable handle to the span list.
@@ -120,6 +121,7 @@ impl QueryTrace {
                 events: Vec::new(),
                 outcome: None,
                 total_ns: 0,
+                profile: None,
             })),
         }
     }
@@ -188,6 +190,20 @@ impl QueryTrace {
         self.lock().outcome.clone()
     }
 
+    /// Attaches a resource profile (set by the serving layer when the
+    /// opt-in profiler is on). The first call wins, matching `finish`.
+    pub fn set_profile(&self, profile: crate::profile::QueryProfile) {
+        let mut inner = self.lock();
+        if inner.profile.is_none() {
+            inner.profile = Some(profile);
+        }
+    }
+
+    /// The attached resource profile, if the profiler was on.
+    pub fn profile(&self) -> Option<crate::profile::QueryProfile> {
+        self.lock().profile
+    }
+
     /// End-to-end duration in nanoseconds (0 until finished).
     pub fn total_ns(&self) -> u64 {
         self.lock().total_ns
@@ -240,6 +256,9 @@ impl QueryTrace {
                 e.at_ns as f64 / 1e6,
                 e.detail
             ));
+        }
+        if let Some(p) = &inner.profile {
+            out.push_str(&format!("  profile: {p}\n"));
         }
         out
     }

@@ -1,0 +1,58 @@
+//! Allocation accounting through a real `#[global_allocator]`: with
+//! [`CountingAlloc`] installed, a [`ProfileSpan`] attributes every heap
+//! allocation made on the profiled thread, and the counters stay dark
+//! (and free) when no profiler session is live.
+
+use cx_obs::{CountingAlloc, ProfileSpan, ProfilerSession};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+#[test]
+fn profiled_span_counts_allocations_and_idle_span_does_not() {
+    // No session: the allocator's fast path must record nothing.
+    let idle = ProfileSpan::start();
+    let ballast: Vec<u64> = (0..4096).collect();
+    assert_eq!(ballast.len(), 4096);
+    let idle = idle.finish(0);
+    assert_eq!(idle.alloc_count, 0);
+    assert_eq!(idle.alloc_bytes, 0);
+
+    // Live session: the same work is attributed, with at least the
+    // ballast's bytes on this thread's counters.
+    let _session = ProfilerSession::new();
+    let span = ProfileSpan::start();
+    let ballast: Vec<u64> = (0..4096).collect();
+    let strings: Vec<String> = (0..64).map(|i| format!("row-{i:04}")).collect();
+    assert_eq!(ballast.len(), 4096);
+    assert_eq!(strings.len(), 64);
+    let profile = span.finish(7);
+    assert!(profile.alloc_count >= 65, "vec + strings allocate: {profile:?}");
+    assert!(
+        profile.alloc_bytes >= 4096 * std::mem::size_of::<u64>() as u64,
+        "ballast bytes attributed: {profile:?}"
+    );
+    assert_eq!(profile.bytes_charged, 7);
+
+    // Counters are per-span: a fresh span starts from zero.
+    let fresh = ProfileSpan::start();
+    let fresh = fresh.finish(0);
+    assert!(fresh.alloc_bytes < profile.alloc_bytes);
+}
+
+#[test]
+fn allocations_on_other_threads_are_not_attributed() {
+    let _session = ProfilerSession::new();
+    let span = ProfileSpan::start();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let elsewhere: Vec<u8> = vec![0u8; 1 << 20];
+            assert_eq!(elsewhere.len(), 1 << 20);
+        });
+    });
+    let profile = span.finish(0);
+    assert!(
+        profile.alloc_bytes < 1 << 20,
+        "the megabyte allocated off-thread must not land here: {profile:?}"
+    );
+}

@@ -11,11 +11,11 @@ use crate::cost::select_quant_tier;
 use cx_exec::logical::LogicalPlan;
 use cx_exec::operators::{
     DistinctExec, FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec,
-    ProjectExec, SortExec, TableScanExec, UnionExec,
+    ProjectExec, SortExec, SystemTableScanExec, TableScanExec, UnionExec,
 };
 use cx_exec::PhysicalOperator;
 use cx_semantic::{SemanticFilterExec, SemanticGroupByExec, SemanticJoinExec, SemanticJoinStrategy};
-use cx_storage::{Error, Result, Table};
+use cx_storage::{Error, Result, SystemTableSource, Table};
 use cx_vector::lsh::LshParams;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,10 +25,12 @@ const INDEX_PAIR_THRESHOLD: f64 = 4e6;
 /// Right-side distinct count below which index build is never worthwhile.
 const INDEX_MIN_BUILD: f64 = 2000.0;
 
-/// Tables the planner can scan.
+/// Tables the planner can scan: materialized user tables plus live
+/// system-table sources (the reserved `cx.*` schema).
 #[derive(Default)]
 pub struct PhysicalPlannerEnv {
     tables: HashMap<String, Arc<Table>>,
+    system_tables: HashMap<String, Arc<dyn SystemTableSource>>,
 }
 
 impl PhysicalPlannerEnv {
@@ -46,6 +48,16 @@ impl PhysicalPlannerEnv {
     pub fn table(&self, name: &str) -> Option<Arc<Table>> {
         self.tables.get(name).cloned()
     }
+
+    /// Registers a live system-table source under its own name.
+    pub fn register_system_table(&mut self, source: Arc<dyn SystemTableSource>) {
+        self.system_tables.insert(source.name().to_string(), source);
+    }
+
+    /// Looks up a system-table source.
+    pub fn system_table(&self, name: &str) -> Option<Arc<dyn SystemTableSource>> {
+        self.system_tables.get(name).cloned()
+    }
 }
 
 /// Lowers `plan` into a physical operator tree.
@@ -56,10 +68,14 @@ pub fn create_physical_plan(
 ) -> Result<Arc<dyn PhysicalOperator>> {
     Ok(match plan {
         LogicalPlan::Scan { source, .. } => {
-            let table = env
-                .table(source)
-                .ok_or_else(|| Error::InvalidArgument(format!("unknown table: {source}")))?;
-            Arc::new(TableScanExec::new(table))
+            if let Some(sys) = env.system_table(source) {
+                Arc::new(SystemTableScanExec::new(sys))
+            } else {
+                let table = env
+                    .table(source)
+                    .ok_or_else(|| Error::InvalidArgument(format!("unknown table: {source}")))?;
+                Arc::new(TableScanExec::new(table))
+            }
         }
         LogicalPlan::Filter { predicate, input } => {
             let child = create_physical_plan(input, ctx, env)?;

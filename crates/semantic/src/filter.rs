@@ -252,6 +252,8 @@ impl PhysicalOperator for SemanticFilterExec {
                     cx_vector::simd::KernelDispatch::active().report()
                 )
             });
+            cx_obs::add_pairs(distinct.len() as u64);
+            cx_obs::add_tiles(1);
             let arena = VectorArena::from_texts(&cache, &distinct);
             match quant {
                 QuantTier::F32 => {

@@ -448,6 +448,8 @@ impl SemanticJoinExec {
                 cx_vector::simd::KernelDispatch::active().report()
             )
         });
+        cx_obs::add_pairs((left.len() * right.len()) as u64);
+        cx_obs::add_tiles(1);
         let threshold = self.threshold;
         // Captured here so the probe workers can check it: the fan-out
         // spawns fresh threads whose TLS is empty, so the lifecycle

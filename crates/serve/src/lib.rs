@@ -87,16 +87,22 @@ pub mod plan_cache;
 pub mod prepared;
 pub mod scan_queue;
 pub mod server;
+pub mod systab;
+pub mod watchdog;
 
 pub use admission::{AdmissionStats, CostGate, Permit};
 pub use batcher::{BatcherConfig, BatcherStats, EmbedBatcher};
 pub use faults::{FaultKind, FaultPlan, FaultSite, FaultStats};
-pub use plan_cache::{config_fingerprint, BindingKey, CachedPlan, PlanCache, PlanCacheStats};
+pub use plan_cache::{
+    config_fingerprint, BindingKey, CachedPlan, PlanCache, PlanCacheStats, PlanEntryInfo,
+};
 pub use prepared::Prepared;
 pub use scan_queue::{ScanQueue, ScanQueueConfig, ScanQueueStats};
 pub use server::{
-    ExecUnit, LifecycleStats, QueryOptions, ServeConfig, ServeResult, Server, ServerStats, Session,
+    ExecUnit, LifecycleStats, ProfileTotalsStats, QueryOptions, ServeConfig, ServeResult, Server,
+    ServerStats, Session,
 };
+pub use watchdog::WatchdogConfig;
 
 #[cfg(test)]
 mod tests {

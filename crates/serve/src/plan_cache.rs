@@ -119,6 +119,13 @@ pub struct CachedPlan {
     /// (determinism ⊕ catalog pinning — the binding vector simply joins
     /// the key). Bounded to [`MAX_BOUND_RESULTS`] distinct bindings.
     pub bound_results: Mutex<HashMap<BindingKey, Arc<Table>>>,
+    /// True when the plan scans any reserved `cx.*` system table. The
+    /// determinism argument behind `result` / `bound_results` does not
+    /// hold for such plans — their scans observe live state that changes
+    /// without a catalog-version bump — so the serving layer must never
+    /// read *or* write the result memo for a volatile plan. (Caching the
+    /// plan itself stays sound: only the data is live, not the shape.)
+    pub volatile: bool,
 }
 
 impl CachedPlan {
@@ -162,6 +169,31 @@ impl PlanCacheStats {
 struct Slot {
     plan: Arc<CachedPlan>,
     last_used: u64,
+}
+
+/// One row of the `cx.plan_cache` introspection snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntryInfo {
+    /// The cache key (`fingerprint ^ config_fingerprint`).
+    pub key: u64,
+    /// Catalog version the plan was built against.
+    pub catalog_version: u64,
+    /// Optimizer row estimate.
+    pub estimated_rows: f64,
+    /// Optimizer cost estimate.
+    pub estimated_cost: f64,
+    /// Number of optimizer rules that fired.
+    pub rules_fired: usize,
+    /// Whether the plan advertises a mergeable shared scan.
+    pub shared_scan: bool,
+    /// Whether the plan scans live `cx.*` state (result memo disabled).
+    pub volatile: bool,
+    /// Whether a memoized result is pinned.
+    pub has_result: bool,
+    /// Number of memoized prepared bindings.
+    pub bound_results: usize,
+    /// LRU tick of the last use (higher = more recent).
+    pub last_used: u64,
 }
 
 /// A bounded, version-checked map from plan fingerprints to cached plans.
@@ -237,6 +269,31 @@ impl PlanCache {
         }
     }
 
+    /// Per-entry snapshot for introspection (`cx.plan_cache`). Collects
+    /// the entry list under the state lock, then reads each entry's memo
+    /// size with no other lock held — system-table lock discipline.
+    pub fn entries(&self) -> Vec<PlanEntryInfo> {
+        let entries: Vec<(u64, u64, Arc<CachedPlan>)> = {
+            let state = self.state.lock();
+            state.0.iter().map(|(k, s)| (*k, s.last_used, s.plan.clone())).collect()
+        };
+        entries
+            .into_iter()
+            .map(|(key, last_used, plan)| PlanEntryInfo {
+                key,
+                catalog_version: plan.catalog_version,
+                estimated_rows: plan.estimated_rows,
+                estimated_cost: plan.estimated_cost,
+                rules_fired: plan.rules_fired.len(),
+                shared_scan: plan.shared_scan.is_some(),
+                volatile: plan.volatile,
+                has_result: plan.result.lock().is_some(),
+                bound_results: plan.bound_results.lock().len(),
+                last_used,
+            })
+            .collect()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
@@ -308,6 +365,7 @@ mod tests {
             shared_scan: None,
             result: Mutex::new(None),
             bound_results: Mutex::new(HashMap::new()),
+            volatile: false,
         })
     }
 
@@ -337,6 +395,21 @@ mod tests {
         assert!(cache.get(3, 0).is_some());
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn entries_snapshot_reflects_state() {
+        let cache = PlanCache::new(8);
+        cache.insert(1, plan(3));
+        cache.insert(2, plan(3));
+        cache.get(2, 3);
+        let mut entries = cache.entries();
+        entries.sort_by_key(|e| e.key);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].catalog_version, 3);
+        assert!(!entries[0].volatile);
+        assert!(!entries[0].has_result);
+        assert!(entries[1].last_used > entries[0].last_used, "key 2 used more recently");
     }
 
     #[test]

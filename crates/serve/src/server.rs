@@ -58,7 +58,11 @@ use cx_exec::{
     bind_physical, collect_table, find_shared_scan, ExecMetrics, PhysicalOperator, ScanSignature,
 };
 use cx_mqo::SharedScanExec;
-use cx_obs::{Histogram, MetricsSnapshot, QueryTrace, TraceRing, TracingSession};
+use crate::watchdog::{WatchdogConfig, WatchdogHandle};
+use cx_obs::{
+    Histogram, IncidentLog, MetricsSnapshot, ProfileSpan, ProfilerSession, QueryProfile,
+    QueryTrace, TraceRing, TracingSession,
+};
 use cx_optimizer::{shared_scan_cost, OptimizerConfig};
 use cx_storage::{
     CancelToken, Error, MemoryBudget, QueryContext, QueryError, Result, Scalar, Table,
@@ -145,6 +149,21 @@ pub struct ServeConfig {
     /// (the default) disables the slow log. Only meaningful with
     /// [`ServeConfig::tracing`] on.
     pub slow_query_threshold: Option<Duration>,
+    /// Per-query resource profiles: thread CPU time, allocation
+    /// count/bytes (through [`cx_obs::CountingAlloc`], when installed as
+    /// the global allocator), kernel pairs/tiles, and bytes charged
+    /// against the memory budget — attached to traces, surfaced in
+    /// `cx.queries`, and aggregated into [`Server::profile_totals`]. Off
+    /// by default: with profiling off every hook costs one relaxed
+    /// atomic load.
+    pub profiling: bool,
+    /// Self-watchdog (`None` = no background thread). When set, a
+    /// sampler wakes every [`WatchdogConfig::interval`], diffs the
+    /// latency histogram and serving counters against its previous tick,
+    /// and appends structured incidents (p99 regressions, queue
+    /// saturation, shed/fault bursts) to the bounded log behind
+    /// `cx.incidents`.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for ServeConfig {
@@ -166,6 +185,8 @@ impl Default for ServeConfig {
             tracing: false,
             trace_ring_capacity: 64,
             slow_query_threshold: None,
+            profiling: false,
+            watchdog: None,
         }
     }
 }
@@ -350,10 +371,98 @@ pub struct Server {
     /// Keeps process-wide tracing enabled while this server is configured
     /// for it (span sites everywhere check one relaxed atomic).
     _tracing_session: Option<TracingSession>,
+    /// Structured incidents appended by the watchdog, queryable as
+    /// `cx.incidents`. Present even without a watchdog so the table
+    /// always resolves (empty).
+    incidents: Arc<IncidentLog>,
+    /// The background watchdog sampler, when configured.
+    watchdog: Mutex<Option<WatchdogHandle>>,
+    /// Monotonic sequence stamped onto every metrics snapshot, so two
+    /// diffed exports are orderable even under a frozen test clock.
+    snapshot_seq: AtomicU64,
+    /// Injectable millisecond timestamp source for snapshot stamps and
+    /// incident records (`None` = wall clock since the Unix epoch).
+    timestamp_source: RwLock<Option<Arc<dyn Fn() -> u64 + Send + Sync>>>,
+    /// Server-wide totals across profiled queries.
+    profile_totals: ProfileTotals,
+    /// Keeps process-wide profiling enabled while this server is
+    /// configured for it (allocator and kernel hooks check one relaxed
+    /// atomic).
+    _profiler_session: Option<ProfilerSession>,
+}
+
+/// Aggregated resource usage across every profiled query (see
+/// [`ServeConfig::profiling`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileTotalsStats {
+    /// Queries that ran with a profile attached.
+    pub profiled_queries: u64,
+    /// Total thread CPU time, in nanoseconds.
+    pub cpu_ns: u64,
+    /// Total heap allocations observed by the counting allocator.
+    pub alloc_count: u64,
+    /// Total bytes requested from the counting allocator.
+    pub alloc_bytes: u64,
+    /// Total candidate×probe pairs scored by similarity kernels.
+    pub pairs_scored: u64,
+    /// Total panel tiles touched by similarity kernels.
+    pub panel_tiles: u64,
+    /// Total bytes charged against per-query memory budgets.
+    pub bytes_charged: u64,
+}
+
+#[derive(Default)]
+struct ProfileTotals {
+    profiled_queries: AtomicU64,
+    cpu_ns: AtomicU64,
+    alloc_count: AtomicU64,
+    alloc_bytes: AtomicU64,
+    pairs_scored: AtomicU64,
+    panel_tiles: AtomicU64,
+    bytes_charged: AtomicU64,
+}
+
+impl ProfileTotals {
+    fn add(&self, p: &QueryProfile) {
+        self.profiled_queries.fetch_add(1, Ordering::Relaxed);
+        self.cpu_ns.fetch_add(p.cpu_ns, Ordering::Relaxed);
+        self.alloc_count.fetch_add(p.alloc_count, Ordering::Relaxed);
+        self.alloc_bytes.fetch_add(p.alloc_bytes, Ordering::Relaxed);
+        self.pairs_scored.fetch_add(p.pairs_scored, Ordering::Relaxed);
+        self.panel_tiles.fetch_add(p.panel_tiles, Ordering::Relaxed);
+        self.bytes_charged.fetch_add(p.bytes_charged, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ProfileTotalsStats {
+        ProfileTotalsStats {
+            profiled_queries: self.profiled_queries.load(Ordering::Relaxed),
+            cpu_ns: self.cpu_ns.load(Ordering::Relaxed),
+            alloc_count: self.alloc_count.load(Ordering::Relaxed),
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
+            pairs_scored: self.pairs_scored.load(Ordering::Relaxed),
+            panel_tiles: self.panel_tiles.load(Ordering::Relaxed),
+            bytes_charged: self.bytes_charged.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Most rendered slow-query traces retained.
 const SLOW_LOG_CAPACITY: usize = 32;
+
+/// Incident-log capacity when no watchdog is configured (manual appends
+/// and future watchdog reconfiguration still land somewhere bounded).
+const DEFAULT_INCIDENT_CAPACITY: usize = 256;
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Stop (and usually join) the watchdog. When the last `Arc` drops
+        // on the watchdog's own thread — its tick held the final strong
+        // handle — the handle detaches instead of self-joining.
+        if let Some(handle) = self.watchdog.lock().take() {
+            handle.stop();
+        }
+    }
+}
 
 /// RAII decrement for [`Server::in_flight`].
 struct InFlightGuard<'a>(&'a AtomicU64);
@@ -381,7 +490,7 @@ impl Server {
             "simd {}",
             cx_simd::KernelDispatch::active().report()
         ));
-        Arc::new(Server {
+        let server = Arc::new(Server {
             plan_cache: PlanCache::new(config.plan_cache_capacity),
             gate: CostGate::new(config.admission_capacity),
             scan_queue: ScanQueue::new(ScanQueueConfig {
@@ -409,7 +518,26 @@ impl Server {
             queue_wait_hist: Histogram::new(),
             sweep_hist: Histogram::new(),
             _tracing_session: config.tracing.then(TracingSession::new),
-        })
+            incidents: Arc::new(IncidentLog::new(
+                config.watchdog.map_or(DEFAULT_INCIDENT_CAPACITY, |w| w.incident_capacity),
+            )),
+            watchdog: Mutex::new(None),
+            snapshot_seq: AtomicU64::new(0),
+            timestamp_source: RwLock::new(None),
+            profile_totals: ProfileTotals::default(),
+            _profiler_session: config.profiling.then(ProfilerSession::new),
+        });
+        // The engine can now query the server: every telemetry surface
+        // registers as a live `cx.*` system table holding a Weak handle
+        // (a dropped server scans as empty, never dangles). A second
+        // server over the same engine replaces the registrations — last
+        // server wins its engine's telemetry tables.
+        crate::systab::register_all(&server);
+        if let Some(wd) = config.watchdog {
+            *server.watchdog.lock() =
+                Some(crate::watchdog::spawn(Arc::downgrade(&server), wd));
+        }
+        server
     }
 
     /// The shared engine (register tables/models through it as usual; the
@@ -498,6 +626,22 @@ impl Server {
         opt_config: OptimizerConfig,
         options: &QueryOptions,
     ) -> Result<ServeResult> {
+        self.serve_query_inner(query, opt_config, options, false)
+    }
+
+    /// [`Server::serve_query`] with one extra switch: `force_trace`
+    /// records a [`QueryTrace`] for this query even when
+    /// [`ServeConfig::tracing`] is off (the `EXPLAIN ANALYZE` path —
+    /// see [`Session::explain_analyze`]). The forced trace is attached
+    /// to the result; with tracing off the ring has capacity 0, so
+    /// nothing is retained server-side and no other query pays a thing.
+    fn serve_query_inner(
+        &self,
+        query: &Query,
+        opt_config: OptimizerConfig,
+        options: &QueryOptions,
+        force_trace: bool,
+    ) -> Result<ServeResult> {
         let start = Instant::now();
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&self.in_flight);
@@ -505,10 +649,12 @@ impl Server {
         let cfg_fp = config_fingerprint(&opt_config);
         let exact = query.plan().fingerprint();
         let key = exact ^ cfg_fp;
-        let trace = self
-            .config
-            .tracing
+        let trace = (self.config.tracing || force_trace)
             .then(|| QueryTrace::new(format!("query#{exact:016x}")));
+        // Span sites check a process-wide refcount; forcing a trace
+        // needs it held for this query's duration.
+        let _forced = (force_trace && !self.config.tracing).then(TracingSession::new);
+        let profile_span = self.config.profiling.then(ProfileSpan::start);
 
         let attempt = |solo: bool| -> Result<ServeResult> {
             let _scope = cx_obs::install_trace(trace.as_ref());
@@ -555,7 +701,9 @@ impl Server {
 
         let mut result = self.run_with_recovery(attempt);
         self.record_outcome(&result);
-        self.finish_query(trace, start, &mut result);
+        let profile =
+            profile_span.map(|p| p.finish(ctx.budget().map_or(0, |b| b.allocated())));
+        self.finish_query(trace, start, &mut result, profile);
         result
     }
 
@@ -584,6 +732,7 @@ impl Server {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&self.in_flight);
         let ctx = self.make_ctx(&QueryOptions::default());
+        let profile_span = self.config.profiling.then(ProfileSpan::start);
         let cfg_fp = config_fingerprint(&prepared.config());
         let trace = self.config.tracing.then(|| {
             QueryTrace::new(format!(
@@ -651,22 +800,33 @@ impl Server {
             self.prepared_queries.fetch_add(1, Ordering::Relaxed);
         }
         self.record_outcome(&result);
-        self.finish_query(trace, start, &mut result);
+        let profile =
+            profile_span.map(|p| p.finish(ctx.budget().map_or(0, |b| b.allocated())));
+        self.finish_query(trace, start, &mut result, profile);
         result
     }
 
     /// Seals a query's observability record: the end-to-end latency lands
-    /// in the histogram (always), and when tracing is on the trace is
-    /// finished with the outcome, pushed into the ring, rendered into the
-    /// slow log if over threshold, and attached to a successful result.
+    /// in the histogram (always), a resource profile (profiling on) folds
+    /// into the server totals and onto the trace, and when tracing is on
+    /// the trace is finished with the outcome, pushed into the ring,
+    /// rendered into the slow log if over threshold, and attached to a
+    /// successful result.
     fn finish_query(
         &self,
         trace: Option<QueryTrace>,
         start: Instant,
         result: &mut Result<ServeResult>,
+        profile: Option<QueryProfile>,
     ) {
         let elapsed = start.elapsed();
         self.latency_hist.record_duration(elapsed);
+        if let Some(p) = profile {
+            self.profile_totals.add(&p);
+            if let Some(trace) = &trace {
+                trace.set_profile(p);
+            }
+        }
         let Some(trace) = trace else { return };
         let outcome = match &*result {
             Ok(r) => {
@@ -706,6 +866,11 @@ impl Server {
         let budget = options.memory_budget.unwrap_or(self.config.default_memory_budget);
         if budget > 0 {
             ctx = ctx.with_budget(Arc::new(MemoryBudget::new(budget)));
+        } else if self.config.profiling {
+            // Limit 0 = unlimited: charges are recorded but never trip,
+            // which is exactly what the profiler's `bytes_charged` needs
+            // when the query runs without a real budget.
+            ctx = ctx.with_budget(Arc::new(MemoryBudget::new(0)));
         }
         if let Some(token) = &options.cancel {
             ctx = ctx.with_cancel(token.clone());
@@ -805,6 +970,7 @@ impl Server {
         Ok(Arc::new(CachedPlan {
             shared_scan: find_shared_scan(&physical),
             physical,
+            volatile: plan_scans_system_table(&planned.plan),
             optimized: planned.plan,
             rules_fired: planned.rules_fired,
             estimated_rows: planned.estimated_rows,
@@ -865,7 +1031,10 @@ impl Server {
     /// plan-level memo for ad-hoc queries, the per-binding memo for
     /// prepared executions.
     fn try_result_memo(&self, unit: &ExecUnit) -> Option<ServeResult> {
-        if !self.config.cache_results {
+        // Volatile plans scan live `cx.*` state: the *plan* stays cached
+        // (lowering is as deterministic as ever) but the data is a
+        // point-in-time snapshot, so the memo is never read or written.
+        if !self.config.cache_results || unit.cached.volatile {
             return None;
         }
         let table = match &unit.binding {
@@ -921,7 +1090,7 @@ impl Server {
         let exec_span = cx_obs::span("execute");
         let table = Arc::new(unit.ctx.scope(|| collect_table(&root))?);
         drop(exec_span);
-        if self.config.cache_results {
+        if self.config.cache_results && !unit.cached.volatile {
             match &unit.binding {
                 None => *unit.cached.result.lock() = Some(table.clone()),
                 Some(binding) => unit.cached.memoize_binding(binding, table.clone()),
@@ -1302,6 +1471,49 @@ impl Server {
         &self.sweep_hist
     }
 
+    /// The structured incident log the watchdog appends to (queryable as
+    /// `cx.incidents`; empty when no watchdog is configured and nothing
+    /// was appended manually).
+    pub fn incidents(&self) -> &Arc<IncidentLog> {
+        &self.incidents
+    }
+
+    /// The server-level per-operator execution metrics (backs
+    /// `cx.histograms` operator rows and the report's operator table).
+    pub fn exec_metrics(&self) -> &ExecMetrics {
+        &self.metrics
+    }
+
+    /// Per-entry plan-cache introspection (backs `cx.plan_cache`).
+    pub fn plan_cache_entries(&self) -> Vec<crate::plan_cache::PlanEntryInfo> {
+        self.plan_cache.entries()
+    }
+
+    /// Aggregated resource usage across profiled queries (all zeros
+    /// unless [`ServeConfig::profiling`] is on).
+    pub fn profile_totals(&self) -> ProfileTotalsStats {
+        self.profile_totals.snapshot()
+    }
+
+    /// Installs (or, with `None`, removes) an injectable millisecond
+    /// timestamp source used for metrics-snapshot stamps and watchdog
+    /// incident times. Tests inject a frozen or stepped clock so diffed
+    /// exports are deterministic; production leaves the wall clock.
+    pub fn set_timestamp_source(&self, source: Option<Arc<dyn Fn() -> u64 + Send + Sync>>) {
+        *self.timestamp_source.write() = source;
+    }
+
+    /// The current timestamp in milliseconds from the installed source
+    /// (wall clock since the Unix epoch by default).
+    pub fn now_ms(&self) -> u64 {
+        if let Some(source) = self.timestamp_source.read().as_ref() {
+            return source();
+        }
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64)
+    }
+
     /// Captures every server counter, cache rate, histogram quantile, and
     /// per-operator metric into one exportable [`MetricsSnapshot`] —
     /// render it with [`MetricsSnapshot::to_prometheus`] /
@@ -1544,12 +1756,69 @@ impl Server {
             );
         }
         m.gauge("cx_obs_trace_ring_len", "Finished traces retained", &[], self.trace_ring.len() as f64);
+        let p = self.profile_totals.snapshot();
+        m.counter(
+            "cx_serve_profiled_queries_total",
+            "Queries that ran with a resource profile",
+            &[],
+            p.profiled_queries,
+        );
+        m.counter(
+            "cx_serve_profile_cpu_ns_total",
+            "Thread CPU time across profiled queries (ns)",
+            &[],
+            p.cpu_ns,
+        );
+        m.counter(
+            "cx_serve_profile_allocs_total",
+            "Heap allocations across profiled queries",
+            &[],
+            p.alloc_count,
+        );
+        m.counter(
+            "cx_serve_profile_alloc_bytes_total",
+            "Heap bytes requested across profiled queries",
+            &[],
+            p.alloc_bytes,
+        );
+        m.counter(
+            "cx_serve_profile_pairs_scored_total",
+            "Similarity pairs scored across profiled queries",
+            &[],
+            p.pairs_scored,
+        );
+        m.counter(
+            "cx_serve_profile_panel_tiles_total",
+            "Panel tiles touched across profiled queries",
+            &[],
+            p.panel_tiles,
+        );
+        m.counter(
+            "cx_serve_profile_bytes_charged_total",
+            "Bytes charged against memory budgets across profiled queries",
+            &[],
+            p.bytes_charged,
+        );
+        m.counter(
+            "cx_obs_incidents_total",
+            "Watchdog incidents recorded since startup",
+            &[],
+            self.incidents.total(),
+        );
+        m.gauge(
+            "cx_obs_incidents_retained",
+            "Watchdog incidents currently retained",
+            &[],
+            self.incidents.len() as f64,
+        );
         m.gauge(
             "cx_serve_simd_info",
             &format!("Resolved SIMD dispatch: {}", s.simd),
             &[("dispatch", s.simd.as_str())],
             1.0,
         );
+        let seq = self.snapshot_seq.fetch_add(1, Ordering::Relaxed);
+        m.set_timestamp(self.now_ms(), seq);
         m
     }
 
@@ -1638,6 +1907,45 @@ impl Server {
                 self.trace_ring.len(),
                 self.trace_ring.capacity(),
                 self.slow_log.lock().len(),
+            ));
+        }
+        // One quantile line over *all* operators: every per-operator
+        // latency histogram merged into a scratch histogram (bucketed
+        // merge is exact — same geometry on both sides).
+        let merged = Histogram::new();
+        for (_, h) in self.metrics.handles() {
+            merged.merge(h.latency());
+        }
+        let ao = merged.snapshot();
+        if ao.count > 0 {
+            out.push_str(&format!(
+                "all operators: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms ({} executions)\n",
+                ms(ao.p50),
+                ms(ao.p95),
+                ms(ao.p99),
+                ms(ao.max),
+                ao.count,
+            ));
+        }
+        if self.config.profiling {
+            let p = self.profile_totals.snapshot();
+            out.push_str(&format!(
+                "profiler: {} queries profiled, cpu {:.3} ms, {} allocs ({} B), \
+                 {} pairs scored, {} tiles, {} B charged\n",
+                p.profiled_queries,
+                p.cpu_ns as f64 / 1e6,
+                p.alloc_count,
+                p.alloc_bytes,
+                p.pairs_scored,
+                p.panel_tiles,
+                p.bytes_charged,
+            ));
+        }
+        if self.config.watchdog.is_some() || self.incidents.total() > 0 {
+            out.push_str(&format!(
+                "watchdog: {} incident(s) recorded, {} retained\n",
+                self.incidents.total(),
+                self.incidents.len(),
             ));
         }
         out.push_str(&format!("simd kernels: {}\n", s.simd));
@@ -1768,6 +2076,17 @@ impl Server {
             self.column_values_capped(child, column, cache, cap, out);
         }
     }
+}
+
+/// True when any scan under `plan` reads a live `cx.*` system table —
+/// such plans must never serve from or populate the result memo.
+fn plan_scans_system_table(plan: &LogicalPlan) -> bool {
+    if let LogicalPlan::Scan { source, .. } = plan {
+        if cx_obs::is_reserved_name(source) {
+            return true;
+        }
+    }
+    plan.children().into_iter().any(plan_scans_system_table)
 }
 
 /// Walks `plan` collecting, per model, the texts its semantic operators
@@ -1919,6 +2238,50 @@ impl Session {
     /// ```
     pub fn prepare(&self, query: &Query) -> Result<Prepared> {
         Prepared::new(self.server.clone(), query.clone(), self.optimizer_config())
+    }
+
+    /// Executes `query` with tracing forced on *for this one query* and
+    /// returns its rendered span tree — `EXPLAIN ANALYZE` for the serving
+    /// layer. Works regardless of [`ServeConfig::tracing`]: the forced
+    /// trace lives only as long as this call (with tracing off the
+    /// server's ring has capacity 0, so nothing is retained and
+    /// concurrent queries still pay one relaxed atomic load per span
+    /// site). The query executes for real, through the full serving path.
+    ///
+    /// ```
+    /// use context_engine::{Engine, EngineConfig};
+    /// use cx_embed::HashNGramModel;
+    /// use cx_serve::{ServeConfig, Server};
+    /// use cx_storage::{Column, DataType, Field, Schema, Table};
+    /// use std::sync::Arc;
+    ///
+    /// let engine = Arc::new(Engine::new(EngineConfig::default()));
+    /// engine.register_model(Arc::new(HashNGramModel::new(42)));
+    /// let names = Table::from_columns(
+    ///     Schema::new(vec![Field::new("name", DataType::Utf8)]),
+    ///     vec![Column::from_strings(["boots", "mug", "boots"])],
+    /// ).unwrap();
+    /// engine.register_table("products", names).unwrap();
+    ///
+    /// // Tracing stays OFF server-wide; the analyze call traces anyway.
+    /// let server = Server::new(engine, ServeConfig::default());
+    /// let session = server.session();
+    /// let query = session.table("products").unwrap()
+    ///     .semantic_filter("name", "boots", "hash-ngram", 0.99);
+    /// let rendered = session.explain_analyze(&query).unwrap();
+    /// assert!(rendered.contains("plan_cache"), "{rendered}");
+    /// assert!(rendered.contains("execute"), "{rendered}");
+    /// assert!(session.last_trace().is_none(), "nothing retained");
+    /// ```
+    pub fn explain_analyze(&self, query: &Query) -> Result<String> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let result = self.server.serve_query_inner(
+            query,
+            self.optimizer_config(),
+            &QueryOptions::default(),
+            true,
+        )?;
+        Ok(result.trace.map(|t| t.render()).unwrap_or_default())
     }
 
     /// Queries served through this session.

@@ -28,6 +28,7 @@ pub mod qctx;
 pub mod scalar;
 pub mod schema;
 pub mod stats;
+pub mod systab;
 pub mod table;
 pub mod types;
 
@@ -40,6 +41,7 @@ pub use qctx::{CancelToken, MemoryBudget, QueryContext};
 pub use scalar::Scalar;
 pub use schema::{Field, Schema};
 pub use stats::{ColumnStats, Histogram, TableStats};
+pub use systab::SystemTableSource;
 pub use table::Table;
 pub use types::DataType;
 

@@ -51,5 +51,5 @@ pub use context_engine::{Engine, EngineConfig, PlannedQuery, Query, QueryResult}
 pub use cx_obs::{Histogram, MetricsSnapshot, QueryTrace};
 pub use cx_serve::{
     FaultKind, FaultPlan, FaultSite, FaultStats, LifecycleStats, Prepared, QueryOptions,
-    ServeConfig, ServeResult, Server, Session,
+    ServeConfig, ServeResult, Server, Session, WatchdogConfig,
 };
