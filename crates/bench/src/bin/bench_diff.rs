@@ -264,6 +264,7 @@ const SCALAR_BENCHES: &[(&str, &str, Direction)] = &[
     ("BENCH_serve.json", "serve.qps", Direction::HigherIsBetter),
     ("BENCH_mqo.json", "mqo.qps", Direction::HigherIsBetter),
     ("BENCH_prepared.json", "prepared.qps", Direction::HigherIsBetter),
+    ("BENCH_sql.json", "autoparam.qps", Direction::HigherIsBetter),
     ("BENCH_chaos.json", "goodput_ratio", Direction::HigherIsBetter),
 ];
 

@@ -1,0 +1,263 @@
+//! SQL THROUGHPUT — the same distinct-literal storm, three ways through
+//! the text front-end:
+//!
+//! 1. **auto-param** — ad-hoc SQL with auto-parameterization on: every
+//!    statement's literals are lifted into parameter slots, so the whole
+//!    storm collapses into one prepared shape (one optimizer run).
+//! 2. **exact** — ad-hoc SQL with auto-parameterization off: every
+//!    distinct literal is a distinct exact fingerprint, so every
+//!    statement re-optimizes and re-lowers.
+//! 3. **prepared** — explicit `PREPARE ... AS ... $0 $1` once per client,
+//!    then `EXECUTE` per binding: the ceiling the auto-param path chases.
+//!
+//! Every leg runs the identical storm over a cold server with MQO scan
+//! sharing off (shared sweeps would amortize execution identically on
+//! all three sides and mask the pipeline cost under comparison). The
+//! acceptance bar from the roadmap: auto-param ad-hoc within **1.5×** of
+//! explicitly-prepared QPS at a **≥95%** shape hit rate.
+//!
+//! Emits `BENCH_sql.json` (gated by `bench_diff` on `autoparam.qps`).
+//!
+//! Usage: `cargo run --release -p cx-bench --bin sql_throughput`
+//!   env `SQL_N`        corpus rows               (default 400)
+//!   env `SQL_CLIENTS`  concurrent clients        (default 8)
+//!   env `SQL_QUERIES`  distinct bindings/client  (default 60)
+
+use context_engine::{Engine, EngineConfig};
+use cx_datagen::{generate_corpus, synthetic_clusters, CorpusConfig};
+use cx_embed::ClusteredTextModel;
+use cx_serve::{ServeConfig, Server, SqlResponse};
+use cx_storage::{Column, DataType, Field, Scalar, Schema, Table};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A fresh engine over `n` shop rows (cold caches), same corpus as
+/// `prepared_throughput` so the two reports are comparable.
+fn build_engine(n: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let space = Arc::new(cx_datagen::build_space(&clusters, 100, 42));
+    engine.register_model(Arc::new(ClusteredTextModel::new("fasttext_like", space, 7)));
+
+    let names = generate_corpus(
+        &cx_datagen::vocab::all_words(&clusters),
+        CorpusConfig { size: n, zipf_s: 1.0, max_words: 2, seed: 11 },
+    );
+    let products = Table::from_columns(
+        Schema::new(vec![
+            Field::new("product_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ]),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_strings(names),
+            Column::from_f64((0..n).map(|i| 5.0 + (i % 200) as f64).collect()),
+        ],
+    )
+    .expect("products table");
+    engine.register_table("products", products).expect("register products");
+    engine
+}
+
+/// The storm: `clients × per_client` distinct (probe, price) bindings.
+fn bindings(clients: usize, per_client: usize) -> Vec<Vec<(String, f64)>> {
+    let clusters = synthetic_clusters(50, 12, 0x5E21);
+    let words = cx_datagen::vocab::all_words(&clusters);
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    let k = c * per_client + i;
+                    (words[k % words.len()].clone(), 20.0 + (k % 160) as f64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The ad-hoc text for one binding: one shape, two literals.
+fn adhoc_sql(probe: &str, price: f64) -> String {
+    format!(
+        "SELECT product_id, name, price FROM products \
+         WHERE price > {price:?} AND name SEMANTIC LIKE '{}' USING fasttext_like (0.8) \
+         ORDER BY price DESC, product_id ASC LIMIT 10",
+        probe.replace('\'', "''"),
+    )
+}
+
+const PREPARE_SQL: &str = "PREPARE storm AS \
+    SELECT product_id, name, price FROM products \
+    WHERE price > $0 AND name SEMANTIC LIKE $1 USING fasttext_like (0.8) \
+    ORDER BY price DESC, product_id ASC LIMIT 10";
+
+struct Side {
+    total_secs: f64,
+    latencies: Vec<Duration>,
+}
+
+impl Side {
+    fn qps(&self) -> f64 {
+        self.latencies.len() as f64 / self.total_secs
+    }
+
+    /// p50/p95/p99 in ms through a `cx_obs` log-linear histogram.
+    fn quantiles_ms(&self) -> (f64, f64, f64) {
+        let h = cx_obs::Histogram::new();
+        for d in &self.latencies {
+            h.record_duration(*d);
+        }
+        let s = h.snapshot();
+        (s.p50 as f64 / 1e6, s.p95 as f64 / 1e6, s.p99 as f64 / 1e6)
+    }
+}
+
+/// Drive the storm through `Session::sql`, one thread per client. The
+/// `statement` closure maps a binding to the text each client sends.
+fn run_leg(
+    server: &Arc<Server>,
+    storm: &[Vec<(String, f64)>],
+    setup: Option<&str>,
+    statement: impl Fn(&str, f64) -> String + Copy + Send,
+) -> Side {
+    let barrier = Arc::new(Barrier::new(storm.len()));
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = storm
+            .iter()
+            .map(|mine| {
+                let server = server.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    let session = server.session();
+                    if let Some(text) = setup {
+                        session.sql(text).expect("setup statement");
+                    }
+                    let mut local = Vec::with_capacity(mine.len());
+                    barrier.wait();
+                    for (probe, price) in mine {
+                        let text = statement(probe, *price);
+                        let t = Instant::now();
+                        match session.sql(&text).expect("sql statement") {
+                            SqlResponse::Rows(r) => {
+                                std::hint::black_box(r.table.num_rows());
+                            }
+                            other => panic!("expected rows, got {other:?}"),
+                        }
+                        local.push(t.elapsed());
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    Side { total_secs: start.elapsed().as_secs_f64(), latencies }
+}
+
+fn print_leg(name: &str, side: &Side) {
+    let (p50, p95, _) = side.quantiles_ms();
+    println!("{name:<10} {:>8.1} qps  p50 {p50:>7.2} ms  p95 {p95:>7.2} ms", side.qps());
+}
+
+fn main() {
+    let n = env_usize("SQL_N", 400);
+    let clients = env_usize("SQL_CLIENTS", 8);
+    let per_client = env_usize("SQL_QUERIES", 60);
+    let storm = bindings(clients, per_client);
+    let statements = clients * per_client;
+
+    println!("SQL THROUGHPUT — auto-param vs exact vs explicit prepared");
+    println!("corpus: {n} rows, {clients} clients x {per_client} distinct bindings, cold caches\n");
+
+    let base = ServeConfig { mqo: false, ..ServeConfig::default() };
+
+    // ---- leg 1: ad-hoc with auto-parameterization (the default) ----
+    let auto_server = Server::new(build_engine(n), base);
+    let auto = run_leg(&auto_server, &storm, None, adhoc_sql);
+    let auto_stats = auto_server.sql_stats();
+    print_leg("auto-param", &auto);
+
+    // ---- leg 2: ad-hoc with exact per-literal planning ----
+    let exact_server =
+        Server::new(build_engine(n), ServeConfig { sql_auto_param: false, ..base });
+    let exact = run_leg(&exact_server, &storm, None, adhoc_sql);
+    print_leg("exact", &exact);
+
+    // ---- leg 3: explicit PREPARE / EXECUTE ----
+    let prep_server = Server::new(build_engine(n), base);
+    let prep = run_leg(&prep_server, &storm, Some(PREPARE_SQL), |probe, price| {
+        format!("EXECUTE storm ({price:?}, '{}')", probe.replace('\'', "''"))
+    });
+    print_leg("prepared", &prep);
+
+    // ---- bit-identity: auto-param vs exact, sampled (replays hit the
+    // per-binding result memo, so this re-reads the actual tables) ----
+    let auto_session = auto_server.session();
+    let exact_session = exact_server.session();
+    let mut verified = 0usize;
+    for (k, (probe, price)) in storm.iter().flatten().enumerate() {
+        if k % 7 != 0 {
+            continue;
+        }
+        let text = adhoc_sql(probe, *price);
+        let (a, e) = match (
+            auto_session.sql(&text).expect("auto replay"),
+            exact_session.sql(&text).expect("exact replay"),
+        ) {
+            (SqlResponse::Rows(a), SqlResponse::Rows(e)) => (a, e),
+            _ => unreachable!("SELECT returns rows"),
+        };
+        assert_eq!(a.table.num_rows(), e.table.num_rows(), "{probe}/{price}");
+        for r in 0..e.table.num_rows() {
+            let (ga, ge) = (a.table.row(r).unwrap(), e.table.row(r).unwrap());
+            for (x, y) in ga.iter().zip(&ge) {
+                match (x, y) {
+                    (Scalar::Float64(x), Scalar::Float64(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{probe}/{price} row {r}")
+                    }
+                    _ => assert_eq!(x, y, "{probe}/{price} row {r}"),
+                }
+            }
+        }
+        verified += 1;
+    }
+
+    let vs_prepared = prep.qps() / auto.qps();
+    let vs_exact = auto.qps() / exact.qps();
+    println!(
+        "\nauto-param vs prepared: {vs_prepared:.2}x behind (acceptance: <= 1.5x)\n\
+         auto-param vs exact:    {vs_exact:.2}x ahead\n\
+         shape hit rate: {:.1}% over {} auto-parameterized statements (acceptance >= 95%)\n\
+         bit-identity: {verified} sampled statements identical across modes",
+        100.0 * auto_stats.shape_hit_rate(),
+        auto_stats.auto_param,
+    );
+
+    let simd = cx_vector::simd::KernelDispatch::active().report();
+    let (a50, a95, a99) = auto.quantiles_ms();
+    let (e50, e95, e99) = exact.quantiles_ms();
+    let (p50, p95, p99) = prep.quantiles_ms();
+    let json = format!(
+        "{{\n  \"bench\": \"sql_throughput\",\n  \"simd\": \"{simd}\",\n  \"n\": {n},\n  \"clients\": {clients},\n  \"statements\": {statements},\n  \"autoparam\": {{\"qps\": {:.2}, \"p50_ms\": {a50:.4}, \"p95_ms\": {a95:.4}, \"p99_ms\": {a99:.4}, \"total_secs\": {:.4}, \"shape_hit_rate\": {:.4}}},\n  \"exact\": {{\"qps\": {:.2}, \"p50_ms\": {e50:.4}, \"p95_ms\": {e95:.4}, \"p99_ms\": {e99:.4}, \"total_secs\": {:.4}}},\n  \"prepared\": {{\"qps\": {:.2}, \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4}, \"total_secs\": {:.4}}},\n  \"autoparam_vs_prepared\": {vs_prepared:.3},\n  \"autoparam_vs_exact_speedup\": {vs_exact:.3},\n  \"bit_identical_sampled_statements\": {verified}\n}}\n",
+        auto.qps(),
+        auto.total_secs,
+        auto_stats.shape_hit_rate(),
+        exact.qps(),
+        exact.total_secs,
+        prep.qps(),
+        prep.total_secs,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sql.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote BENCH_sql.json"),
+        Err(e) => eprintln!("could not write BENCH_sql.json: {e}"),
+    }
+}

@@ -752,6 +752,87 @@ impl LogicalPlan {
         Ok(n)
     }
 
+    /// Replaces every bindable literal in the plan — expression literals
+    /// in filters and projections, fixed semantic probe texts, fixed
+    /// limit counts — with a parameter placeholder, returning the
+    /// parameterized *template* plus the lifted values in slot order.
+    /// This is the inverse of [`Self::bind_params`]:
+    /// `plan.lift_literals()` gives `(template, values)` with
+    /// `template.bind_params(&values) == plan` for any parameter-free
+    /// plan.
+    ///
+    /// Slots are assigned in a deterministic pre-order walk (a node's own
+    /// literals before its children, children left to right), so two
+    /// plans that differ only in literal values lift to the *same*
+    /// template — the foundation of auto-parameterization: the template's
+    /// [`Self::fingerprint`] keys one prepared shape for the whole
+    /// literal family. Values that are not bindable through
+    /// [`Self::bind_params`] — semantic thresholds, models, column names,
+    /// aggregate specs, sort keys — stay in the template and therefore in
+    /// its fingerprint.
+    ///
+    /// The caller must ensure the plan has no pre-existing parameters
+    /// (check [`Self::param_slots`]); lifting such a plan would produce
+    /// colliding slots.
+    pub fn lift_literals(&self) -> (LogicalPlan, Vec<Scalar>) {
+        let mut out = Vec::new();
+        let plan = self.lift_into(&mut out);
+        (plan, out)
+    }
+
+    fn lift_into(&self, out: &mut Vec<Scalar>) -> LogicalPlan {
+        let lifted = match self {
+            LogicalPlan::Filter { predicate, input } => LogicalPlan::Filter {
+                predicate: predicate.lift_literals(out),
+                input: input.clone(),
+            },
+            LogicalPlan::Project { exprs, input } => LogicalPlan::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|(e, n)| (e.lift_literals(out), n.clone()))
+                    .collect(),
+                input: input.clone(),
+            },
+            LogicalPlan::SemanticFilter { input, column, target, model, threshold } => {
+                let target = match target {
+                    SemanticTarget::Text(s) => {
+                        let slot = out.len();
+                        out.push(Scalar::Utf8(s.clone()));
+                        SemanticTarget::Param(slot)
+                    }
+                    SemanticTarget::Param(slot) => SemanticTarget::Param(*slot),
+                };
+                LogicalPlan::SemanticFilter {
+                    input: input.clone(),
+                    column: column.clone(),
+                    target,
+                    model: model.clone(),
+                    threshold: *threshold,
+                }
+            }
+            LogicalPlan::Limit { input, n } => {
+                let n = match n {
+                    LimitCount::Fixed(v) => {
+                        let slot = out.len();
+                        out.push(Scalar::Int64(*v as i64));
+                        LimitCount::Param(slot)
+                    }
+                    LimitCount::Param(slot) => LimitCount::Param(*slot),
+                };
+                LogicalPlan::Limit { input: input.clone(), n }
+            }
+            other => other.clone(),
+        };
+        let children = lifted
+            .children()
+            .into_iter()
+            .map(|c| c.lift_into(out))
+            .collect();
+        lifted
+            .with_children(children)
+            .expect("lift_into preserves arity")
+    }
+
     /// Substitutes every parameter placeholder with its value from
     /// `params` (slot `i` takes `params[i]`): expression parameters become
     /// literals, a parameterized semantic target becomes its probe text,
@@ -1157,6 +1238,68 @@ mod tests {
             right: Box::new(products()),
         };
         assert_ne!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    #[test]
+    fn lift_literals_roundtrips_and_unifies_shapes() {
+        let build = |probe: &str, price: f64, limit: usize| LogicalPlan::Limit {
+            n: LimitCount::Fixed(limit),
+            input: Box::new(LogicalPlan::SemanticFilter {
+                input: Box::new(LogicalPlan::Filter {
+                    predicate: col("price").gt(lit(price)),
+                    input: Box::new(products()),
+                }),
+                column: "name".into(),
+                target: probe.into(),
+                model: "m".into(),
+                threshold: 0.8,
+            }),
+        };
+        let plan = build("clothes", 20.0, 5);
+        let (template, values) = plan.lift_literals();
+        // Pre-order slot assignment: the limit (root) lifts before the
+        // probe, which lifts before the filter literal.
+        assert_eq!(
+            values,
+            vec![Scalar::Int64(5), Scalar::Utf8("clothes".into()), Scalar::Float64(20.0)]
+        );
+        assert_eq!(template.required_params().unwrap(), 3);
+        // Lift ∘ bind is the identity.
+        assert_eq!(template.bind_params(&values).unwrap(), plan);
+        // A different literal family lifts to the *same* template — one
+        // prepared shape serves them all.
+        let (other, other_values) = build("cat", 99.0, 1).lift_literals();
+        assert_eq!(other.fingerprint(), template.fingerprint());
+        assert_ne!(other_values, values);
+        // Every lifted literal erased: exact == shape fingerprint.
+        assert_eq!(template.fingerprint(), template.shape_fingerprint());
+        // Structural values stay in the template: a different threshold
+        // is a different shape.
+        let flip = LogicalPlan::SemanticFilter {
+            input: Box::new(products()),
+            column: "name".into(),
+            target: "x".into(),
+            model: "m".into(),
+            threshold: 0.9,
+        };
+        let flip2 = LogicalPlan::SemanticFilter {
+            input: Box::new(products()),
+            column: "name".into(),
+            target: "x".into(),
+            model: "m".into(),
+            threshold: 0.5,
+        };
+        assert_ne!(
+            flip.lift_literals().0.fingerprint(),
+            flip2.lift_literals().0.fingerprint()
+        );
+        // Int64 and Float64 literals lift to one template (type
+        // re-inference at bind time is the prepared layer's job).
+        let by = |e: Expr| LogicalPlan::Filter { predicate: e, input: Box::new(products()) };
+        assert_eq!(
+            by(col("price").gt(lit(2i64))).lift_literals().0.fingerprint(),
+            by(col("price").gt(lit(2.0))).lift_literals().0.fingerprint()
+        );
     }
 
     #[test]

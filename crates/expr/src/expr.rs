@@ -235,6 +235,36 @@ impl Expr {
         })
     }
 
+    /// Replaces every [`Expr::Literal`] with an [`Expr::Parameter`] whose
+    /// slot is the literal's position in `out`, appending the lifted
+    /// scalar values to `out` in encounter order (left before right,
+    /// outer before inner operands are never reordered). This is the
+    /// inverse of [`Expr::bind_params`]:
+    /// `e.lift_literals(&mut v).bind_params(&v) == e` for any
+    /// parameter-free expression.
+    ///
+    /// Intended for auto-parameterization of ad-hoc statements, so the
+    /// caller must ensure the expression has no pre-existing
+    /// [`Expr::Parameter`]s (their slots would collide with the lifted
+    /// ones); existing parameters are passed through unchanged.
+    pub fn lift_literals(&self, out: &mut Vec<Scalar>) -> Expr {
+        match self {
+            Expr::Literal(scalar) => {
+                let slot = out.len();
+                out.push(scalar.clone());
+                Expr::Parameter(slot)
+            }
+            Expr::Column(_) | Expr::Parameter(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.lift_literals(out)),
+                right: Box::new(right.lift_literals(out)),
+            },
+            Expr::Not(inner) => Expr::Not(Box::new(inner.lift_literals(out))),
+            Expr::IsNull(inner) => Expr::IsNull(Box::new(inner.lift_literals(out))),
+        }
+    }
+
     /// Rewrites column references through `map` (names absent from the map
     /// are left untouched). Used by pushdown and data-induced-predicate
     /// rules to move predicates across renaming boundaries.
@@ -343,6 +373,32 @@ mod tests {
         assert!(!bound.has_params());
         // Out-of-range slot errors instead of silently passing through.
         assert!(e.bind_params(&[Scalar::from("boots")]).is_err());
+    }
+
+    #[test]
+    fn lift_literals_roundtrips_through_bind() {
+        let e = col("price")
+            .gt(lit(20.0))
+            .and(col("name").eq(lit("boots")))
+            .or(col("n").add(lit(2i64)).is_null());
+        let mut lifted = Vec::new();
+        let template = e.lift_literals(&mut lifted);
+        assert_eq!(
+            lifted,
+            vec![Scalar::Float64(20.0), Scalar::from("boots"), Scalar::Int64(2)]
+        );
+        // Every literal became a slot, in encounter order.
+        assert_eq!(
+            template.to_string(),
+            "(((price > $0) AND (name = $1)) OR ((n + $2)) IS NULL)"
+        );
+        // Lift ∘ bind is the identity.
+        assert_eq!(template.bind_params(&lifted).unwrap(), e);
+        // Literal-free expressions lift to themselves.
+        let plain = col("a").eq(col("b"));
+        let mut none = Vec::new();
+        assert_eq!(plain.lift_literals(&mut none), plain);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -37,6 +37,14 @@
 //!   physical tree, re-costs admission with the bound literals, memoizes
 //!   results per binding vector, and still participates in multi-query
 //!   scan sharing.
+//! * **SQL** ([`Session::sql`]) — a text front-end (`cx_sql`: SELECT
+//!   plus the semantic extensions `SEMANTIC LIKE`, `SEMANTIC JOIN ... ON
+//!   SIM(..)`, `GROUP BY SEMANTIC`, and `PREPARE`/`EXECUTE`/`EXPLAIN`)
+//!   bound against the live catalog. Ad-hoc statements are
+//!   **auto-parameterized** ([`ServeConfig::sql_auto_param`]): literals
+//!   lift into parameter slots so same-shaped statements share one
+//!   prepared plan-cache entry — prepared-statement throughput for plain
+//!   text, bit-identical results.
 //! * **Observability** (`cx_obs`) — per-query lifecycle traces
 //!   ([`ServeConfig::tracing`], rendered EXPLAIN-ANALYZE-style and kept
 //!   in a bounded ring plus an optional slow-query log), always-on
@@ -87,6 +95,7 @@ pub mod plan_cache;
 pub mod prepared;
 pub mod scan_queue;
 pub mod server;
+pub mod sql;
 pub mod systab;
 pub mod watchdog;
 
@@ -102,6 +111,7 @@ pub use server::{
     ExecUnit, LifecycleStats, ProfileTotalsStats, QueryOptions, ServeConfig, ServeResult, Server,
     ServerStats, Session,
 };
+pub use sql::{SqlResponse, SqlStats};
 pub use watchdog::WatchdogConfig;
 
 #[cfg(test)]

@@ -94,6 +94,7 @@ pub struct Prepared {
     shape_fingerprint: u64,
     exact_fingerprint: u64,
     cache_key: u64,
+    shape_cache_hit: bool,
 }
 
 impl Prepared {
@@ -124,7 +125,7 @@ impl Prepared {
             ^ shape_fingerprint
             ^ exact_fingerprint.rotate_left(17)
             ^ config_fingerprint(&config);
-        let prepared = Prepared {
+        let mut prepared = Prepared {
             server,
             template,
             config,
@@ -132,10 +133,20 @@ impl Prepared {
             shape_fingerprint,
             exact_fingerprint,
             cache_key,
+            shape_cache_hit: false,
         };
         let version = prepared.server.engine().catalog_version();
-        prepared.server.resolve_prepared(&prepared, version)?;
+        let (_, hit) = prepared.server.resolve_prepared(&prepared, version)?;
+        prepared.shape_cache_hit = hit;
         Ok(prepared)
+    }
+
+    /// Whether prepare time resolved an already-cached plan for this
+    /// template's shape (an equivalent template was prepared — or an
+    /// equivalent statement auto-parameterized — before), rather than
+    /// optimizing and lowering fresh.
+    pub fn shape_cache_hit(&self) -> bool {
+        self.shape_cache_hit
     }
 
     /// Executes the template with `params` bound (slot `i` takes

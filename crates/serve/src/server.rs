@@ -164,6 +164,15 @@ pub struct ServeConfig {
     /// saturation, shed/fault bursts) to the bounded log behind
     /// `cx.incidents`.
     pub watchdog: Option<WatchdogConfig>,
+    /// Auto-parameterize ad-hoc SQL ([`Session::sql`]): literals are
+    /// lifted into parameter slots, so every statement with the same
+    /// *shape* resolves to one prepared plan-cache entry regardless of
+    /// its literal values — ad-hoc text gets prepared-statement
+    /// throughput. Results are bit-identical to exact planning (binding
+    /// re-infers types per value). Statements with nothing to lift fall
+    /// back to exact planning. Off routes every statement through the
+    /// exact-fingerprint plan cache instead.
+    pub sql_auto_param: bool,
 }
 
 impl Default for ServeConfig {
@@ -187,6 +196,7 @@ impl Default for ServeConfig {
             slow_query_threshold: None,
             profiling: false,
             watchdog: None,
+            sql_auto_param: true,
         }
     }
 }
@@ -329,6 +339,8 @@ pub struct ServerStats {
     /// Lifecycle-policy counters (deadlines, cancels, budgets, retries,
     /// contained panics).
     pub lifecycle: LifecycleStats,
+    /// SQL front-end counters ([`Session::sql`]).
+    pub sql: crate::sql::SqlStats,
     /// Per-model embed-batcher counters, sorted by model name.
     pub batchers: Vec<(String, BatcherStats)>,
     /// The resolved SIMD kernel dispatch serving every similarity sweep
@@ -383,6 +395,8 @@ pub struct Server {
     /// Injectable millisecond timestamp source for snapshot stamps and
     /// incident records (`None` = wall clock since the Unix epoch).
     timestamp_source: RwLock<Option<Arc<dyn Fn() -> u64 + Send + Sync>>>,
+    /// SQL front-end counters ([`Session::sql`]).
+    pub(crate) sql: crate::sql::SqlCounters,
     /// Server-wide totals across profiled queries.
     profile_totals: ProfileTotals,
     /// Keeps process-wide profiling enabled while this server is
@@ -524,6 +538,7 @@ impl Server {
             watchdog: Mutex::new(None),
             snapshot_seq: AtomicU64::new(0),
             timestamp_source: RwLock::new(None),
+            sql: crate::sql::SqlCounters::default(),
             profile_totals: ProfileTotals::default(),
             _profiler_session: config.profiling.then(ProfilerSession::new),
         });
@@ -580,6 +595,7 @@ impl Server {
             id,
             queries: AtomicU64::new(0),
             config: Mutex::new(None),
+            statements: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1434,6 +1450,7 @@ impl Server {
             admission: self.gate.stats(),
             scan_sharing: self.scan_queue.stats(),
             lifecycle: self.lifecycle.snapshot(),
+            sql: self.sql.snapshot(),
             batchers,
             simd: cx_simd::KernelDispatch::active().report(),
         }
@@ -1653,6 +1670,38 @@ impl Server {
             &[],
             l.contained_panics,
         );
+        let sq = &s.sql;
+        m.counter("cx_serve_sql_statements_total", "SQL statements accepted", &[], sq.statements);
+        m.counter(
+            "cx_serve_sql_auto_param_total",
+            "Ad-hoc SQL statements auto-parameterized into prepared shapes",
+            &[],
+            sq.auto_param,
+        );
+        m.counter(
+            "cx_serve_sql_auto_param_shape_hits_total",
+            "Auto-parameterized statements resolved by a cached shape",
+            &[],
+            sq.auto_param_shape_hits,
+        );
+        m.counter(
+            "cx_serve_sql_exact_fallback_total",
+            "Ad-hoc SQL statements with nothing to lift (exact planning)",
+            &[],
+            sq.exact_fallback,
+        );
+        m.counter(
+            "cx_serve_sql_errors_total",
+            "SQL statements rejected at parse or bind",
+            &[],
+            sq.errors,
+        );
+        m.gauge(
+            "cx_serve_sql_shape_hit_rate",
+            "Auto-parameterized shape hit rate",
+            &[],
+            sq.shape_hit_rate(),
+        );
         if let Some(f) = self.fault_stats() {
             for (i, site) in FaultSite::ALL.iter().enumerate() {
                 m.counter(
@@ -1871,6 +1920,17 @@ impl Server {
             s.lifecycle.retries,
             s.lifecycle.contained_panics,
         ));
+        if s.sql.statements > 0 {
+            out.push_str(&format!(
+                "sql: {} statements ({} auto-parameterized, {} shape hits, \
+                 {} exact fallbacks, {} errors)\n",
+                s.sql.statements,
+                s.sql.auto_param,
+                s.sql.auto_param_shape_hits,
+                s.sql.exact_fallback,
+                s.sql.errors,
+            ));
+        }
         let ms = |ns: u64| ns as f64 / 1e6;
         let lat = self.latency_hist.snapshot();
         out.push_str(&format!(
@@ -2126,9 +2186,12 @@ fn collect_warm_requests(
 pub struct Session {
     server: Arc<Server>,
     id: u64,
-    queries: AtomicU64,
+    pub(crate) queries: AtomicU64,
     /// Per-session optimizer override (`None` = the engine's config).
     config: Mutex<Option<OptimizerConfig>>,
+    /// Named prepared statements (`PREPARE name AS ...` through
+    /// [`Session::sql`]); session-scoped, like any SQL client's.
+    pub(crate) statements: Mutex<HashMap<String, Arc<Prepared>>>,
 }
 
 impl Session {

@@ -15,6 +15,7 @@
 //! | [`embed`] | `cx-embed` | representation models, caches, quantization |
 //! | [`vector`] | `cx-vector` | similarity kernels, LSH/IVF indexes |
 //! | [`exec`] | `cx-exec` | logical plans, relational operators |
+//! | [`sql`] | `cx-sql` | SQL front-end: lexer, parser, binder, semantic grammar |
 //! | [`semantic`] | `cx-semantic` | semantic operators, consolidation |
 //! | [`optimizer`] | `cx-optimizer` | rules, cardinality, cost, planning |
 //! | [`hardware`] | `cx-hardware` | device topologies, placement, simulation |
@@ -43,6 +44,7 @@ pub use cx_obs as obs;
 pub use cx_optimizer as optimizer;
 pub use cx_semantic as semantic;
 pub use cx_serve as serve;
+pub use cx_sql as sql;
 pub use cx_storage as storage;
 pub use cx_vector as vector;
 pub use cx_vision as vision;
@@ -51,5 +53,5 @@ pub use context_engine::{Engine, EngineConfig, PlannedQuery, Query, QueryResult}
 pub use cx_obs::{Histogram, MetricsSnapshot, QueryTrace};
 pub use cx_serve::{
     FaultKind, FaultPlan, FaultSite, FaultStats, LifecycleStats, Prepared, QueryOptions,
-    ServeConfig, ServeResult, Server, Session, WatchdogConfig,
+    ServeConfig, ServeResult, Server, Session, SqlResponse, SqlStats, WatchdogConfig,
 };
